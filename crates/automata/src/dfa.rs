@@ -1,0 +1,556 @@
+//! Deterministic finite automata over `char` alphabets.
+//!
+//! DFAs here are *partial*: a missing transition rejects. They support the usual
+//! operations needed by the rest of the workspace: execution, prefix matching (for
+//! tokenization), Moore minimization, bounded enumeration and a state-elimination
+//! conversion to a regular expression string for human-readable reports.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::fmt;
+
+/// A partial deterministic finite automaton.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dfa {
+    alphabet: Vec<char>,
+    n_states: usize,
+    initial: usize,
+    accepting: BTreeSet<usize>,
+    /// `transitions[(state, ch)] = next`
+    transitions: BTreeMap<(usize, char), usize>,
+}
+
+impl Dfa {
+    /// Creates a DFA. `transitions` maps `(state, symbol)` to the next state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transition refers to a state `>= n_states` or a symbol outside
+    /// the alphabet, or if `initial >= n_states`.
+    #[must_use]
+    pub fn new(
+        alphabet: Vec<char>,
+        n_states: usize,
+        initial: usize,
+        accepting: BTreeSet<usize>,
+        transitions: BTreeMap<(usize, char), usize>,
+    ) -> Self {
+        assert!(initial < n_states, "initial state out of range");
+        for (&(s, c), &t) in &transitions {
+            assert!(s < n_states && t < n_states, "transition state out of range");
+            assert!(alphabet.contains(&c), "transition symbol {c:?} not in alphabet");
+        }
+        for &s in &accepting {
+            assert!(s < n_states, "accepting state out of range");
+        }
+        Dfa { alphabet, n_states, initial, accepting, transitions }
+    }
+
+    /// A DFA accepting exactly the empty language over the given alphabet.
+    #[must_use]
+    pub fn empty(alphabet: Vec<char>) -> Self {
+        Dfa {
+            alphabet,
+            n_states: 1,
+            initial: 0,
+            accepting: BTreeSet::new(),
+            transitions: BTreeMap::new(),
+        }
+    }
+
+    /// A DFA accepting exactly the given literal string.
+    #[must_use]
+    pub fn literal(alphabet: Vec<char>, word: &str) -> Self {
+        let chars: Vec<char> = word.chars().collect();
+        let mut alphabet = alphabet;
+        for &c in &chars {
+            if !alphabet.contains(&c) {
+                alphabet.push(c);
+            }
+        }
+        let n = chars.len() + 1;
+        let mut transitions = BTreeMap::new();
+        for (i, &c) in chars.iter().enumerate() {
+            transitions.insert((i, c), i + 1);
+        }
+        let mut accepting = BTreeSet::new();
+        accepting.insert(chars.len());
+        Dfa { alphabet, n_states: n, initial: 0, accepting, transitions }
+    }
+
+    /// The alphabet.
+    #[must_use]
+    pub fn alphabet(&self) -> &[char] {
+        &self.alphabet
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.n_states
+    }
+
+    /// The initial state index.
+    #[must_use]
+    pub fn initial(&self) -> usize {
+        self.initial
+    }
+
+    /// The accepting state indices.
+    #[must_use]
+    pub fn accepting(&self) -> &BTreeSet<usize> {
+        &self.accepting
+    }
+
+    /// The transition from `state` on `symbol`, if present.
+    #[must_use]
+    pub fn delta(&self, state: usize, symbol: char) -> Option<usize> {
+        self.transitions.get(&(state, symbol)).copied()
+    }
+
+    /// Runs the DFA, returning the reached state or `None` if it gets stuck.
+    #[must_use]
+    pub fn run(&self, input: &str) -> Option<usize> {
+        let mut state = self.initial;
+        for c in input.chars() {
+            state = self.delta(state, c)?;
+        }
+        Some(state)
+    }
+
+    /// Returns `true` if the DFA accepts `input`.
+    #[must_use]
+    pub fn accepts(&self, input: &str) -> bool {
+        self.run(input).is_some_and(|s| self.accepting.contains(&s))
+    }
+
+    /// Lengths of every prefix of `input` (in characters, ascending) that the DFA
+    /// accepts. Used by tokenizers to find candidate token matches at a position.
+    #[must_use]
+    pub fn matching_prefix_lengths(&self, input: &str) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut state = self.initial;
+        if self.accepting.contains(&state) {
+            out.push(0);
+        }
+        for (i, c) in input.chars().enumerate() {
+            match self.delta(state, c) {
+                Some(next) => {
+                    state = next;
+                    if self.accepting.contains(&state) {
+                        out.push(i + 1);
+                    }
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// The length of the shortest non-empty accepted prefix of `input`, if any.
+    #[must_use]
+    pub fn shortest_match(&self, input: &str) -> Option<usize> {
+        self.matching_prefix_lengths(input).into_iter().find(|&l| l > 0)
+    }
+
+    /// The length of the longest accepted prefix of `input`, if any (may be 0).
+    #[must_use]
+    pub fn longest_match(&self, input: &str) -> Option<usize> {
+        self.matching_prefix_lengths(input).into_iter().max()
+    }
+
+    /// Enumerates accepted strings of length at most `max_len`, in shortlex order.
+    #[must_use]
+    pub fn enumerate(&self, max_len: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut frontier: Vec<(usize, String)> = vec![(self.initial, String::new())];
+        if self.accepting.contains(&self.initial) {
+            out.push(String::new());
+        }
+        for _ in 0..max_len {
+            let mut next = Vec::new();
+            for (state, word) in &frontier {
+                for &c in &self.alphabet {
+                    if let Some(t) = self.delta(*state, c) {
+                        let mut w = word.clone();
+                        w.push(c);
+                        if self.accepting.contains(&t) {
+                            out.push(w.clone());
+                        }
+                        next.push((t, w));
+                    }
+                }
+            }
+            frontier = next;
+        }
+        out
+    }
+
+    /// Returns `true` if the accepted language is empty.
+    #[must_use]
+    pub fn is_empty_language(&self) -> bool {
+        // BFS over reachable states looking for an accepting one.
+        let mut seen = vec![false; self.n_states];
+        let mut queue = VecDeque::from([self.initial]);
+        seen[self.initial] = true;
+        while let Some(s) = queue.pop_front() {
+            if self.accepting.contains(&s) {
+                return false;
+            }
+            for &c in &self.alphabet {
+                if let Some(t) = self.delta(s, c) {
+                    if !seen[t] {
+                        seen[t] = true;
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// A shortest accepted string, if the language is non-empty.
+    #[must_use]
+    pub fn shortest_member(&self) -> Option<String> {
+        let mut seen = vec![false; self.n_states];
+        let mut queue = VecDeque::from([(self.initial, String::new())]);
+        seen[self.initial] = true;
+        while let Some((s, w)) = queue.pop_front() {
+            if self.accepting.contains(&s) {
+                return Some(w);
+            }
+            for &c in &self.alphabet {
+                if let Some(t) = self.delta(s, c) {
+                    if !seen[t] {
+                        seen[t] = true;
+                        let mut w2 = w.clone();
+                        w2.push(c);
+                        queue.push_back((t, w2));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Completes the DFA by adding an explicit dead state for missing transitions.
+    #[must_use]
+    pub fn completed(&self) -> Dfa {
+        let dead = self.n_states;
+        let complete = (0..self.n_states)
+            .all(|s| self.alphabet.iter().all(|&c| self.transitions.contains_key(&(s, c))));
+        if complete {
+            return self.clone();
+        }
+        let mut transitions = self.transitions.clone();
+        for s in 0..=self.n_states {
+            for &c in &self.alphabet {
+                transitions.entry((s, c)).or_insert(dead);
+            }
+        }
+        Dfa {
+            alphabet: self.alphabet.clone(),
+            n_states: self.n_states + 1,
+            initial: self.initial,
+            accepting: self.accepting.clone(),
+            transitions,
+        }
+    }
+
+    /// Moore-style minimization. The result is a complete minimal DFA for the same
+    /// language (up to the same alphabet), with unreachable states removed.
+    #[must_use]
+    pub fn minimized(&self) -> Dfa {
+        let complete = self.completed();
+        // Reachable states only.
+        let mut reachable = Vec::new();
+        let mut seen = vec![false; complete.n_states];
+        let mut queue = VecDeque::from([complete.initial]);
+        seen[complete.initial] = true;
+        while let Some(s) = queue.pop_front() {
+            reachable.push(s);
+            for &c in &complete.alphabet {
+                if let Some(t) = complete.delta(s, c) {
+                    if !seen[t] {
+                        seen[t] = true;
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        // Initial partition: accepting vs non-accepting.
+        let mut class: HashMap<usize, usize> = reachable
+            .iter()
+            .map(|&s| (s, usize::from(complete.accepting.contains(&s))))
+            .collect();
+        loop {
+            let mut signature: HashMap<usize, Vec<usize>> = HashMap::new();
+            for &s in &reachable {
+                let mut sig = vec![class[&s]];
+                for &c in &complete.alphabet {
+                    sig.push(class[&complete.delta(s, c).expect("complete DFA")]);
+                }
+                signature.insert(s, sig);
+            }
+            let mut sig_to_class: HashMap<Vec<usize>, usize> = HashMap::new();
+            let mut new_class: HashMap<usize, usize> = HashMap::new();
+            for &s in &reachable {
+                let sig = signature[&s].clone();
+                let next_id = sig_to_class.len();
+                let id = *sig_to_class.entry(sig).or_insert(next_id);
+                new_class.insert(s, id);
+            }
+            if new_class == class {
+                break;
+            }
+            class = new_class;
+        }
+        let n_classes = class.values().copied().max().map_or(1, |m| m + 1);
+        let mut transitions = BTreeMap::new();
+        let mut accepting = BTreeSet::new();
+        for &s in &reachable {
+            let cs = class[&s];
+            if complete.accepting.contains(&s) {
+                accepting.insert(cs);
+            }
+            for &c in &complete.alphabet {
+                transitions.insert((cs, c), class[&complete.delta(s, c).expect("complete DFA")]);
+            }
+        }
+        Dfa {
+            alphabet: complete.alphabet,
+            n_states: n_classes,
+            initial: class[&complete.initial],
+            accepting,
+            transitions,
+        }
+    }
+
+    /// Converts the DFA into a regular-expression string by state elimination.
+    ///
+    /// The produced syntax matches [`crate::regex::Regex::parse`]; it is meant for
+    /// human-readable reports of learned token rules, not for efficiency.
+    #[must_use]
+    pub fn to_regex(&self) -> String {
+        // Generalized NFA over regex strings. States: 0..n plus fresh init/final.
+        let n = self.n_states;
+        let init = n;
+        let fin = n + 1;
+        let mut edge: HashMap<(usize, usize), String> = HashMap::new();
+        let add_edge = |edges: &mut HashMap<(usize, usize), String>, a: usize, b: usize, re: String| {
+            edges
+                .entry((a, b))
+                .and_modify(|existing| *existing = alt(existing, &re))
+                .or_insert(re);
+        };
+        add_edge(&mut edge, init, self.initial, String::new());
+        for &f in &self.accepting {
+            add_edge(&mut edge, f, fin, String::new());
+        }
+        for (&(s, c), &t) in &self.transitions {
+            add_edge(&mut edge, s, t, escape_char(c));
+        }
+        for removed in 0..n {
+            let self_loop = edge.get(&(removed, removed)).cloned();
+            let incoming: Vec<(usize, String)> = edge
+                .iter()
+                .filter(|(&(a, b), _)| b == removed && a != removed)
+                .map(|(&(a, _), re)| (a, re.clone()))
+                .collect();
+            let outgoing: Vec<(usize, String)> = edge
+                .iter()
+                .filter(|(&(a, b), _)| a == removed && b != removed)
+                .map(|(&(_, b), re)| (b, re.clone()))
+                .collect();
+            for (a, re_in) in &incoming {
+                for (b, re_out) in &outgoing {
+                    let middle = self_loop.as_deref().map(star).unwrap_or_default();
+                    let combined = concat(&concat(re_in, &middle), re_out);
+                    add_edge(&mut edge, *a, *b, combined);
+                }
+            }
+            edge.retain(|&(a, b), _| a != removed && b != removed);
+        }
+        edge.get(&(init, fin)).cloned().unwrap_or_else(|| "∅".to_string())
+    }
+}
+
+fn escape_char(c: char) -> String {
+    if "()[]*+?|.\\".contains(c) {
+        format!("\\{c}")
+    } else {
+        c.to_string()
+    }
+}
+
+fn needs_group(re: &str) -> bool {
+    // Anything containing a top-level alternation or more than one atom needs
+    // grouping before a postfix operator. A cheap conservative test suffices here.
+    re.chars().count() > 1 && !(re.starts_with('\\') && re.chars().count() == 2)
+}
+
+fn star(re: &str) -> String {
+    if re.is_empty() {
+        String::new()
+    } else if needs_group(re) {
+        format!("({re})*")
+    } else {
+        format!("{re}*")
+    }
+}
+
+fn concat(a: &str, b: &str) -> String {
+    let a_wrapped = if a.contains('|') { format!("({a})") } else { a.to_string() };
+    let b_wrapped = if b.contains('|') { format!("({b})") } else { b.to_string() };
+    format!("{a_wrapped}{b_wrapped}")
+}
+
+fn alt(a: &str, b: &str) -> String {
+    if a == b {
+        return a.to_string();
+    }
+    if a.is_empty() {
+        return format!("({b})?");
+    }
+    if b.is_empty() {
+        return format!("({a})?");
+    }
+    format!("{a}|{b}")
+}
+
+impl fmt::Display for Dfa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DFA: {} states, initial q{}, accepting {:?}", self.n_states, self.initial, self.accepting)?;
+        for (&(s, c), &t) in &self.transitions {
+            writeln!(f, "  q{s} --{c}--> q{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn even_as() -> Dfa {
+        // Even number of 'a's over {a, b}.
+        let mut tr = BTreeMap::new();
+        tr.insert((0, 'a'), 1);
+        tr.insert((1, 'a'), 0);
+        tr.insert((0, 'b'), 0);
+        tr.insert((1, 'b'), 1);
+        Dfa::new(vec!['a', 'b'], 2, 0, BTreeSet::from([0]), tr)
+    }
+
+    #[test]
+    fn run_and_accept() {
+        let d = even_as();
+        assert!(d.accepts(""));
+        assert!(d.accepts("aa"));
+        assert!(d.accepts("abab"));
+        assert!(!d.accepts("a"));
+        assert!(!d.accepts("baa b".trim()));
+    }
+
+    #[test]
+    fn literal_dfa() {
+        let d = Dfa::literal(vec![], "abc");
+        assert!(d.accepts("abc"));
+        assert!(!d.accepts("ab"));
+        assert!(!d.accepts("abcd"));
+        assert_eq!(d.shortest_member(), Some("abc".to_string()));
+    }
+
+    #[test]
+    fn empty_language() {
+        let d = Dfa::empty(vec!['a']);
+        assert!(d.is_empty_language());
+        assert_eq!(d.shortest_member(), None);
+        assert!(!d.accepts(""));
+        assert!(!even_as().is_empty_language());
+    }
+
+    #[test]
+    fn prefix_matching() {
+        let d = Dfa::literal(vec![], "ab");
+        assert_eq!(d.matching_prefix_lengths("abab"), vec![2]);
+        assert_eq!(d.shortest_match("abab"), Some(2));
+        assert_eq!(d.longest_match("abab"), Some(2));
+        assert_eq!(d.shortest_match("ba"), None);
+
+        let e = even_as();
+        // "" (len 0), "aa" (len 2), "aab"? even a's: positions 0, 2, 3...
+        assert_eq!(e.matching_prefix_lengths("aab"), vec![0, 2, 3]);
+        assert_eq!(e.longest_match("aab"), Some(3));
+    }
+
+    #[test]
+    fn enumerate_small() {
+        let d = even_as();
+        let words = d.enumerate(2);
+        assert!(words.contains(&String::new()));
+        assert!(words.contains(&"aa".to_string()));
+        assert!(words.contains(&"b".to_string()));
+        assert!(!words.contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn minimization_collapses_equivalent_states() {
+        // Build a redundant DFA for "even number of a's" with 4 states.
+        let mut tr = BTreeMap::new();
+        tr.insert((0, 'a'), 1);
+        tr.insert((1, 'a'), 2);
+        tr.insert((2, 'a'), 3);
+        tr.insert((3, 'a'), 0);
+        tr.insert((0, 'b'), 0);
+        tr.insert((1, 'b'), 1);
+        tr.insert((2, 'b'), 2);
+        tr.insert((3, 'b'), 3);
+        let d = Dfa::new(vec!['a', 'b'], 4, 0, BTreeSet::from([0, 2]), tr);
+        let m = d.minimized();
+        assert_eq!(m.state_count(), 2);
+        for w in ["", "a", "aa", "ab", "ba", "aab", "abab"] {
+            assert_eq!(d.accepts(w), m.accepts(w), "mismatch on {w:?}");
+        }
+    }
+
+    #[test]
+    fn minimization_drops_unreachable_states() {
+        let mut tr = BTreeMap::new();
+        tr.insert((0, 'a'), 0);
+        tr.insert((1, 'a'), 1); // unreachable
+        let d = Dfa::new(vec!['a'], 2, 0, BTreeSet::from([0]), tr);
+        let m = d.minimized();
+        assert!(m.state_count() <= 2); // dead state may be added by completion
+        assert!(m.accepts("aaa"));
+    }
+
+    #[test]
+    fn to_regex_roundtrips_through_parser() {
+        use crate::regex::Regex;
+        let d = even_as();
+        let re_str = d.to_regex();
+        let re = Regex::parse(&re_str).unwrap_or_else(|e| panic!("bad regex {re_str:?}: {e}"));
+        for w in ["", "a", "aa", "ab", "ba", "bb", "aab", "aba", "abab", "aaaa"] {
+            assert_eq!(d.accepts(w), re.is_match(w), "mismatch on {w:?} for {re_str:?}");
+        }
+    }
+
+    #[test]
+    fn completed_adds_dead_state() {
+        let d = Dfa::literal(vec![], "ab");
+        let c = d.completed();
+        assert_eq!(c.state_count(), d.state_count() + 1);
+        assert!(c.run("ba").is_some());
+        assert!(!c.accepts("ba"));
+        assert!(c.run("abab").is_some());
+        assert!(!c.accepts("abab"));
+        // Completing a complete DFA is a no-op.
+        assert_eq!(even_as().completed(), even_as());
+    }
+
+    #[test]
+    fn display_shows_transitions() {
+        let text = even_as().to_string();
+        assert!(text.contains("q0 --a--> q1"));
+    }
+}

@@ -1,0 +1,44 @@
+//! Finite-automata substrate for the V-Star reproduction.
+//!
+//! V-Star relies on classical regular-language machinery in two places:
+//!
+//! * **Angluin's L\*** (paper §3.4) is both the template for the VPA learner and the
+//!   engine used to learn the lexical rules of call/return *tokens* (paper §5.2,
+//!   Algorithm 4, line 6). [`lstar`] implements the classic observation-table
+//!   algorithm against a membership oracle plus a pluggable equivalence check.
+//! * **Regular expressions / DFAs** describe token lexical rules and are used by the
+//!   GLADE-style baseline. [`regex`] is a small self-contained engine
+//!   (parse → Thompson NFA → subset-construction DFA), and [`dfa`] provides
+//!   deterministic automata with minimization and a DFA → regex conversion
+//!   (state elimination) for readable learned rules.
+//!
+//! # Example
+//!
+//! ```
+//! use vstar_automata::regex::Regex;
+//! use vstar_automata::lstar::{learn_dfa, LStarConfig};
+//!
+//! let re = Regex::parse("ab*c").unwrap();
+//! assert!(re.is_match("abbbc"));
+//!
+//! // Learn the same language with L*, simulating equivalence queries by testing
+//! // all strings up to length 6.
+//! let alphabet = vec!['a', 'b', 'c'];
+//! let oracle = |s: &str| re.is_match(s);
+//! let dfa = learn_dfa(&alphabet, &oracle, &LStarConfig::bounded_equivalence(6));
+//! assert!(dfa.accepts("ac"));
+//! assert!(!dfa.accepts("abb"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dfa;
+pub mod lstar;
+pub mod nfa;
+pub mod regex;
+
+pub use dfa::Dfa;
+pub use lstar::{learn_dfa, LStar, LStarConfig, LStarStats};
+pub use nfa::Nfa;
+pub use regex::Regex;

@@ -1,0 +1,256 @@
+//! Nondeterministic finite automata with ε-transitions and character-class labels.
+//!
+//! Built by the regex compiler ([`crate::regex`]) via Thompson's construction and
+//! executed by subset simulation. A subset-construction conversion to [`Dfa`] is
+//! provided for callers that need a deterministic machine over a concrete alphabet.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::dfa::Dfa;
+
+/// A set of characters, described by ranges/singletons with optional negation, or
+/// the wildcard `.` (any character).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CharClass {
+    /// `true` for the `.` wildcard.
+    pub any: bool,
+    /// `true` for negated classes `[^…]`.
+    pub negated: bool,
+    /// Inclusive ranges; singletons are ranges with equal endpoints.
+    pub ranges: Vec<(char, char)>,
+}
+
+impl CharClass {
+    /// A class matching exactly one character.
+    #[must_use]
+    pub fn single(c: char) -> Self {
+        CharClass { any: false, negated: false, ranges: vec![(c, c)] }
+    }
+
+    /// The wildcard class (`.`), matching any character.
+    #[must_use]
+    pub fn any() -> Self {
+        CharClass { any: true, negated: false, ranges: Vec::new() }
+    }
+
+    /// Returns `true` if the class matches `c`.
+    #[must_use]
+    pub fn matches(&self, c: char) -> bool {
+        if self.any {
+            return true;
+        }
+        let inside = self.ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+        inside != self.negated
+    }
+}
+
+/// Label of an NFA transition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Label {
+    /// An ε-transition.
+    Epsilon,
+    /// A transition consuming one character matched by the class.
+    Class(CharClass),
+}
+
+/// An NFA with a single start state and a single accepting state (Thompson style).
+#[derive(Clone, Debug, Default)]
+pub struct Nfa {
+    /// Number of states (`0..n_states`).
+    pub n_states: usize,
+    /// Transitions `(from, label, to)`.
+    pub transitions: Vec<(usize, Label, usize)>,
+    /// The start state.
+    pub start: usize,
+    /// The accepting state.
+    pub accept: usize,
+}
+
+impl Nfa {
+    /// Creates an NFA with `n` fresh states and no transitions.
+    #[must_use]
+    pub fn with_states(n: usize) -> Self {
+        Nfa { n_states: n, transitions: Vec::new(), start: 0, accept: n.saturating_sub(1) }
+    }
+
+    /// Adds a fresh state and returns its index.
+    pub fn add_state(&mut self) -> usize {
+        self.n_states += 1;
+        self.n_states - 1
+    }
+
+    /// Adds an ε-transition.
+    pub fn add_epsilon(&mut self, from: usize, to: usize) {
+        self.transitions.push((from, Label::Epsilon, to));
+    }
+
+    /// Adds a character-class transition.
+    pub fn add_class(&mut self, from: usize, class: CharClass, to: usize) {
+        self.transitions.push((from, Label::Class(class), to));
+    }
+
+    fn epsilon_closure(&self, states: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut closure = states.clone();
+        let mut stack: Vec<usize> = states.iter().copied().collect();
+        while let Some(s) = stack.pop() {
+            for (from, label, to) in &self.transitions {
+                if *from == s && *label == Label::Epsilon && closure.insert(*to) {
+                    stack.push(*to);
+                }
+            }
+        }
+        closure
+    }
+
+    fn step(&self, states: &BTreeSet<usize>, c: char) -> BTreeSet<usize> {
+        let mut next = BTreeSet::new();
+        for (from, label, to) in &self.transitions {
+            if states.contains(from) {
+                if let Label::Class(class) = label {
+                    if class.matches(c) {
+                        next.insert(*to);
+                    }
+                }
+            }
+        }
+        self.epsilon_closure(&next)
+    }
+
+    /// Returns `true` if the NFA accepts `input` (subset simulation).
+    #[must_use]
+    pub fn accepts(&self, input: &str) -> bool {
+        let mut current = self.epsilon_closure(&BTreeSet::from([self.start]));
+        for c in input.chars() {
+            if current.is_empty() {
+                return false;
+            }
+            current = self.step(&current, c);
+        }
+        current.contains(&self.accept)
+    }
+
+    /// Lengths (in characters) of every prefix of `input` accepted by the NFA.
+    #[must_use]
+    pub fn matching_prefix_lengths(&self, input: &str) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut current = self.epsilon_closure(&BTreeSet::from([self.start]));
+        if current.contains(&self.accept) {
+            out.push(0);
+        }
+        for (i, c) in input.chars().enumerate() {
+            if current.is_empty() {
+                break;
+            }
+            current = self.step(&current, c);
+            if current.contains(&self.accept) {
+                out.push(i + 1);
+            }
+        }
+        out
+    }
+
+    /// Subset construction over a concrete alphabet, producing an equivalent
+    /// [`Dfa`] restricted to strings over that alphabet.
+    #[must_use]
+    pub fn to_dfa(&self, alphabet: &[char]) -> Dfa {
+        let start = self.epsilon_closure(&BTreeSet::from([self.start]));
+        let mut index: BTreeMap<BTreeSet<usize>, usize> = BTreeMap::new();
+        index.insert(start.clone(), 0);
+        let mut worklist = vec![start];
+        let mut transitions = BTreeMap::new();
+        let mut accepting = BTreeSet::new();
+        while let Some(set) = worklist.pop() {
+            let from = index[&set];
+            if set.contains(&self.accept) {
+                accepting.insert(from);
+            }
+            for &c in alphabet {
+                let next = self.step(&set, c);
+                if next.is_empty() {
+                    continue;
+                }
+                let next_id = match index.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        let id = index.len();
+                        index.insert(next.clone(), id);
+                        worklist.push(next);
+                        id
+                    }
+                };
+                transitions.insert((from, c), next_id);
+            }
+        }
+        Dfa::new(alphabet.to_vec(), index.len(), 0, accepting, transitions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab_star() -> Nfa {
+        // (ab)* : states 0 -a-> 1 -b-> 0, accept 0.
+        let mut n = Nfa::with_states(2);
+        n.start = 0;
+        n.accept = 0;
+        n.add_class(0, CharClass::single('a'), 1);
+        n.add_class(1, CharClass::single('b'), 0);
+        n
+    }
+
+    #[test]
+    fn char_class_matching() {
+        let c = CharClass { any: false, negated: false, ranges: vec![('a', 'z'), ('0', '0')] };
+        assert!(c.matches('m'));
+        assert!(c.matches('0'));
+        assert!(!c.matches('A'));
+        let neg = CharClass { negated: true, ..c };
+        assert!(!neg.matches('m'));
+        assert!(neg.matches('A'));
+        assert!(CharClass::any().matches('☃'));
+        assert!(CharClass::single('x').matches('x'));
+        assert!(!CharClass::single('x').matches('y'));
+    }
+
+    #[test]
+    fn nfa_accepts() {
+        let n = ab_star();
+        assert!(n.accepts(""));
+        assert!(n.accepts("ab"));
+        assert!(n.accepts("abab"));
+        assert!(!n.accepts("a"));
+        assert!(!n.accepts("ba"));
+        assert!(!n.accepts("abx"));
+    }
+
+    #[test]
+    fn epsilon_transitions() {
+        // a | ε  via epsilon edge to an 'a' branch.
+        let mut n = Nfa::with_states(3);
+        n.start = 0;
+        n.accept = 2;
+        n.add_epsilon(0, 2);
+        n.add_class(0, CharClass::single('a'), 1);
+        n.add_epsilon(1, 2);
+        assert!(n.accepts(""));
+        assert!(n.accepts("a"));
+        assert!(!n.accepts("aa"));
+    }
+
+    #[test]
+    fn prefix_lengths() {
+        let n = ab_star();
+        assert_eq!(n.matching_prefix_lengths("ababx"), vec![0, 2, 4]);
+        assert_eq!(n.matching_prefix_lengths("x"), vec![0]);
+    }
+
+    #[test]
+    fn subset_construction_agrees_with_nfa() {
+        let n = ab_star();
+        let d = n.to_dfa(&['a', 'b']);
+        for w in ["", "a", "b", "ab", "ba", "abab", "abb", "aab"] {
+            assert_eq!(n.accepts(w), d.accepts(w), "mismatch on {w:?}");
+        }
+    }
+}

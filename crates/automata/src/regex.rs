@@ -1,0 +1,521 @@
+//! A small self-contained regular-expression engine.
+//!
+//! Supported syntax: literal characters, `\`-escapes, the wildcard `.`, character
+//! classes `[a-z0-9]` / `[^…]`, grouping `(…)`, alternation `|`, and the postfix
+//! operators `*`, `+`, `?`. The engine compiles to a Thompson NFA ([`crate::nfa`])
+//! and matches by subset simulation, so matching is linear in the input for a fixed
+//! pattern and never backtracks.
+//!
+//! This is used for oracle token definitions, for rendering learned token rules and
+//! by the GLADE-style baseline's generalisation steps.
+
+use std::fmt;
+
+use crate::dfa::Dfa;
+use crate::nfa::{CharClass, Nfa};
+
+/// Abstract syntax of a regular expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Ast {
+    /// The empty string ε.
+    Empty,
+    /// A character class (single characters are one-element classes).
+    Class(CharClass),
+    /// Concatenation of the children in order.
+    Concat(Vec<Ast>),
+    /// Alternation (union) of the children.
+    Alt(Vec<Ast>),
+    /// Kleene star.
+    Star(Box<Ast>),
+    /// One or more repetitions.
+    Plus(Box<Ast>),
+    /// Zero or one occurrence.
+    Opt(Box<Ast>),
+}
+
+impl Ast {
+    /// A literal string as a concatenation of single-character classes.
+    #[must_use]
+    pub fn literal(s: &str) -> Ast {
+        let parts: Vec<Ast> = s.chars().map(|c| Ast::Class(CharClass::single(c))).collect();
+        match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.into_iter().next().expect("one element"),
+            _ => Ast::Concat(parts),
+        }
+    }
+}
+
+/// Error produced when parsing a regular expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseRegexError {
+    /// Byte position of the error in the pattern.
+    pub position: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseRegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseRegexError {}
+
+/// A compiled regular expression.
+#[derive(Clone, Debug)]
+pub struct Regex {
+    pattern: String,
+    ast: Ast,
+    nfa: Nfa,
+}
+
+impl Regex {
+    /// Parses and compiles a pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseRegexError`] on malformed patterns (unbalanced parentheses,
+    /// dangling operators, unterminated classes or escapes).
+    pub fn parse(pattern: &str) -> Result<Self, ParseRegexError> {
+        let ast = Parser::new(pattern).parse()?;
+        Ok(Regex::from_ast_named(ast, pattern.to_string()))
+    }
+
+    /// Compiles an already-built [`Ast`].
+    #[must_use]
+    pub fn from_ast(ast: Ast) -> Self {
+        let pattern = render(&ast);
+        Regex::from_ast_named(ast, pattern)
+    }
+
+    fn from_ast_named(ast: Ast, pattern: String) -> Self {
+        let nfa = compile(&ast);
+        Regex { pattern, ast, nfa }
+    }
+
+    /// The original pattern (or a rendering of the AST).
+    #[must_use]
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// The abstract syntax tree.
+    #[must_use]
+    pub fn ast(&self) -> &Ast {
+        &self.ast
+    }
+
+    /// Returns `true` if the whole input matches the pattern.
+    #[must_use]
+    pub fn is_match(&self, input: &str) -> bool {
+        self.nfa.accepts(input)
+    }
+
+    /// Lengths of all prefixes of `input` matching the pattern.
+    #[must_use]
+    pub fn matching_prefix_lengths(&self, input: &str) -> Vec<usize> {
+        self.nfa.matching_prefix_lengths(input)
+    }
+
+    /// Converts to a DFA over a concrete alphabet.
+    #[must_use]
+    pub fn to_dfa(&self, alphabet: &[char]) -> Dfa {
+        self.nfa.to_dfa(alphabet)
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.pattern)
+    }
+}
+
+/// Renders an AST back to pattern syntax (parse-compatible).
+#[must_use]
+pub fn render(ast: &Ast) -> String {
+    fn class_to_string(c: &CharClass) -> String {
+        if c.any {
+            return ".".to_string();
+        }
+        if !c.negated && c.ranges.len() == 1 && c.ranges[0].0 == c.ranges[0].1 {
+            let ch = c.ranges[0].0;
+            return if "()[]*+?|.\\".contains(ch) { format!("\\{ch}") } else { ch.to_string() };
+        }
+        let mut s = String::from("[");
+        if c.negated {
+            s.push('^');
+        }
+        for &(lo, hi) in &c.ranges {
+            if lo == hi {
+                if "]\\^-".contains(lo) {
+                    s.push('\\');
+                }
+                s.push(lo);
+            } else {
+                s.push(lo);
+                s.push('-');
+                s.push(hi);
+            }
+        }
+        s.push(']');
+        s
+    }
+    fn go(ast: &Ast, parent_is_postfix: bool) -> String {
+        match ast {
+            Ast::Empty => String::new(),
+            Ast::Class(c) => class_to_string(c),
+            Ast::Concat(parts) => {
+                let body: String = parts.iter().map(|p| go(p, false)).map(|s| {
+                    // Alternations inside a concatenation need grouping.
+                    if s.contains('|') { format!("({s})") } else { s }
+                }).collect();
+                if parent_is_postfix { format!("({body})") } else { body }
+            }
+            Ast::Alt(parts) => {
+                let body = parts.iter().map(|p| go(p, false)).collect::<Vec<_>>().join("|");
+                if parent_is_postfix { format!("({body})") } else { body }
+            }
+            Ast::Star(inner) => format!("{}*", group_atom(inner)),
+            Ast::Plus(inner) => format!("{}+", group_atom(inner)),
+            Ast::Opt(inner) => format!("{}?", group_atom(inner)),
+        }
+    }
+    fn group_atom(inner: &Ast) -> String {
+        match inner {
+            Ast::Class(_) | Ast::Empty => go(inner, false),
+            _ => go(inner, true),
+        }
+    }
+    go(ast, false)
+}
+
+fn compile(ast: &Ast) -> Nfa {
+    let mut nfa = Nfa::with_states(0);
+    let start = nfa.add_state();
+    let accept = nfa.add_state();
+    build(ast, &mut nfa, start, accept);
+    nfa.start = start;
+    nfa.accept = accept;
+    nfa
+}
+
+fn build(ast: &Ast, nfa: &mut Nfa, from: usize, to: usize) {
+    match ast {
+        Ast::Empty => nfa.add_epsilon(from, to),
+        Ast::Class(c) => nfa.add_class(from, c.clone(), to),
+        Ast::Concat(parts) => {
+            if parts.is_empty() {
+                nfa.add_epsilon(from, to);
+                return;
+            }
+            let mut current = from;
+            for (i, part) in parts.iter().enumerate() {
+                let next = if i + 1 == parts.len() { to } else { nfa.add_state() };
+                build(part, nfa, current, next);
+                current = next;
+            }
+        }
+        Ast::Alt(parts) => {
+            if parts.is_empty() {
+                return; // no path: matches nothing
+            }
+            for part in parts {
+                let s = nfa.add_state();
+                let e = nfa.add_state();
+                nfa.add_epsilon(from, s);
+                build(part, nfa, s, e);
+                nfa.add_epsilon(e, to);
+            }
+        }
+        Ast::Star(inner) => {
+            let s = nfa.add_state();
+            let e = nfa.add_state();
+            nfa.add_epsilon(from, s);
+            nfa.add_epsilon(from, to);
+            build(inner, nfa, s, e);
+            nfa.add_epsilon(e, s);
+            nfa.add_epsilon(e, to);
+        }
+        Ast::Plus(inner) => {
+            let s = nfa.add_state();
+            let e = nfa.add_state();
+            nfa.add_epsilon(from, s);
+            build(inner, nfa, s, e);
+            nfa.add_epsilon(e, s);
+            nfa.add_epsilon(e, to);
+        }
+        Ast::Opt(inner) => {
+            nfa.add_epsilon(from, to);
+            build(inner, nfa, from, to);
+        }
+    }
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser { chars: pattern.chars().collect(), pos: 0, pattern }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseRegexError {
+        ParseRegexError { position: self.pos, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse(mut self) -> Result<Ast, ParseRegexError> {
+        let ast = self.parse_alt()?;
+        if self.pos != self.chars.len() {
+            return Err(self.error(format!("unexpected character {:?}", self.peek())));
+        }
+        let _ = self.pattern;
+        Ok(ast)
+    }
+
+    fn parse_alt(&mut self) -> Result<Ast, ParseRegexError> {
+        let mut parts = vec![self.parse_concat()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            parts.push(self.parse_concat()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().expect("one part") } else { Ast::Alt(parts) })
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, ParseRegexError> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.parse_postfix()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().expect("one part"),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    fn parse_postfix(&mut self) -> Result<Ast, ParseRegexError> {
+        let mut atom = self.parse_atom()?;
+        while let Some(op) = self.peek() {
+            match op {
+                '*' => {
+                    self.bump();
+                    atom = Ast::Star(Box::new(atom));
+                }
+                '+' => {
+                    self.bump();
+                    atom = Ast::Plus(Box::new(atom));
+                }
+                '?' => {
+                    self.bump();
+                    atom = Ast::Opt(Box::new(atom));
+                }
+                _ => break,
+            }
+        }
+        Ok(atom)
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, ParseRegexError> {
+        match self.bump() {
+            None => Err(self.error("unexpected end of pattern")),
+            Some('(') => {
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return Err(self.error("expected ')'"));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.parse_class(),
+            Some('.') => Ok(Ast::Class(CharClass::any())),
+            Some('\\') => match self.bump() {
+                Some(c) => Ok(Ast::Class(CharClass::single(c))),
+                None => Err(self.error("dangling escape")),
+            },
+            Some(c) if c == '*' || c == '+' || c == '?' => {
+                Err(self.error(format!("dangling operator {c:?}")))
+            }
+            Some(c) if c == ')' => Err(self.error("unexpected ')'")),
+            Some(c) => Ok(Ast::Class(CharClass::single(c))),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Ast, ParseRegexError> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut ranges = Vec::new();
+        loop {
+            let c = match self.bump() {
+                None => return Err(self.error("unterminated character class")),
+                Some(']') => break,
+                Some('\\') => self.bump().ok_or_else(|| self.error("dangling escape in class"))?,
+                Some(c) => c,
+            };
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1).is_some_and(|&n| n != ']') {
+                self.bump(); // '-'
+                let hi = match self.bump() {
+                    Some('\\') => self.bump().ok_or_else(|| self.error("dangling escape in class"))?,
+                    Some(h) => h,
+                    None => return Err(self.error("unterminated range")),
+                };
+                if hi < c {
+                    return Err(self.error("inverted range"));
+                }
+                ranges.push((c, hi));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        if ranges.is_empty() {
+            return Err(self.error("empty character class"));
+        }
+        Ok(Ast::Class(CharClass { any: false, negated, ranges }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pattern: &str, input: &str) -> bool {
+        Regex::parse(pattern).unwrap().is_match(input)
+    }
+
+    #[test]
+    fn literals_and_concat() {
+        assert!(m("abc", "abc"));
+        assert!(!m("abc", "ab"));
+        assert!(!m("abc", "abcd"));
+        assert!(m("", ""));
+        assert!(!m("", "a"));
+    }
+
+    #[test]
+    fn alternation() {
+        assert!(m("cat|dog", "cat"));
+        assert!(m("cat|dog", "dog"));
+        assert!(!m("cat|dog", "cow"));
+        assert!(m("a|b|c", "b"));
+        assert!(m("a|", "")); // empty right alternative
+    }
+
+    #[test]
+    fn postfix_operators() {
+        assert!(m("ab*c", "ac"));
+        assert!(m("ab*c", "abbbc"));
+        assert!(!m("ab+c", "ac"));
+        assert!(m("ab+c", "abc"));
+        assert!(m("ab?c", "ac"));
+        assert!(m("ab?c", "abc"));
+        assert!(!m("ab?c", "abbc"));
+        assert!(m("(ab)*", "ababab"));
+        assert!(!m("(ab)*", "aba"));
+        assert!(m("(a|b)+", "abba"));
+    }
+
+    #[test]
+    fn classes_and_wildcard() {
+        assert!(m("[a-z]+", "hello"));
+        assert!(!m("[a-z]+", "Hello"));
+        assert!(m("[a-z0-9_]+", "snake_case_2"));
+        assert!(m("[^0-9]+", "abc!"));
+        assert!(!m("[^0-9]+", "ab3"));
+        assert!(m("a.c", "axc"));
+        assert!(m(".*", "anything at all"));
+        assert!(m("[-+]?[0-9]+", "+42"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(m("\\(\\)", "()"));
+        assert!(m("a\\*b", "a*b"));
+        assert!(m("\\[x\\]", "[x]"));
+        assert!(m("[\\]]+", "]]"));
+    }
+
+    #[test]
+    fn json_number_like() {
+        let re = Regex::parse("-?(0|[1-9][0-9]*)(\\.[0-9]+)?").unwrap();
+        for ok in ["0", "-7", "10", "3.14", "-12.5"] {
+            assert!(re.is_match(ok), "{ok}");
+        }
+        for bad in ["01", "+-3", "", ".5", "3."] {
+            assert!(!re.is_match(bad), "{bad}");
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Regex::parse("(ab").is_err());
+        assert!(Regex::parse("ab)").is_err());
+        assert!(Regex::parse("*a").is_err());
+        assert!(Regex::parse("[a-").is_err());
+        assert!(Regex::parse("[]").is_err());
+        assert!(Regex::parse("a\\").is_err());
+        let err = Regex::parse("(a").unwrap_err();
+        assert!(err.to_string().contains("regex parse error"));
+    }
+
+    #[test]
+    fn ast_literal_and_render_roundtrip() {
+        let patterns = ["abc", "a(b|c)*d", "[a-z]+", "x?y+z*", "a\\*b", "(ab|cd)?e"];
+        for p in patterns {
+            let re = Regex::parse(p).unwrap();
+            let rendered = render(re.ast());
+            let re2 = Regex::parse(&rendered)
+                .unwrap_or_else(|e| panic!("re-render of {p:?} -> {rendered:?} failed: {e}"));
+            for input in ["", "a", "ab", "abc", "abcd", "xyz", "xz", "e", "cde", "a*b", "y"] {
+                assert_eq!(re.is_match(input), re2.is_match(input), "{p:?} vs {rendered:?} on {input:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_ast_matches_like_parse() {
+        let ast = Ast::Concat(vec![Ast::literal("ab"), Ast::Star(Box::new(Ast::literal("c")))]);
+        let re = Regex::from_ast(ast);
+        assert!(re.is_match("ab"));
+        assert!(re.is_match("abccc"));
+        assert!(!re.is_match("abd"));
+        assert!(!re.pattern().is_empty());
+    }
+
+    #[test]
+    fn prefix_lengths() {
+        let re = Regex::parse("(ab)+").unwrap();
+        assert_eq!(re.matching_prefix_lengths("ababab"), vec![2, 4, 6]);
+        assert_eq!(re.matching_prefix_lengths("xx"), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn to_dfa_agrees_with_nfa() {
+        let re = Regex::parse("(a|bb)*c").unwrap();
+        let dfa = re.to_dfa(&['a', 'b', 'c']);
+        for w in ["c", "ac", "bbc", "abbac", "bc", "", "abbab"] {
+            assert_eq!(re.is_match(w), dfa.accepts(w), "mismatch on {w:?}");
+        }
+    }
+}

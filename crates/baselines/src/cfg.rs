@@ -1,0 +1,311 @@
+//! A small context-free-grammar container shared by the baselines.
+//!
+//! Both baselines produce (or can be viewed as producing) a CFG over characters.
+//! Recognition uses a chaotic-iteration chart parser (sound for arbitrary CFGs,
+//! including left-recursive ones, on the short strings used in the evaluation) and
+//! generation uses a budget-bounded random derivation.
+
+use std::collections::{BTreeSet, HashMap};
+
+use rand::Rng;
+
+/// A grammar symbol: a terminal character or a reference to a nonterminal.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SymbolRef {
+    /// A terminal character.
+    Terminal(char),
+    /// A nonterminal, identified by index.
+    Nonterminal(usize),
+}
+
+/// A context-free grammar with character terminals.
+#[derive(Clone, Debug, Default)]
+pub struct Cfg {
+    names: Vec<String>,
+    /// `rules[nt]` = alternatives; each alternative is a sequence of symbols.
+    rules: Vec<Vec<Vec<SymbolRef>>>,
+    start: usize,
+}
+
+impl Cfg {
+    /// Creates an empty grammar; the first added nonterminal becomes the start.
+    #[must_use]
+    pub fn new() -> Self {
+        Cfg::default()
+    }
+
+    /// Adds a nonterminal and returns its index.
+    pub fn add_nonterminal(&mut self, name: &str) -> usize {
+        self.names.push(name.to_owned());
+        self.rules.push(Vec::new());
+        self.names.len() - 1
+    }
+
+    /// Adds an alternative to a nonterminal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nt` is out of range.
+    pub fn add_rule(&mut self, nt: usize, rhs: Vec<SymbolRef>) {
+        assert!(nt < self.rules.len(), "unknown nonterminal");
+        if !self.rules[nt].contains(&rhs) {
+            self.rules[nt].push(rhs);
+        }
+    }
+
+    /// Sets the start nonterminal.
+    pub fn set_start(&mut self, nt: usize) {
+        self.start = nt;
+    }
+
+    /// The start nonterminal.
+    #[must_use]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of nonterminals.
+    #[must_use]
+    pub fn nonterminal_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of rules.
+    #[must_use]
+    pub fn rule_count(&self) -> usize {
+        self.rules.iter().map(Vec::len).sum()
+    }
+
+    /// The alternatives of a nonterminal.
+    #[must_use]
+    pub fn alternatives(&self, nt: usize) -> &[Vec<SymbolRef>] {
+        &self.rules[nt]
+    }
+
+    /// Mutable access to the alternatives of a nonterminal (used by learners when
+    /// merging nonterminals).
+    pub fn alternatives_mut(&mut self, nt: usize) -> &mut Vec<Vec<SymbolRef>> {
+        &mut self.rules[nt]
+    }
+
+    /// Returns `true` if the grammar derives `input` from the start symbol.
+    #[must_use]
+    pub fn accepts(&self, input: &str) -> bool {
+        if self.rules.is_empty() {
+            return false;
+        }
+        let chars: Vec<char> = input.chars().collect();
+        let n = chars.len();
+        // reach[nt][i] = set of j such that nt ⇒* chars[i..j]
+        let mut reach: HashMap<(usize, usize), BTreeSet<usize>> = HashMap::new();
+        loop {
+            let mut changed = false;
+            for nt in 0..self.rules.len() {
+                for i in 0..=n {
+                    let mut ends: BTreeSet<usize> = BTreeSet::new();
+                    for alt in &self.rules[nt] {
+                        let mut positions: BTreeSet<usize> = BTreeSet::from([i]);
+                        for sym in alt {
+                            let mut next: BTreeSet<usize> = BTreeSet::new();
+                            for &p in &positions {
+                                match sym {
+                                    SymbolRef::Terminal(c) => {
+                                        if p < n && chars[p] == *c {
+                                            next.insert(p + 1);
+                                        }
+                                    }
+                                    SymbolRef::Nonterminal(m) => {
+                                        if let Some(set) = reach.get(&(*m, p)) {
+                                            next.extend(set.iter().copied());
+                                        }
+                                    }
+                                }
+                            }
+                            positions = next;
+                            if positions.is_empty() {
+                                break;
+                            }
+                        }
+                        ends.extend(positions);
+                    }
+                    let entry = reach.entry((nt, i)).or_default();
+                    let before = entry.len();
+                    entry.extend(ends);
+                    if entry.len() != before {
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        reach.get(&(self.start, 0)).is_some_and(|set| set.contains(&n))
+    }
+
+    /// Minimum derivable length per nonterminal (`None` = unproductive).
+    #[must_use]
+    pub fn min_lengths(&self) -> Vec<Option<usize>> {
+        let mut min = vec![None; self.rules.len()];
+        loop {
+            let mut changed = false;
+            for (nt, alts) in self.rules.iter().enumerate() {
+                for alt in alts {
+                    let mut total = Some(0usize);
+                    for sym in alt {
+                        total = match (total, sym) {
+                            (Some(t), SymbolRef::Terminal(_)) => Some(t + 1),
+                            (Some(t), SymbolRef::Nonterminal(m)) => min[*m].map(|x| t + x),
+                            (None, _) => None,
+                        };
+                    }
+                    if let Some(t) = total {
+                        if min[nt].map_or(true, |cur| t < cur) {
+                            min[nt] = Some(t);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return min;
+            }
+        }
+    }
+
+    /// Samples a random derivation (budget-bounded).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, budget: usize) -> Option<String> {
+        let min = self.min_lengths();
+        min[self.start]?;
+        let mut out = String::new();
+        self.expand(self.start, rng, budget, &min, &mut out, 0)?;
+        Some(out)
+    }
+
+    fn expand<R: Rng + ?Sized>(
+        &self,
+        nt: usize,
+        rng: &mut R,
+        budget: usize,
+        min: &[Option<usize>],
+        out: &mut String,
+        depth: usize,
+    ) -> Option<usize> {
+        if depth > 64 {
+            return None;
+        }
+        let alt_min = |alt: &Vec<SymbolRef>| -> Option<usize> {
+            alt.iter()
+                .map(|s| match s {
+                    SymbolRef::Terminal(_) => Some(1usize),
+                    SymbolRef::Nonterminal(m) => min[*m],
+                })
+                .try_fold(0usize, |acc, x| x.map(|v| acc + v))
+        };
+        let alts: Vec<(&Vec<SymbolRef>, usize)> = self.rules[nt]
+            .iter()
+            .filter_map(|a| alt_min(a).map(|m| (a, m)))
+            .collect();
+        if alts.is_empty() {
+            return None;
+        }
+        let fitting: Vec<&(&Vec<SymbolRef>, usize)> =
+            alts.iter().filter(|(_, m)| *m <= budget).collect();
+        let (alt, _) = if fitting.is_empty() {
+            *alts.iter().min_by_key(|(_, m)| *m).expect("nonempty")
+        } else {
+            *fitting[rng.gen_range(0..fitting.len())]
+        };
+        let mut remaining = budget;
+        for sym in alt {
+            match sym {
+                SymbolRef::Terminal(c) => {
+                    out.push(*c);
+                    remaining = remaining.saturating_sub(1);
+                }
+                SymbolRef::Nonterminal(m) => {
+                    remaining = self.expand(*m, rng, remaining, min, out, depth + 1)?;
+                }
+            }
+        }
+        Some(remaining)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dyck_cfg() -> Cfg {
+        // S → ε | ( S ) S | x S
+        let mut g = Cfg::new();
+        let s = g.add_nonterminal("S");
+        g.set_start(s);
+        g.add_rule(s, vec![]);
+        g.add_rule(
+            s,
+            vec![
+                SymbolRef::Terminal('('),
+                SymbolRef::Nonterminal(s),
+                SymbolRef::Terminal(')'),
+                SymbolRef::Nonterminal(s),
+            ],
+        );
+        g.add_rule(s, vec![SymbolRef::Terminal('x'), SymbolRef::Nonterminal(s)]);
+        g
+    }
+
+    #[test]
+    fn recognition() {
+        let g = dyck_cfg();
+        assert!(g.accepts(""));
+        assert!(g.accepts("x"));
+        assert!(g.accepts("(x)"));
+        assert!(g.accepts("((x)x)x"));
+        assert!(!g.accepts("("));
+        assert!(!g.accepts("(x))"));
+        assert!(!g.accepts("y"));
+    }
+
+    #[test]
+    fn left_recursive_grammar_recognition() {
+        // E → E + a | a
+        let mut g = Cfg::new();
+        let e = g.add_nonterminal("E");
+        g.set_start(e);
+        g.add_rule(e, vec![SymbolRef::Nonterminal(e), SymbolRef::Terminal('+'), SymbolRef::Terminal('a')]);
+        g.add_rule(e, vec![SymbolRef::Terminal('a')]);
+        assert!(g.accepts("a"));
+        assert!(g.accepts("a+a"));
+        assert!(g.accepts("a+a+a"));
+        assert!(!g.accepts("+a"));
+        assert!(!g.accepts("a+"));
+    }
+
+    #[test]
+    fn sampling_members() {
+        let g = dyck_cfg();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let s = g.sample(&mut rng, 16).unwrap();
+            assert!(g.accepts(&s), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn min_lengths_and_counts() {
+        let g = dyck_cfg();
+        assert_eq!(g.min_lengths()[0], Some(0));
+        assert_eq!(g.nonterminal_count(), 1);
+        assert_eq!(g.rule_count(), 3);
+        assert_eq!(g.alternatives(0).len(), 3);
+    }
+
+    #[test]
+    fn empty_grammar_rejects() {
+        let g = Cfg::new();
+        assert!(!g.accepts(""));
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion bench: the paper's running examples.
+//!
+//! * Figure 1 — character-level tagging inference + VPA learning on the toy VPG
+//!   `L → ‹a A b› L | c B | ε` from the single seed `agcdcdhbcd`.
+//! * Figure 2 — token-level inference (`<p>` / `</p>`) on the toy XML from the
+//!   single seed `<p><p>p</p></p>`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vstar::{Mat, TokenDiscovery, VStar, VStarConfig};
+use vstar_oracles::{Fig1, Language, ToyXml};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_examples");
+    group.sample_size(10);
+
+    group.bench_function("fig1_character_mode", |b| {
+        let lang = Fig1::new();
+        let oracle = |s: &str| lang.accepts(s);
+        b.iter(|| {
+            let mat = Mat::new(&oracle);
+            let config = VStarConfig {
+                token_discovery: TokenDiscovery::Characters,
+                ..VStarConfig::default()
+            };
+            let result =
+                VStar::new(config).learn(&mat, &lang.alphabet(), &lang.seeds()).expect("fig1 learns");
+            black_box(result.stats.queries_total)
+        });
+    });
+
+    group.bench_function("fig2_token_mode", |b| {
+        let lang = ToyXml::new();
+        let oracle = |s: &str| lang.accepts(s);
+        b.iter(|| {
+            let mat = Mat::new(&oracle);
+            let result = VStar::new(VStarConfig::default())
+                .learn(&mat, &lang.alphabet(), &lang.seeds())
+                .expect("fig2 learns");
+            black_box(result.stats.queries_total)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Micro-benchmarks of the supporting components: oracle membership, VPA
+//! execution, nesting-pattern checking, tokenization/conversion, and the
+//! VPA → VPG conversion. These bound the cost of the millions of membership
+//! queries reported in Table 1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vstar::nesting::{is_nesting_pattern, NestingPattern};
+use vstar::{Mat, PartialTokenizer};
+use vstar_oracles::{Json, Language};
+use vstar_vpl::grammar::figure1_grammar;
+use vstar_vpl::{vpa_to_vpg, Tagging, VpaBuilder};
+
+fn dyck_vpa() -> vstar_vpl::Vpa {
+    let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+    let mut b = VpaBuilder::new(tagging);
+    let q0 = b.add_state();
+    let g = b.add_stack_symbol();
+    b.set_initial(q0);
+    b.add_accepting(q0);
+    b.call(q0, '(', q0, g).unwrap();
+    b.ret(q0, ')', g, q0).unwrap();
+    b.plain(q0, 'x', q0).unwrap();
+    b.build().unwrap()
+}
+
+fn bench_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro");
+
+    let json = Json::new();
+    let doc = "{\"k\":{\"x\":[1,2,{\"y\":true}]},\"z\":\"abc\"}";
+    group.bench_function("oracle_membership_json", |b| b.iter(|| black_box(json.accepts(doc))));
+
+    let vpa = dyck_vpa();
+    let input = "((x)(x(x)))x".repeat(4);
+    group.bench_function("vpa_execution", |b| b.iter(|| black_box(vpa.accepts(&input))));
+
+    let fig1 = figure1_grammar();
+    group.bench_function("vpg_recognition_fig1", |b| {
+        b.iter(|| black_box(fig1.accepts("agagcdhbhbcdagcdcdhbcd")))
+    });
+
+    group.bench_function("vpa_to_vpg_conversion", |b| b.iter(|| black_box(vpa_to_vpg(&vpa))));
+
+    let oracle = |s: &str| json.accepts(s);
+    group.bench_function("nesting_pattern_check", |b| {
+        b.iter(|| {
+            let mat = Mat::new(&oracle);
+            let p = NestingPattern::new("{\"a\":1}", (0, 1), (6, 7));
+            black_box(is_nesting_pattern(&mat, &p, 2))
+        })
+    });
+
+    group.bench_function("tokenize_and_convert_json", |b| {
+        let tagging = Tagging::from_pairs([('{', '}'), ('[', ']')]).unwrap();
+        let tokenizer = PartialTokenizer::from_tagging(&tagging);
+        b.iter(|| {
+            let mat = Mat::new(&oracle);
+            black_box(tokenizer.convert(&mat, doc))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

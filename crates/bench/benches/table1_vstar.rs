@@ -1,0 +1,33 @@
+//! Criterion bench: the V-Star block of Table 1.
+//!
+//! Each benchmark learns one Table-1 grammar end-to-end with V-Star (tokenizer
+//! inference + VPA learning + grammar extraction). Absolute times are not expected
+//! to match the paper (our oracles are in-process recognizers, not external
+//! parsers); the interesting comparison is the relative cost across grammars and
+//! against the baselines (`table1_baselines`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vstar::{Mat, VStar, VStarConfig};
+use vstar_oracles::{Language, Lisp, ToyXml};
+
+fn learn(lang: &dyn Language) -> usize {
+    let oracle = |s: &str| lang.accepts(s);
+    let mat = Mat::new(&oracle);
+    let result = VStar::new(VStarConfig::default())
+        .learn(&mat, &lang.alphabet(), &lang.seeds())
+        .expect("learning succeeds");
+    result.stats.queries_total
+}
+
+fn bench_vstar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_vstar");
+    group.sample_size(10);
+    group.bench_function("lisp", |b| b.iter(|| black_box(learn(&Lisp::new()))));
+    group.bench_function("toy_xml", |b| b.iter(|| black_box(learn(&ToyXml::new()))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_vstar);
+criterion_main!(benches);

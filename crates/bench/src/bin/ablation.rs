@@ -1,0 +1,72 @@
+//! Ablations for the design choices called out in DESIGN.md:
+//!
+//! * **Ablation A — test-string budget**: V-Star simulates equivalence queries
+//!   from seed-derived test strings; this sweep varies the budget and reports the
+//!   resulting F1, showing how accuracy depends on the simulated-equivalence pool.
+//! * **Ablation B — nesting bound K**: `candidateNesting` checks pumping up to a
+//!   bound `K`; this sweep varies `K` and reports query counts and success.
+//!
+//! Usage: `cargo run -p vstar-bench --bin ablation --release [-- grammar]`
+//! (default grammar: lisp).
+
+use vstar::equivalence::TestPoolConfig;
+use vstar::{Mat, VStar, VStarConfig};
+use vstar_eval::{f1_score, precision, recall, EvalConfig};
+use vstar_oracles::{table1_languages, Language};
+
+fn main() {
+    let grammar = std::env::args().nth(1).unwrap_or_else(|| "lisp".to_string());
+    let Some(lang) = table1_languages().into_iter().find(|l| l.name() == grammar) else {
+        eprintln!("unknown grammar {grammar:?}; available: json lisp xml while mathexpr");
+        std::process::exit(1);
+    };
+    let eval_config = EvalConfig { recall_samples: 120, precision_samples: 120, ..EvalConfig::default() };
+
+    println!("== Ablation A: simulated-equivalence test-string budget ({grammar}) ==");
+    println!("budget\t#TS\tRecall\tPrecision\tF1\t#Queries");
+    for budget in [50usize, 200, 1000, 6000] {
+        let mut config = VStarConfig::default();
+        config.test_pool = TestPoolConfig { max_test_strings: budget, ..TestPoolConfig::default() };
+        report_run(lang.as_ref(), &config, &eval_config, &budget.to_string());
+    }
+
+    println!();
+    println!("== Ablation B: nesting-pattern pumping bound K ({grammar}) ==");
+    println!("K\t#TS\tRecall\tPrecision\tF1\t#Queries");
+    for k in [2usize, 3, 4] {
+        let mut config = VStarConfig::default();
+        config.token_config.max_k = k;
+        report_run(lang.as_ref(), &config, &eval_config, &k.to_string());
+    }
+}
+
+fn report_run(lang: &dyn Language, config: &VStarConfig, eval_config: &EvalConfig, label: &str) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let oracle = |s: &str| lang.accepts(s);
+    let mat = Mat::new(&oracle);
+    match VStar::new(config.clone()).learn(&mat, &lang.alphabet(), &lang.seeds()) {
+        Ok(result) => {
+            let mut rng = StdRng::seed_from_u64(eval_config.rng_seed);
+            let corpus =
+                lang.generate_corpus(&mut rng, eval_config.generation_budget, eval_config.recall_samples);
+            let learned = result.as_learned_language();
+            let r = recall(|s| learned.accepts(&mat, s), &corpus);
+            let sampler = result.vpg.sampler();
+            let mut rng = StdRng::seed_from_u64(eval_config.rng_seed ^ 1);
+            let samples: Vec<String> = (0..eval_config.precision_samples * 4)
+                .filter_map(|_| sampler.sample(&mut rng, eval_config.generation_budget))
+                .map(|s| vstar::tokenizer::strip_markers(&s))
+                .take(eval_config.precision_samples)
+                .collect();
+            let p = if samples.is_empty() { 0.0 } else { precision(|s| lang.accepts(s), &samples) };
+            println!(
+                "{label}\t{}\t{r:.2}\t{p:.2}\t{:.2}\t{}",
+                result.stats.test_strings,
+                f1_score(r, p),
+                result.stats.queries_total
+            );
+        }
+        Err(e) => println!("{label}\t-\t-\t-\t-\tfailed: {e}"),
+    }
+}

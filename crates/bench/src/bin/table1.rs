@@ -1,0 +1,29 @@
+//! Regenerates the paper's Table 1: GLADE-style, ARVADA-style and V-Star on the
+//! five oracle grammars (json, lisp, xml, while, mathexpr), reporting Recall,
+//! Precision, F1, #Queries, %Q(Token), %Q(VPA), #TS and learning time.
+//!
+//! Usage:
+//!   cargo run -p vstar-bench --bin table1 --release [-- tool ...]
+//! where each optional `tool` is one of `glade`, `arvada`, `vstar` (default: all).
+//! Pass `--json` to additionally print the report as JSON.
+
+use vstar_bench::{default_eval_config, run_table1};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want_json = args.iter().any(|a| a == "--json");
+    let tools: Vec<&str> =
+        args.iter().filter(|a| ["glade", "arvada", "vstar"].contains(&a.as_str())).map(String::as_str).collect();
+    let config = default_eval_config();
+    let report = run_table1(&config, &tools);
+    println!("Table 1 — evaluation on datasets where the oracle grammars are VPGs");
+    println!(
+        "(recall/precision estimated on {} / {} samples; see EXPERIMENTS.md)",
+        config.recall_samples, config.precision_samples
+    );
+    println!();
+    print!("{report}");
+    if want_json {
+        println!("{}", report.to_json());
+    }
+}

@@ -1,0 +1,90 @@
+//! Shared helpers for the benchmark harness and the table-regeneration binaries.
+//!
+//! The paper's evaluation (§6) has a single table (Table 1) plus two illustrative
+//! figures (Figure 1 and Figure 2). `cargo run -p vstar-bench --bin table1
+//! --release` regenerates the table against the bundled oracles; the Criterion
+//! benches in `benches/` time the individual components and the figure examples;
+//! `--bin ablation` runs the two design-choice ablations documented in DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use vstar_eval::{evaluate_arvada, evaluate_glade, evaluate_vstar, EvalConfig, Table1Report};
+use vstar_oracles::table1_languages;
+
+/// The evaluation configuration used by the table-regeneration binaries.
+#[must_use]
+pub fn default_eval_config() -> EvalConfig {
+    EvalConfig::default()
+}
+
+/// Runs all three tools on every Table-1 grammar and collects the report.
+///
+/// `tools` selects which tools run ("glade", "arvada", "vstar"); an empty slice
+/// runs all three.
+#[must_use]
+pub fn run_table1(config: &EvalConfig, tools: &[&str]) -> Table1Report {
+    let run_all = tools.is_empty();
+    let selected = |t: &str| run_all || tools.contains(&t);
+    let mut report = Table1Report::new();
+    let languages = table1_languages();
+    if selected("glade") {
+        for lang in &languages {
+            report.push(evaluate_glade(lang.as_ref(), config));
+        }
+    }
+    if selected("arvada") {
+        for lang in &languages {
+            report.push(evaluate_arvada(lang.as_ref(), config));
+        }
+    }
+    if selected("vstar") {
+        for lang in &languages {
+            report.push(evaluate_vstar(lang.as_ref(), config));
+        }
+    }
+    report
+}
+
+/// Runs one tool on one named grammar (used by the Criterion benches to keep each
+/// measurement small).
+#[must_use]
+pub fn run_single(tool: &str, grammar: &str, config: &EvalConfig) -> Table1Report {
+    let mut report = Table1Report::new();
+    for lang in table1_languages() {
+        if lang.name() != grammar {
+            continue;
+        }
+        let row = match tool {
+            "glade" => evaluate_glade(lang.as_ref(), config),
+            "arvada" => evaluate_arvada(lang.as_ref(), config),
+            _ => evaluate_vstar(lang.as_ref(), config),
+        };
+        report.push(row);
+    }
+    report
+}
+
+/// A small-budget configuration for quick runs (tests and micro benches).
+#[must_use]
+pub fn quick_eval_config() -> EvalConfig {
+    EvalConfig { recall_samples: 40, precision_samples: 40, generation_budget: 14, ..EvalConfig::default() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_single_produces_one_row() {
+        let report = run_single("glade", "lisp", &quick_eval_config());
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].grammar, "lisp");
+    }
+
+    #[test]
+    fn unknown_grammar_produces_empty_report() {
+        let report = run_single("glade", "cobol", &quick_eval_config());
+        assert!(report.rows.is_empty());
+    }
+}

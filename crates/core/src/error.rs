@@ -1,0 +1,88 @@
+//! Error type for the V-Star learner.
+
+use std::fmt;
+
+/// Errors produced by the V-Star pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VStarError {
+    /// No seed strings were provided.
+    NoSeeds,
+    /// A seed string was rejected by the membership oracle; seeds must be valid
+    /// program inputs.
+    InvalidSeed {
+        /// The offending seed.
+        seed: String,
+    },
+    /// No compatible tagging / tokenizer could be found within the configured
+    /// bound on the nesting-pattern parameter `K`.
+    NoCompatibleTagging {
+        /// The largest `K` that was tried.
+        max_k: usize,
+    },
+    /// The VPA learner exceeded its iteration budget without converging.
+    LearnerDidNotConverge {
+        /// Number of counterexample rounds performed.
+        rounds: usize,
+    },
+    /// A counterexample accepted by the oracle is not well matched under the
+    /// inferred tagging, so it cannot be processed (the tagging is incompatible
+    /// with the full oracle language).
+    IncompatibleCounterexample {
+        /// The offending counterexample.
+        counterexample: String,
+    },
+}
+
+impl fmt::Display for VStarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VStarError::NoSeeds => write!(f, "no seed strings were provided"),
+            VStarError::InvalidSeed { seed } => {
+                write!(f, "seed string {seed:?} is rejected by the membership oracle")
+            }
+            VStarError::NoCompatibleTagging { max_k } => {
+                write!(f, "no compatible tagging/tokenizer found with K up to {max_k}")
+            }
+            VStarError::LearnerDidNotConverge { rounds } => {
+                write!(f, "VPA learner did not converge after {rounds} counterexample rounds")
+            }
+            VStarError::IncompatibleCounterexample { counterexample } => {
+                write!(
+                    f,
+                    "counterexample {counterexample:?} is not well matched under the inferred tagging"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for VStarError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let cases: Vec<(VStarError, &str)> = vec![
+            (VStarError::NoSeeds, "no seed"),
+            (VStarError::InvalidSeed { seed: "x".into() }, "rejected"),
+            (VStarError::NoCompatibleTagging { max_k: 4 }, "K up to 4"),
+            (VStarError::LearnerDidNotConverge { rounds: 9 }, "9 counterexample"),
+            (
+                VStarError::IncompatibleCounterexample { counterexample: "ab".into() },
+                "not well matched",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn boxes_as_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(VStarError::NoSeeds);
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! The minimally adequate teacher (MAT) abstraction (paper §3.1 / §4.1).
+//!
+//! A black-box program provides only membership queries; [`Mat`] wraps the program
+//! with a cache and a unique-query counter (matching the paper's "#Queries" metric),
+//! and exposes phase snapshots so the pipeline can attribute queries to token
+//! inference vs. VPA learning (the "%Q(Token)" / "%Q(VPA)" columns of Table 1).
+//! Equivalence queries are *not* part of the MAT; they are simulated from test
+//! strings (see [`crate::equivalence`]).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// A membership-query teacher with caching and unique-query counting.
+pub struct Mat<'a> {
+    oracle: &'a dyn Fn(&str) -> bool,
+    state: RefCell<MatState>,
+}
+
+#[derive(Default)]
+struct MatState {
+    cache: HashMap<String, bool>,
+    unique_queries: usize,
+    total_queries: usize,
+}
+
+impl<'a> Mat<'a> {
+    /// Wraps a membership function (typically a parser or recognizer).
+    #[must_use]
+    pub fn new(oracle: &'a dyn Fn(&str) -> bool) -> Self {
+        Mat { oracle, state: RefCell::new(MatState::default()) }
+    }
+
+    /// The membership query `χ_L(s)`.
+    #[must_use]
+    pub fn member(&self, s: &str) -> bool {
+        {
+            let mut state = self.state.borrow_mut();
+            state.total_queries += 1;
+            if let Some(&v) = state.cache.get(s) {
+                return v;
+            }
+        }
+        let v = (self.oracle)(s);
+        let mut state = self.state.borrow_mut();
+        state.unique_queries += 1;
+        state.cache.insert(s.to_owned(), v);
+        v
+    }
+
+    /// Number of unique membership queries issued so far (cache misses).
+    #[must_use]
+    pub fn unique_queries(&self) -> usize {
+        self.state.borrow().unique_queries
+    }
+
+    /// Number of membership calls including cache hits.
+    #[must_use]
+    pub fn total_queries(&self) -> usize {
+        self.state.borrow().total_queries
+    }
+
+    /// Clears the cache and the counters.
+    pub fn reset(&self) {
+        *self.state.borrow_mut() = MatState::default();
+    }
+}
+
+impl std::fmt::Debug for Mat<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.borrow();
+        f.debug_struct("Mat")
+            .field("unique_queries", &state.unique_queries)
+            .field("total_queries", &state.total_queries)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_and_counts_unique_queries() {
+        let raw_calls = std::cell::Cell::new(0usize);
+        let oracle = |s: &str| {
+            raw_calls.set(raw_calls.get() + 1);
+            s.len() < 3
+        };
+        let mat = Mat::new(&oracle);
+        assert!(mat.member("ab"));
+        assert!(mat.member("ab"));
+        assert!(!mat.member("abcd"));
+        assert_eq!(mat.unique_queries(), 2);
+        assert_eq!(mat.total_queries(), 3);
+        assert_eq!(raw_calls.get(), 2);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let oracle = |_: &str| true;
+        let mat = Mat::new(&oracle);
+        let _ = mat.member("x");
+        mat.reset();
+        assert_eq!(mat.unique_queries(), 0);
+        assert_eq!(mat.total_queries(), 0);
+    }
+
+    #[test]
+    fn debug_format() {
+        let oracle = |_: &str| true;
+        let mat = Mat::new(&oracle);
+        assert!(format!("{mat:?}").contains("Mat"));
+    }
+}

@@ -1,0 +1,432 @@
+//! The end-to-end V-Star pipeline.
+//!
+//! Orchestrates the stages of the paper: tagging/tokenizer inference from seed
+//! strings (Algorithms 3/4), conversion of the oracle language into a
+//! character-based VPL (`conv_τ`), table-based k-SEVPA learning with simulated
+//! equivalence queries (Algorithms 1/2), and extraction of a well-matched VPG from
+//! the learned VPA. Query counts are attributed to the token-inference and
+//! VPA-learning phases exactly as in Table 1 of the paper.
+
+use std::time::{Duration, Instant};
+
+use vstar_vpl::{vpa_to_vpg, Vpa, Vpg};
+
+use crate::equivalence::{TestPool, TestPoolConfig};
+use crate::error::VStarError;
+use crate::mat::Mat;
+use crate::sevpa_learner::{Hypothesis, SevpaLearner, SevpaLearnerConfig, TaggedAlphabet};
+use crate::tag_infer::{tag_infer, TagInferConfig};
+use crate::token_infer::{token_infer, TokenInferConfig};
+use crate::tokenizer::{strip_markers, PartialTokenizer};
+
+/// How call/return structure is discovered from the seed strings.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum TokenDiscovery {
+    /// Infer multi-character call/return tokens (paper §5, Algorithm 4) and learn
+    /// over the converted alphabet Σ̃. This is the general mode and the default.
+    #[default]
+    Tokens,
+    /// Infer a character-level tagging (paper §4.3, Algorithm 3) and learn directly
+    /// over Σ. Matches the paper's character-based setting (e.g. Figure 1).
+    Characters,
+}
+
+/// Configuration of the [`VStar`] pipeline.
+#[derive(Clone, Debug, Default)]
+pub struct VStarConfig {
+    /// Structure-discovery mode.
+    pub token_discovery: TokenDiscovery,
+    /// Character-level tagging inference options (used in [`TokenDiscovery::Characters`]).
+    pub tag_config: TagInferConfig,
+    /// Token inference options (used in [`TokenDiscovery::Tokens`]).
+    pub token_config: TokenInferConfig,
+    /// VPA-learner options.
+    pub learner: SevpaLearnerConfig,
+    /// Test-string pool options (simulated equivalence queries).
+    pub test_pool: TestPoolConfig,
+}
+
+/// Query and size statistics of a learning run (the measurements reported in the
+/// paper's Table 1).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VStarStats {
+    /// Total number of unique membership queries.
+    pub queries_total: usize,
+    /// Unique membership queries spent on token/tagging inference ("%Q(Token)").
+    pub queries_token_inference: usize,
+    /// Unique membership queries spent on VPA learning ("%Q(VPA)").
+    pub queries_vpa_learning: usize,
+    /// Number of test strings used to simulate equivalence queries ("#TS").
+    pub test_strings: usize,
+    /// Number of simulated equivalence queries.
+    pub equivalence_queries: usize,
+    /// Number of counterexamples processed.
+    pub counterexamples: usize,
+    /// Number of states of the learned VPA.
+    pub states: usize,
+    /// Number of inferred call/return token pairs.
+    pub token_pairs: usize,
+    /// Wall-clock duration of the run.
+    pub duration: Duration,
+}
+
+impl VStarStats {
+    /// Fraction of queries attributed to token inference, in percent.
+    #[must_use]
+    pub fn token_query_percent(&self) -> f64 {
+        if self.queries_total == 0 {
+            0.0
+        } else {
+            100.0 * self.queries_token_inference as f64 / self.queries_total as f64
+        }
+    }
+
+    /// Fraction of queries attributed to VPA learning, in percent.
+    #[must_use]
+    pub fn vpa_query_percent(&self) -> f64 {
+        if self.queries_total == 0 {
+            0.0
+        } else {
+            100.0 * self.queries_vpa_learning as f64 / self.queries_total as f64
+        }
+    }
+}
+
+/// The artifacts produced by a successful V-Star run.
+#[derive(Clone, Debug)]
+pub struct VStarResult {
+    /// The learned VPA (over Σ in character mode, over Σ̃ in token mode).
+    pub vpa: Vpa,
+    /// The well-matched VPG extracted from the VPA.
+    pub vpg: Vpg,
+    /// The inferred partial tokenizer (single-character literal tokens in
+    /// character mode).
+    pub tokenizer: PartialTokenizer,
+    /// The discovery mode that produced this result.
+    pub mode: TokenDiscovery,
+    /// Statistics of the run.
+    pub stats: VStarStats,
+}
+
+/// A learned recogniser detached from the learning-time [`Mat`]: decides membership
+/// of raw strings using the learned tokenizer + VPA (`χ_{(H,τ)}` in the paper).
+///
+/// Tokenization needs k-Repetition membership checks, so a membership function must
+/// still be supplied; queries made here are not attributed to learning.
+#[derive(Clone, Debug)]
+pub struct LearnedLanguage {
+    vpa: Vpa,
+    tokenizer: PartialTokenizer,
+    mode: TokenDiscovery,
+}
+
+impl LearnedLanguage {
+    /// Decides membership of a raw string.
+    #[must_use]
+    pub fn accepts(&self, mat: &Mat<'_>, s: &str) -> bool {
+        match self.mode {
+            TokenDiscovery::Characters => self.vpa.accepts(s),
+            TokenDiscovery::Tokens => {
+                let converted = self.tokenizer.convert(mat, s);
+                self.vpa.accepts(&converted)
+            }
+        }
+    }
+}
+
+impl VStarResult {
+    /// Decides membership of a raw string with the learned artifacts
+    /// (`χ_{(H,τ)}(s)` in the paper): the string is converted with the inferred
+    /// tokenizer and run through the learned VPA.
+    #[must_use]
+    pub fn accepts(&self, mat: &Mat<'_>, s: &str) -> bool {
+        self.as_learned_language().accepts(mat, s)
+    }
+
+    /// Extracts a standalone recogniser for the learned language.
+    #[must_use]
+    pub fn as_learned_language(&self) -> LearnedLanguage {
+        LearnedLanguage {
+            vpa: self.vpa.clone(),
+            tokenizer: self.tokenizer.clone(),
+            mode: self.mode,
+        }
+    }
+}
+
+/// The V-Star learner (paper Algorithm 1 + tagging/tokenizer inference + simulated
+/// equivalence queries).
+#[derive(Clone, Debug, Default)]
+pub struct VStar {
+    config: VStarConfig,
+}
+
+impl VStar {
+    /// Creates a pipeline with the given configuration.
+    #[must_use]
+    pub fn new(config: VStarConfig) -> Self {
+        VStar { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &VStarConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline: infer structure from the seeds, learn a VPA with
+    /// simulated equivalence queries, and extract a VPG.
+    ///
+    /// # Errors
+    ///
+    /// * [`VStarError::NoSeeds`] / [`VStarError::InvalidSeed`] on bad seed sets,
+    /// * [`VStarError::NoCompatibleTagging`] when structure inference fails,
+    /// * [`VStarError::LearnerDidNotConverge`] when the counterexample budget is
+    ///   exhausted,
+    /// * [`VStarError::IncompatibleCounterexample`] when a member of the oracle
+    ///   language cannot be well matched under the inferred structure.
+    pub fn learn(
+        &self,
+        mat: &Mat<'_>,
+        alphabet: &[char],
+        seeds: &[String],
+    ) -> Result<VStarResult, VStarError> {
+        let start_time = Instant::now();
+        if seeds.is_empty() {
+            return Err(VStarError::NoSeeds);
+        }
+        for seed in seeds {
+            if !mat.member(seed) {
+                return Err(VStarError::InvalidSeed { seed: seed.clone() });
+            }
+        }
+        let queries_at_start = mat.unique_queries();
+
+        // Phase 1: structure inference (tagging or tokenizer).
+        let (tokenizer, tagged_alphabet, char_mode_tagging) = match self.config.token_discovery {
+            TokenDiscovery::Characters => {
+                let tagging = tag_infer(mat, seeds, &self.config.tag_config)
+                    .ok_or(VStarError::NoCompatibleTagging { max_k: self.config.tag_config.max_k })?;
+                let tokenizer = PartialTokenizer::from_tagging(&tagging);
+                let alpha = TaggedAlphabet::new(tagging.clone(), alphabet.to_vec());
+                (tokenizer, alpha, Some(tagging))
+            }
+            TokenDiscovery::Tokens => {
+                let tokenizer = token_infer(mat, seeds, alphabet, &self.config.token_config)
+                    .ok_or(VStarError::NoCompatibleTagging {
+                        max_k: self.config.token_config.max_k,
+                    })?;
+                let alpha = TaggedAlphabet::new(tokenizer.marker_tagging(), alphabet.to_vec());
+                (tokenizer, alpha, None)
+            }
+        };
+        let queries_after_tokens = mat.unique_queries();
+
+        // Phase 2: test-string pool for simulated equivalence queries.
+        let pool = match self.config.token_discovery {
+            TokenDiscovery::Characters => {
+                let tagging = char_mode_tagging.clone().expect("set in character mode");
+                TestPool::build_with(seeds, &self.config.test_pool, |s| {
+                    tagging.is_well_matched(s).then(|| s.to_string())
+                })
+            }
+            TokenDiscovery::Tokens => {
+                TestPool::build(mat, &tokenizer, seeds, &self.config.test_pool)
+            }
+        };
+
+        // Phase 3: VPA learning over the (converted) alphabet.
+        let membership: Box<dyn Fn(&str) -> bool> = match self.config.token_discovery {
+            TokenDiscovery::Characters => Box::new(move |w: &str| mat.member(w)),
+            TokenDiscovery::Tokens => Box::new(move |w: &str| mat.member(&strip_markers(w))),
+        };
+        let mut learner =
+            SevpaLearner::new(&membership, tagged_alphabet, self.config.learner.clone());
+        let hypothesis: Hypothesis =
+            learner.learn(|hyp| pool.find_counterexample(mat, hyp))?;
+        let learner_stats = learner.stats();
+        let queries_total = mat.unique_queries();
+
+        // Phase 4: grammar extraction.
+        let vpg = vpa_to_vpg(&hypothesis.vpa);
+
+        let stats = VStarStats {
+            queries_total: queries_total - queries_at_start,
+            queries_token_inference: queries_after_tokens - queries_at_start,
+            queries_vpa_learning: queries_total - queries_after_tokens,
+            test_strings: pool.len(),
+            equivalence_queries: learner_stats.equivalence_queries,
+            counterexamples: learner_stats.counterexamples,
+            states: hypothesis.vpa.state_count(),
+            token_pairs: tokenizer.pair_count(),
+            duration: start_time.elapsed(),
+        };
+        Ok(VStarResult {
+            vpa: hypothesis.vpa,
+            vpg,
+            tokenizer,
+            mode: self.config.token_discovery,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dyck(s: &str) -> bool {
+        let mut depth = 0i64;
+        for c in s.chars() {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return false;
+                    }
+                }
+                'x' => {}
+                _ => return false,
+            }
+        }
+        depth == 0
+    }
+
+    fn fig1(s: &str) -> bool {
+        fn l(s: &[u8], mut pos: usize) -> Option<usize> {
+            loop {
+                match s.get(pos) {
+                    Some(b'a') => {
+                        pos = a(s, pos + 1)?;
+                        if s.get(pos) != Some(&b'b') {
+                            return None;
+                        }
+                        pos += 1;
+                    }
+                    Some(b'c') => {
+                        if s.get(pos + 1) != Some(&b'd') {
+                            return None;
+                        }
+                        pos += 2;
+                    }
+                    _ => return Some(pos),
+                }
+            }
+        }
+        fn a(s: &[u8], pos: usize) -> Option<usize> {
+            if s.get(pos) != Some(&b'g') {
+                return None;
+            }
+            let pos = l(s, pos + 1)?;
+            if s.get(pos) != Some(&b'h') {
+                return None;
+            }
+            Some(pos + 1)
+        }
+        l(s.as_bytes(), 0) == Some(s.len())
+    }
+
+    #[test]
+    fn rejects_empty_and_invalid_seed_sets() {
+        let oracle = dyck;
+        let mat = Mat::new(&oracle);
+        let vstar = VStar::new(VStarConfig::default());
+        assert!(matches!(vstar.learn(&mat, &['(', ')', 'x'], &[]), Err(VStarError::NoSeeds)));
+        let bad = vec!["((".to_string()];
+        assert!(matches!(
+            vstar.learn(&mat, &['(', ')', 'x'], &bad),
+            Err(VStarError::InvalidSeed { .. })
+        ));
+    }
+
+    #[test]
+    fn learns_dyck_in_token_mode() {
+        let oracle = dyck;
+        let mat = Mat::new(&oracle);
+        let vstar = VStar::new(VStarConfig::default());
+        let seeds = vec!["(x(x))x".to_string(), "()".to_string()];
+        let result = vstar.learn(&mat, &['(', ')', 'x'], &seeds).expect("learning succeeds");
+        // Exact learning on an exhaustive bound.
+        for w in vstar_vpl::words::all_strings(&['(', ')', 'x'], 6) {
+            assert_eq!(dyck(&w), result.accepts(&mat, &w), "mismatch on {w:?}");
+        }
+        assert_eq!(result.stats.token_pairs, 1);
+        assert!(result.stats.queries_total > 0);
+        assert!(result.stats.test_strings > 0);
+        assert!(result.stats.queries_token_inference + result.stats.queries_vpa_learning
+            == result.stats.queries_total);
+        // The extracted grammar agrees with the VPA on the converted strings of the
+        // test-language sample.
+        assert!(result.vpg.rule_count() > 0);
+    }
+
+    #[test]
+    fn learns_fig1_in_character_mode() {
+        let oracle = fig1;
+        let mat = Mat::new(&oracle);
+        let config = VStarConfig {
+            token_discovery: TokenDiscovery::Characters,
+            ..VStarConfig::default()
+        };
+        let vstar = VStar::new(config);
+        let seeds = vec!["agcdcdhbcd".to_string()];
+        let result = vstar
+            .learn(&mat, &['a', 'b', 'c', 'd', 'g', 'h'], &seeds)
+            .expect("learning succeeds");
+        assert_eq!(result.mode, TokenDiscovery::Characters);
+        // The learned recognizer agrees with the oracle on all short strings.
+        for w in vstar_vpl::words::all_strings(&['a', 'b', 'c', 'd', 'g', 'h'], 5) {
+            assert_eq!(fig1(&w), result.accepts(&mat, &w), "mismatch on {w:?}");
+        }
+        // And on the paper's pumped variants of the seed.
+        for k in 1..4 {
+            let s = format!("{}cdcd{}cd", "ag".repeat(k), "hb".repeat(k));
+            assert!(result.accepts(&mat, &s), "{s}");
+        }
+        assert!(!result.accepts(&mat, "agcd"));
+        // The VPG recognizes the same strings as the VPA in character mode.
+        for w in vstar_vpl::words::all_strings(&['a', 'b', 'c', 'd', 'g', 'h'], 4) {
+            assert_eq!(result.vpa.accepts(&w), result.vpg.accepts(&w), "vpg/vpa mismatch on {w:?}");
+        }
+    }
+
+    #[test]
+    fn stats_percentages_sum_to_about_100() {
+        let oracle = dyck;
+        let mat = Mat::new(&oracle);
+        let vstar = VStar::new(VStarConfig::default());
+        let seeds = vec!["(x)".to_string()];
+        let result = vstar.learn(&mat, &['(', ')', 'x'], &seeds).unwrap();
+        let total = result.stats.token_query_percent() + result.stats.vpa_query_percent();
+        assert!((total - 100.0).abs() < 1e-9);
+        assert!(result.stats.duration.as_nanos() > 0);
+    }
+
+    #[test]
+    fn learned_language_is_detachable() {
+        let oracle = dyck;
+        let mat = Mat::new(&oracle);
+        let vstar = VStar::new(VStarConfig::default());
+        let seeds = vec!["(x)".to_string(), "()".to_string()];
+        let result = vstar.learn(&mat, &['(', ')', 'x'], &seeds).unwrap();
+        let learned = result.as_learned_language();
+        assert!(learned.accepts(&mat, "(())"));
+        assert!(!learned.accepts(&mat, "(()"));
+    }
+
+    #[test]
+    fn empty_tagging_stats() {
+        // Regular language: token inference returns an empty tokenizer and the
+        // learner degenerates to a DFA learner.
+        let oracle = |s: &str| s.chars().all(|c| c == 'a') && s.len() % 2 == 0;
+        let mat = Mat::new(&oracle);
+        let vstar = VStar::new(VStarConfig::default());
+        let seeds = vec!["aa".to_string(), "aaaa".to_string()];
+        let result = vstar.learn(&mat, &['a'], &seeds).unwrap();
+        assert_eq!(result.stats.token_pairs, 0);
+        for w in ["", "a", "aa", "aaa", "aaaa", "aaaaa"] {
+            assert_eq!(oracle(w), result.accepts(&mat, w), "mismatch on {w:?}");
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Temporary diagnostic (ignored by default): prints learning stats and failures.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vstar::{Mat, VStar, VStarConfig};
+use vstar_oracles::{Json, Language, WhileLang};
+
+#[test]
+#[ignore]
+fn debug_json() {
+    let lang = Json::new();
+    let oracle = |s: &str| lang.accepts(s);
+    let mat = Mat::new(&oracle);
+    let vstar = VStar::new(VStarConfig::default());
+    let seeds = lang.seeds();
+    let result = vstar.learn(&mat, &lang.alphabet(), &seeds).unwrap();
+    println!("stats: {:?}", result.stats);
+    println!("tokenizer: {}", result.tokenizer);
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let corpus = lang.generate_corpus(&mut rng, 14, 40);
+    let mut failures = 0;
+    for s in &corpus {
+        if !result.accepts(&mat, s) {
+            failures += 1;
+            if failures <= 12 {
+                println!("REJECTED member: {s:?}");
+            }
+        }
+    }
+    println!("failures: {failures}/{}", corpus.len());
+}
+
+#[test]
+#[ignore]
+fn debug_while() {
+    let lang = WhileLang::new();
+    let oracle = |s: &str| lang.accepts(s);
+    let mat = Mat::new(&oracle);
+    let vstar = VStar::new(VStarConfig::default());
+    let seeds = lang.seeds();
+    let result = vstar.learn(&mat, &lang.alphabet(), &seeds).unwrap();
+    println!("stats: {:?}", result.stats);
+    println!("tokenizer: {}", result.tokenizer);
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let corpus = lang.generate_corpus(&mut rng, 14, 40);
+    let mut failures = 0;
+    for s in &corpus {
+        if !result.accepts(&mat, s) {
+            failures += 1;
+            if failures <= 12 {
+                println!("REJECTED member: {s:?}");
+            }
+        }
+    }
+    println!("failures: {failures}/{}", corpus.len());
+}
+
+#[test]
+#[ignore]
+fn debug_xml_tokens() {
+    use vstar::token_infer::{token_infer, TokenInferConfig};
+    use vstar_oracles::Xml;
+    let lang = Xml::new();
+    let oracle = |s: &str| lang.accepts(s);
+    let mat = Mat::new(&oracle);
+    let seeds = lang.seeds();
+    println!("seeds: {seeds:?}");
+    // Try with a single simple seed first.
+    for subset in [vec![seeds[0].clone()], seeds[..2].to_vec(), seeds.clone()] {
+        let t = token_infer(&mat, &subset, &lang.alphabet(), &TokenInferConfig::default());
+        match &t {
+            Some(tk) => println!("subset {:?} -> {}", subset.len(), tk),
+            None => println!("subset {:?} -> NONE", subset.len()),
+        }
+    }
+}
+
+#[test]
+#[ignore]
+fn debug_xml_full() {
+    use vstar_oracles::Xml;
+    let lang = Xml::new();
+    let oracle = |s: &str| lang.accepts(s);
+    let mat = Mat::new(&oracle);
+    let vstar = VStar::new(VStarConfig::default());
+    match vstar.learn(&mat, &lang.alphabet(), &lang.seeds()) {
+        Ok(result) => {
+            println!("stats: {:?}", result.stats);
+            println!("tokenizer: {}", result.tokenizer);
+            let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+            let corpus = lang.generate_corpus(&mut rng, 20, 40);
+            let mut failures = 0;
+            for s in &corpus {
+                if !result.accepts(&mat, s) {
+                    failures += 1;
+                    if failures <= 12 {
+                        println!("REJECTED member: {s:?}");
+                    }
+                }
+            }
+            println!("failures: {failures}/{}", corpus.len());
+        }
+        Err(e) => println!("LEARNING FAILED: {e}"),
+    }
+}
+
+#[test]
+#[ignore]
+fn debug_xml_blocking_pattern() {
+    use vstar::nesting::{candidate_nesting, NestingConfig};
+    use vstar::token_infer::{tokenizer_compatible_with_pattern, TokenInferConfig};
+    use vstar::{PartialTokenizer, TokenMatcher, TokenPair};
+    use vstar_automata::lstar::{learn_dfa, LStarConfig};
+    use vstar_oracles::Xml;
+    let lang = Xml::new();
+    let oracle = |s: &str| lang.accepts(s);
+    let mat = Mat::new(&oracle);
+    let seeds: Vec<String> = lang.seeds()[..2].to_vec();
+    // Hand-built "correct" OPEN/CLOSE token DFAs.
+    let alphabet = lang.alphabet();
+    let open_oracle = |w: &str| {
+        let wc: Vec<char> = w.chars().collect();
+        wc.len() >= 3
+            && wc[0] == '<'
+            && *wc.last().unwrap() == '>'
+            && !wc[1..wc.len() - 1].iter().any(|&c| c == '<' || c == '>' || c == '/')
+            && lang.accepts(&format!("{w}x</a>"))
+    };
+    let close_oracle = |w: &str| {
+        let wc: Vec<char> = w.chars().collect();
+        wc.len() >= 4 && wc[0] == '<' && wc[1] == '/' && *wc.last().unwrap() == '>'
+            && wc[2..wc.len() - 1].iter().all(|&c| c.is_ascii_lowercase())
+    };
+    let open = learn_dfa(&alphabet, &open_oracle, &LStarConfig::with_test_strings(vec![
+        "<a>".into(), "<ab>".into(), "<>".into(), "</a>".into(), "<a".into(), "a>".into(),
+        "<a k=\"v\">".into(), "<a b>".into(),
+    ]));
+    let close = learn_dfa(&alphabet, &close_oracle, &LStarConfig::with_test_strings(vec![
+        "</a>".into(), "</ab>".into(), "<a>".into(), "</>".into(), "</a".into(),
+    ]));
+    let mut t = PartialTokenizer::new();
+    t.push_pair(TokenPair { call: TokenMatcher::Dfa(open), ret: TokenMatcher::Dfa(close) });
+    println!("tokenizer: {t}");
+    for s in &seeds {
+        println!("seed {s:?} well-matched: {}", t.converts_to_well_matched(&mat, s));
+    }
+    let config = TokenInferConfig::default();
+    let patterns = candidate_nesting(&mat, &seeds, 2, &config.nesting);
+    println!("{} patterns", patterns.len());
+    let mut bad = 0;
+    for p in &patterns {
+        if !tokenizer_compatible_with_pattern(&t, &mat, p) {
+            bad += 1;
+            if bad <= 15 {
+                println!("INCOMPATIBLE pattern: {p}");
+            }
+        }
+    }
+    println!("incompatible patterns: {bad}/{}", patterns.len());
+}
+
+
+#[test]
+#[ignore]
+fn debug_mathexpr_tokens() {
+    use vstar::token_infer::{token_infer, TokenInferConfig};
+    use vstar_oracles::MathExpr;
+    let lang = MathExpr::new();
+    let oracle = |s: &str| lang.accepts(s);
+    let mat = Mat::new(&oracle);
+    let seeds = lang.seeds();
+    println!("seeds: {seeds:?}");
+    let t = token_infer(&mat, &seeds, &lang.alphabet(), &TokenInferConfig::default());
+    match &t {
+        Some(tk) => println!("tokenizer -> {tk}"),
+        None => println!("tokenizer -> NONE"),
+    }
+}

@@ -1,0 +1,102 @@
+//! Integration smoke tests: the full V-Star pipeline on the Table-1 oracle
+//! languages (small seed sets, bounded checks). The full evaluation lives in the
+//! bench crate; these tests assert that learning terminates and that the learned
+//! recognizer agrees with the oracle on generated members and mutated non-members.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vstar::{Mat, VStar, VStarConfig};
+use vstar_oracles::{Json, Language, Lisp, MathExpr, ToyXml, WhileLang, Xml};
+
+/// Learns `lang` from its bundled seeds and checks agreement with the oracle on
+/// random members (recall-style) and on the seeds' single-character mutations
+/// (precision-style probes).
+fn learn_and_check(lang: &dyn Language, seeds: &[String], budget: usize, samples: usize) {
+    let oracle = |s: &str| lang.accepts(s);
+    let mat = Mat::new(&oracle);
+    let vstar = VStar::new(VStarConfig::default());
+    let result = vstar
+        .learn(&mat, &lang.alphabet(), seeds)
+        .unwrap_or_else(|e| panic!("{} learning failed: {e}", lang.name()));
+
+    // Recall probes: random members must be accepted.
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let corpus = lang.generate_corpus(&mut rng, budget, samples);
+    let mut recall_hits = 0usize;
+    for s in &corpus {
+        if result.accepts(&mat, s) {
+            recall_hits += 1;
+        }
+    }
+    let recall = recall_hits as f64 / corpus.len().max(1) as f64;
+    assert!(
+        recall >= 0.9,
+        "{}: recall {recall:.2} too low ({recall_hits}/{})",
+        lang.name(),
+        corpus.len()
+    );
+
+    // Precision probes: mutations of seeds that the oracle rejects should mostly be
+    // rejected by the learned recognizer as well.
+    let mut probes = 0usize;
+    let mut agree = 0usize;
+    for seed in seeds {
+        let chars: Vec<char> = seed.chars().collect();
+        for i in 0..chars.len() {
+            let mut mutated = chars.clone();
+            mutated.remove(i);
+            let m: String = mutated.iter().collect();
+            if !lang.accepts(&m) {
+                probes += 1;
+                if !result.accepts(&mat, &m) {
+                    agree += 1;
+                }
+            }
+        }
+    }
+    if probes > 0 {
+        let precision_probe = agree as f64 / probes as f64;
+        assert!(
+            precision_probe >= 0.9,
+            "{}: learned language accepts too many corrupted seeds ({agree}/{probes})",
+            lang.name()
+        );
+    }
+}
+
+#[test]
+fn toy_xml_full_pipeline() {
+    let lang = ToyXml::new();
+    learn_and_check(&lang, &lang.seeds(), 20, 40);
+}
+
+#[test]
+fn json_full_pipeline() {
+    let lang = Json::new();
+    learn_and_check(&lang, &lang.seeds(), 14, 40);
+}
+
+#[test]
+fn lisp_full_pipeline() {
+    let lang = Lisp::new();
+    learn_and_check(&lang, &lang.seeds(), 14, 40);
+}
+
+#[test]
+fn mathexpr_full_pipeline() {
+    let lang = MathExpr::new();
+    learn_and_check(&lang, &lang.seeds(), 12, 40);
+}
+
+#[test]
+fn while_full_pipeline() {
+    let lang = WhileLang::new();
+    learn_and_check(&lang, &lang.seeds(), 14, 40);
+}
+
+#[test]
+fn xml_full_pipeline() {
+    let lang = Xml::new();
+    learn_and_check(&lang, &lang.seeds(), 20, 40);
+}

@@ -1,0 +1,20 @@
+//! Evaluation harness for the V-Star reproduction: the metrics and runners behind
+//! the paper's Table 1.
+//!
+//! * [`metrics`] — Recall, Precision and F1 estimated on sampled datasets, exactly
+//!   as defined in §6 of the paper.
+//! * [`runner`] — run V-Star, the GLADE-style baseline and the ARVADA-style
+//!   baseline on one of the bundled oracle languages and collect a [`report::ToolRow`].
+//! * [`report`] — Table-1-style report assembly and formatting (plain text and
+//!   JSON via serde).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod report;
+pub mod runner;
+
+pub use metrics::{f1_score, precision, recall, Accuracy};
+pub use report::{Table1Report, ToolRow};
+pub use runner::{evaluate_arvada, evaluate_glade, evaluate_vstar, EvalConfig};

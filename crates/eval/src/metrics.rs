@@ -1,0 +1,77 @@
+//! Recall / Precision / F1 (paper §6, "Metrics").
+//!
+//! Recall is the probability that a string of the oracle grammar is accepted by the
+//! learned grammar; precision is the probability that a string of the learned
+//! grammar is accepted by the oracle. Both are approximated on sampled datasets, as
+//! in the paper.
+
+/// Accuracy triple.
+#[derive(Copy, Clone, Debug, Default, PartialEq, serde::Serialize)]
+pub struct Accuracy {
+    /// Estimated recall.
+    pub recall: f64,
+    /// Estimated precision.
+    pub precision: f64,
+    /// Harmonic mean of recall and precision.
+    pub f1: f64,
+}
+
+impl Accuracy {
+    /// Builds the triple from recall and precision.
+    #[must_use]
+    pub fn new(recall: f64, precision: f64) -> Self {
+        Accuracy { recall, precision, f1: f1_score(recall, precision) }
+    }
+}
+
+/// Fraction of the oracle-language corpus accepted by the learned recognizer.
+pub fn recall(learned_accepts: impl FnMut(&str) -> bool, oracle_corpus: &[String]) -> f64 {
+    fraction(learned_accepts, oracle_corpus)
+}
+
+/// Fraction of the learned-grammar samples accepted by the oracle.
+pub fn precision(oracle_accepts: impl FnMut(&str) -> bool, learned_samples: &[String]) -> f64 {
+    fraction(oracle_accepts, learned_samples)
+}
+
+fn fraction(mut predicate: impl FnMut(&str) -> bool, corpus: &[String]) -> f64 {
+    if corpus.is_empty() {
+        return 0.0;
+    }
+    let hits = corpus.iter().filter(|s| predicate(s)).count();
+    hits as f64 / corpus.len() as f64
+}
+
+/// The F1 score `2 / (1/R + 1/P)`; zero when either component is zero.
+#[must_use]
+pub fn f1_score(recall: f64, precision: f64) -> f64 {
+    if recall <= 0.0 || precision <= 0.0 {
+        0.0
+    } else {
+        2.0 * recall * precision / (recall + precision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions() {
+        let corpus: Vec<String> = ["a", "bb", "ccc"].iter().map(ToString::to_string).collect();
+        assert!((recall(|s| s.len() >= 2, &corpus) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((precision(|s| s.starts_with('a'), &corpus) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(recall(|_| true, &[]), 0.0);
+    }
+
+    #[test]
+    fn f1_properties() {
+        assert_eq!(f1_score(0.0, 1.0), 0.0);
+        assert_eq!(f1_score(1.0, 0.0), 0.0);
+        assert!((f1_score(1.0, 1.0) - 1.0).abs() < 1e-12);
+        let f = f1_score(0.5, 1.0);
+        assert!((f - 2.0 / 3.0).abs() < 1e-12);
+        let acc = Accuracy::new(0.5, 1.0);
+        assert!((acc.f1 - f).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,170 @@
+//! Table-1-style reports.
+
+use std::fmt;
+
+use serde::Serialize;
+
+/// One row of the evaluation: one tool on one grammar.
+#[derive(Clone, Debug, Serialize)]
+pub struct ToolRow {
+    /// Tool name ("glade", "arvada", "vstar").
+    pub tool: String,
+    /// Grammar name ("json", "lisp", …).
+    pub grammar: String,
+    /// Number of seed strings.
+    pub seeds: usize,
+    /// Estimated recall.
+    pub recall: f64,
+    /// Estimated precision.
+    pub precision: f64,
+    /// F1 score.
+    pub f1: f64,
+    /// Unique membership queries.
+    pub queries: usize,
+    /// Percentage of queries attributed to token inference (V-Star only).
+    pub token_query_percent: Option<f64>,
+    /// Percentage of queries attributed to VPA learning (V-Star only).
+    pub vpa_query_percent: Option<f64>,
+    /// Number of test strings used to simulate equivalence queries (V-Star only).
+    pub test_strings: Option<usize>,
+    /// Wall-clock learning time in seconds.
+    pub time_seconds: f64,
+}
+
+impl ToolRow {
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.grammar.clone(),
+            format!("{}", self.seeds),
+            format!("{:.2}", self.recall),
+            format!("{:.2}", self.precision),
+            format!("{:.2}", self.f1),
+            human_count(self.queries),
+            self.token_query_percent.map_or_else(|| "-".into(), |v| format!("{v:.2}%")),
+            self.vpa_query_percent.map_or_else(|| "-".into(), |v| format!("{v:.2}%")),
+            self.test_strings.map_or_else(|| "-".into(), |v| v.to_string()),
+            format!("{:.2}s", self.time_seconds),
+        ]
+    }
+}
+
+fn human_count(n: usize) -> String {
+    if n >= 1_000_000 {
+        format!("{:.1} M", n as f64 / 1_000_000.0)
+    } else if n >= 1_000 {
+        format!("{:.1} K", n as f64 / 1_000.0)
+    } else {
+        n.to_string()
+    }
+}
+
+/// A full Table-1-style report: rows for every (tool, grammar) pair.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Table1Report {
+    /// All rows collected so far.
+    pub rows: Vec<ToolRow>,
+}
+
+impl Table1Report {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Table1Report::default()
+    }
+
+    /// Adds one row.
+    pub fn push(&mut self, row: ToolRow) {
+        self.rows.push(row);
+    }
+
+    /// Rows of one tool, in insertion order.
+    #[must_use]
+    pub fn rows_for(&self, tool: &str) -> Vec<&ToolRow> {
+        self.rows.iter().filter(|r| r.tool == tool).collect()
+    }
+
+    /// Serialises the report to JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the report is always serialisable.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+}
+
+impl fmt::Display for Table1Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let header = [
+            "grammar", "#Seeds", "Recall", "Precision", "F1", "#Queries", "%Q(Token)", "%Q(VPA)",
+            "#TS", "Time",
+        ];
+        let mut tools: Vec<String> = Vec::new();
+        for row in &self.rows {
+            if !tools.contains(&row.tool) {
+                tools.push(row.tool.clone());
+            }
+        }
+        for tool in tools {
+            writeln!(f, "== {tool} ==")?;
+            writeln!(f, "{}", header.join("\t"))?;
+            for row in self.rows_for(&tool) {
+                writeln!(f, "{}", row.cells().join("\t"))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(tool: &str, grammar: &str) -> ToolRow {
+        ToolRow {
+            tool: tool.into(),
+            grammar: grammar.into(),
+            seeds: 5,
+            recall: 1.0,
+            precision: 0.987_654,
+            f1: 0.993_788,
+            queries: 541_000,
+            token_query_percent: Some(2.71),
+            vpa_query_percent: Some(97.29),
+            test_strings: Some(8043),
+            time_seconds: 3.25,
+        }
+    }
+
+    #[test]
+    fn display_groups_by_tool() {
+        let mut report = Table1Report::new();
+        report.push(row("vstar", "json"));
+        report.push(row("glade", "json"));
+        report.push(row("vstar", "lisp"));
+        let text = report.to_string();
+        assert!(text.contains("== vstar =="));
+        assert!(text.contains("== glade =="));
+        assert!(text.contains("541.0 K"));
+        assert!(text.contains("8043"));
+        assert_eq!(report.rows_for("vstar").len(), 2);
+    }
+
+    #[test]
+    fn json_serialisation() {
+        let mut report = Table1Report::new();
+        report.push(row("vstar", "xml"));
+        let json = report.to_json();
+        assert!(json.contains("\"tool\": \"vstar\""));
+        assert!(json.contains("\"grammar\": \"xml\""));
+    }
+
+    #[test]
+    fn human_counts() {
+        assert_eq!(human_count(999), "999");
+        assert_eq!(human_count(15_500), "15.5 K");
+        assert_eq!(human_count(4_738_000), "4.7 M");
+    }
+}

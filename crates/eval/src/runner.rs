@@ -1,0 +1,208 @@
+//! Runners: learn a grammar with one of the three tools and measure the Table-1
+//! metrics against the bundled oracle languages.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vstar::{Mat, VStar, VStarConfig};
+use vstar_baselines::{Arvada, ArvadaConfig, Glade, GladeConfig, LearnedGrammar};
+use vstar_oracles::Language;
+
+use crate::metrics::{f1_score, precision, recall};
+use crate::report::ToolRow;
+
+/// Configuration shared by all evaluation runs.
+#[derive(Clone, Debug)]
+pub struct EvalConfig {
+    /// Number of sentences sampled from the oracle for the recall dataset.
+    pub recall_samples: usize,
+    /// Number of sentences sampled from the learned grammar for the precision
+    /// dataset.
+    pub precision_samples: usize,
+    /// Size budget passed to the sentence generators.
+    pub generation_budget: usize,
+    /// RNG seed (datasets are deterministic given this seed).
+    pub rng_seed: u64,
+    /// V-Star pipeline configuration.
+    pub vstar: VStarConfig,
+    /// GLADE-style baseline configuration.
+    pub glade: GladeConfig,
+    /// ARVADA-style baseline configuration.
+    pub arvada: ArvadaConfig,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            recall_samples: 200,
+            precision_samples: 200,
+            generation_budget: 18,
+            rng_seed: 0xEA11_5EED,
+            vstar: VStarConfig::default(),
+            glade: GladeConfig::default(),
+            arvada: ArvadaConfig::default(),
+        }
+    }
+}
+
+/// Builds the recall dataset for a language (deterministic for a given seed).
+#[must_use]
+pub fn recall_dataset(lang: &dyn Language, config: &EvalConfig) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(config.rng_seed);
+    lang.generate_corpus(&mut rng, config.generation_budget, config.recall_samples)
+}
+
+/// Evaluates V-Star on one language (paper Table 1, bottom block).
+#[must_use]
+pub fn evaluate_vstar(lang: &dyn Language, config: &EvalConfig) -> ToolRow {
+    let seeds = lang.seeds();
+    let oracle = |s: &str| lang.accepts(s);
+    let mat = Mat::new(&oracle);
+    let start = Instant::now();
+    let result = VStar::new(config.vstar.clone())
+        .learn(&mat, &lang.alphabet(), &seeds)
+        .expect("V-Star learning should succeed on the bundled grammars");
+    let learn_time = start.elapsed();
+
+    let corpus = recall_dataset(lang, config);
+    let learned = result.as_learned_language();
+    let recall_value = recall(|s| learned.accepts(&mat, s), &corpus);
+
+    // Precision: sample from the learned VPG (over the converted alphabet), strip
+    // the artificial markers to obtain raw strings, and ask the oracle. Samples are
+    // kept only when they are fixed points of conv ∘ strip — i.e. when they
+    // correspond to an actual raw string of the learned language {s : H accepts
+    // conv(s)} rather than to an unreachable word of the converted alphabet.
+    let mut rng = StdRng::seed_from_u64(config.rng_seed ^ 0xA11CE);
+    let sampler = result.vpg.sampler();
+    let samples: Vec<String> = (0..config.precision_samples * 12)
+        .filter_map(|_| sampler.sample(&mut rng, config.generation_budget))
+        .filter_map(|w| {
+            let raw = vstar::tokenizer::strip_markers(&w);
+            (result.tokenizer.convert(&mat, &raw) == w).then_some(raw)
+        })
+        .take(config.precision_samples)
+        .collect();
+    let precision_value = if samples.is_empty() {
+        0.0
+    } else {
+        precision(|s| lang.accepts(s), &samples)
+    };
+
+    ToolRow {
+        tool: "vstar".into(),
+        grammar: lang.name().into(),
+        seeds: seeds.len(),
+        recall: recall_value,
+        precision: precision_value,
+        f1: f1_score(recall_value, precision_value),
+        queries: result.stats.queries_total,
+        token_query_percent: Some(result.stats.token_query_percent()),
+        vpa_query_percent: Some(result.stats.vpa_query_percent()),
+        test_strings: Some(result.stats.test_strings),
+        time_seconds: learn_time.as_secs_f64(),
+    }
+}
+
+/// Evaluates the GLADE-style baseline on one language.
+#[must_use]
+pub fn evaluate_glade(lang: &dyn Language, config: &EvalConfig) -> ToolRow {
+    let seeds = lang.seeds();
+    let oracle = |s: &str| lang.accepts(s);
+    let start = Instant::now();
+    let glade = Glade::learn(&oracle, &seeds, &config.glade);
+    let learn_time = start.elapsed();
+    baseline_row("glade", &glade, lang, seeds.len(), learn_time.as_secs_f64(), config)
+}
+
+/// Evaluates the ARVADA-style baseline on one language.
+#[must_use]
+pub fn evaluate_arvada(lang: &dyn Language, config: &EvalConfig) -> ToolRow {
+    let seeds = lang.seeds();
+    let oracle = |s: &str| lang.accepts(s);
+    let start = Instant::now();
+    let arvada = Arvada::learn(&oracle, &seeds, &config.arvada);
+    let learn_time = start.elapsed();
+    baseline_row("arvada", &arvada, lang, seeds.len(), learn_time.as_secs_f64(), config)
+}
+
+fn baseline_row(
+    tool: &str,
+    learned: &dyn LearnedGrammar,
+    lang: &dyn Language,
+    seeds: usize,
+    time_seconds: f64,
+    config: &EvalConfig,
+) -> ToolRow {
+    let corpus = recall_dataset(lang, config);
+    let recall_value = recall(|s| learned.accepts(s), &corpus);
+    let mut rng = StdRng::seed_from_u64(config.rng_seed ^ 0xBA5E);
+    let samples: Vec<String> = (0..config.precision_samples * 4)
+        .filter_map(|_| learned.sample(&mut rng, config.generation_budget))
+        .take(config.precision_samples)
+        .collect();
+    let precision_value =
+        if samples.is_empty() { 0.0 } else { precision(|s| lang.accepts(s), &samples) };
+    ToolRow {
+        tool: tool.into(),
+        grammar: lang.name().into(),
+        seeds,
+        recall: recall_value,
+        precision: precision_value,
+        f1: f1_score(recall_value, precision_value),
+        queries: learned.queries_used(),
+        token_query_percent: None,
+        vpa_query_percent: None,
+        test_strings: None,
+        time_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstar_oracles::{Lisp, ToyXml};
+
+    fn quick_config() -> EvalConfig {
+        EvalConfig {
+            recall_samples: 30,
+            precision_samples: 30,
+            generation_budget: 12,
+            ..EvalConfig::default()
+        }
+    }
+
+    #[test]
+    fn vstar_beats_baselines_on_toy_xml() {
+        let lang = ToyXml::new();
+        let config = quick_config();
+        let vstar = evaluate_vstar(&lang, &config);
+        let glade = evaluate_glade(&lang, &config);
+        assert!(vstar.recall >= 0.9, "vstar recall {}", vstar.recall);
+        assert!(vstar.f1 >= glade.f1, "vstar {} vs glade {}", vstar.f1, glade.f1);
+        assert!(vstar.queries > glade.queries, "V-Star issues more queries than GLADE");
+        assert!(vstar.test_strings.is_some());
+        assert!(glade.test_strings.is_none());
+    }
+
+    #[test]
+    fn arvada_runs_on_lisp() {
+        let lang = Lisp::new();
+        let config = quick_config();
+        let row = evaluate_arvada(&lang, &config);
+        assert_eq!(row.tool, "arvada");
+        assert_eq!(row.grammar, "lisp");
+        assert!(row.queries > 0);
+        assert!(row.recall >= 0.0 && row.recall <= 1.0);
+        assert!(row.precision >= 0.0 && row.precision <= 1.0);
+    }
+
+    #[test]
+    fn recall_dataset_is_deterministic() {
+        let lang = Lisp::new();
+        let config = quick_config();
+        assert_eq!(recall_dataset(&lang, &config), recall_dataset(&lang, &config));
+    }
+}

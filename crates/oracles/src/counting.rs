@@ -1,0 +1,119 @@
+//! Query-counting and caching wrapper around a membership oracle.
+//!
+//! The paper's "#Queries" column counts *unique* membership queries: "Since a
+//! particular string might be queried multiple times, we cache the result after the
+//! first query, and only count unique queries" (§6). [`CountingOracle`] implements
+//! exactly that policy and additionally exposes a snapshot counter so that the
+//! V-Star pipeline can attribute queries to its phases (%Q(Token) vs %Q(VPA)).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// A caching, counting membership oracle.
+///
+/// Cloning is intentionally not provided: all users of a learning run should share
+/// one `CountingOracle` (by reference) so that the query count is global.
+pub struct CountingOracle<'a> {
+    inner: Box<dyn Fn(&str) -> bool + 'a>,
+    state: RefCell<CountingState>,
+}
+
+#[derive(Default)]
+struct CountingState {
+    cache: HashMap<String, bool>,
+    unique_queries: usize,
+    total_queries: usize,
+}
+
+impl<'a> CountingOracle<'a> {
+    /// Wraps a membership function.
+    pub fn new(f: impl Fn(&str) -> bool + 'a) -> Self {
+        CountingOracle { inner: Box::new(f), state: RefCell::new(CountingState::default()) }
+    }
+
+    /// Answers a membership query, consulting the cache first.
+    #[must_use]
+    pub fn member(&self, input: &str) -> bool {
+        {
+            let mut state = self.state.borrow_mut();
+            state.total_queries += 1;
+            if let Some(&v) = state.cache.get(input) {
+                return v;
+            }
+        }
+        let v = (self.inner)(input);
+        let mut state = self.state.borrow_mut();
+        state.unique_queries += 1;
+        state.cache.insert(input.to_owned(), v);
+        v
+    }
+
+    /// Number of unique (cache-missing) membership queries so far.
+    #[must_use]
+    pub fn unique_queries(&self) -> usize {
+        self.state.borrow().unique_queries
+    }
+
+    /// Number of membership calls including cache hits.
+    #[must_use]
+    pub fn total_queries(&self) -> usize {
+        self.state.borrow().total_queries
+    }
+
+    /// Clears counters and the cache (the wrapped function is kept).
+    pub fn reset(&self) {
+        let mut state = self.state.borrow_mut();
+        state.cache.clear();
+        state.unique_queries = 0;
+        state.total_queries = 0;
+    }
+}
+
+impl std::fmt::Debug for CountingOracle<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.borrow();
+        f.debug_struct("CountingOracle")
+            .field("unique_queries", &state.unique_queries)
+            .field("total_queries", &state.total_queries)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_queries_are_cached() {
+        let calls = std::cell::Cell::new(0usize);
+        let oracle = CountingOracle::new(|s: &str| {
+            calls.set(calls.get() + 1);
+            s.len() % 2 == 0
+        });
+        assert!(oracle.member("ab"));
+        assert!(oracle.member("ab"));
+        assert!(!oracle.member("abc"));
+        assert_eq!(oracle.unique_queries(), 2);
+        assert_eq!(oracle.total_queries(), 3);
+        assert_eq!(calls.get(), 2, "cached query must not call the program again");
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let oracle = CountingOracle::new(|_: &str| true);
+        let _ = oracle.member("x");
+        oracle.reset();
+        assert_eq!(oracle.unique_queries(), 0);
+        assert_eq!(oracle.total_queries(), 0);
+        let _ = oracle.member("x");
+        assert_eq!(oracle.unique_queries(), 1);
+    }
+
+    #[test]
+    fn debug_output_mentions_counts() {
+        let oracle = CountingOracle::new(|_: &str| false);
+        let _ = oracle.member("a");
+        let text = format!("{oracle:?}");
+        assert!(text.contains("unique_queries"));
+    }
+}

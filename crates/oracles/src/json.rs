@@ -1,0 +1,381 @@
+//! The JSON oracle (paper Table 1, row "json").
+//!
+//! A compact JSON dialect chosen to exercise everything the paper's algorithm must
+//! handle while keeping the alphabet small:
+//!
+//! ```text
+//! value  := object | array | string | number | "true" | "false" | "null"
+//! object := '{' '}' | '{' pair (',' pair)* '}'
+//! pair   := string ':' value
+//! array  := '[' ']' | '[' value (',' value)* ']'
+//! string := '"' [a-z0-9{]* '"'
+//! number := '-'? ('0' | [1-9][0-9]*)
+//! ```
+//!
+//! Note that `{` may occur *inside* strings (e.g. `{"{"  : true}` in the paper's
+//! §5.1 discussion of the *k*-Repetition property): `{` is a call token of the
+//! token-level VPL, yet some of its occurrences are plain text. No whitespace is
+//! allowed, mirroring the compact form used for learning.
+
+use rand::{Rng, RngCore};
+
+use crate::Language;
+
+/// The JSON oracle language.
+#[derive(Clone, Debug, Default)]
+pub struct Json {
+    _private: (),
+}
+
+impl Json {
+    /// Creates the JSON oracle.
+    #[must_use]
+    pub fn new() -> Self {
+        Json::default()
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Option<Self> {
+        if !s.is_ascii() {
+            return None;
+        }
+        Some(Parser { s: s.as_bytes(), pos: 0 })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.s[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> bool {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(b't') => self.eat_keyword("true"),
+            Some(b'f') => self.eat_keyword("false"),
+            Some(b'n') => self.eat_keyword("null"),
+            _ => false,
+        }
+    }
+
+    fn object(&mut self) -> bool {
+        if !self.eat(b'{') {
+            return false;
+        }
+        if self.eat(b'}') {
+            return true;
+        }
+        loop {
+            if !self.pair() {
+                return false;
+            }
+            if self.eat(b'}') {
+                return true;
+            }
+            if !self.eat(b',') {
+                return false;
+            }
+        }
+    }
+
+    fn pair(&mut self) -> bool {
+        self.string() && self.eat(b':') && self.value()
+    }
+
+    fn array(&mut self) -> bool {
+        if !self.eat(b'[') {
+            return false;
+        }
+        if self.eat(b']') {
+            return true;
+        }
+        loop {
+            if !self.value() {
+                return false;
+            }
+            if self.eat(b']') {
+                return true;
+            }
+            if !self.eat(b',') {
+                return false;
+            }
+        }
+    }
+
+    fn string(&mut self) -> bool {
+        if !self.eat(b'"') {
+            return false;
+        }
+        while let Some(c) = self.peek() {
+            match c {
+                b'"' => {
+                    self.pos += 1;
+                    return true;
+                }
+                b'a'..=b'z' | b'0'..=b'9' | b'{' => {
+                    self.pos += 1;
+                }
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    fn number(&mut self) -> bool {
+        let _ = self.eat(b'-');
+        match self.bump() {
+            Some(b'0') => true,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.s.len()
+    }
+}
+
+impl Language for Json {
+    fn name(&self) -> &'static str {
+        "json"
+    }
+
+    fn accepts(&self, input: &str) -> bool {
+        match Parser::new(input) {
+            Some(mut p) => p.value() && p.at_end(),
+            None => false,
+        }
+    }
+
+    fn alphabet(&self) -> Vec<char> {
+        let mut a: Vec<char> = "{}[],:\"-".chars().collect();
+        a.extend('a'..='z');
+        a.extend('0'..='9');
+        a
+    }
+
+    fn seeds(&self) -> Vec<String> {
+        vec![
+            "{\"a\":1}".to_string(),
+            "{\"k\":{\"x\":2}}".to_string(),
+            "[1,2]".to_string(),
+            "[[true],null]".to_string(),
+            "{\"b\":[0,\"s\"]}".to_string(),
+            "{\"n\":-7,\"m\":false}".to_string(),
+            "{}".to_string(),
+            "[]".to_string(),
+            "true".to_string(),
+            "\"hi\"".to_string(),
+            "-35".to_string(),
+            "[null,false,10]".to_string(),
+            "{\"v\":true,\"w\":null}".to_string(),
+            "{\"\":0}".to_string(),
+            "[{\"a\":1},\"s\"]".to_string(),
+        ]
+    }
+
+    fn generate(&self, rng: &mut dyn RngCore, budget: usize) -> String {
+        gen_value(rng, budget)
+    }
+}
+
+fn gen_value(rng: &mut dyn RngCore, budget: usize) -> String {
+    let choice = if budget < 4 { rng.gen_range(0..4) } else { rng.gen_range(0..6) };
+    match choice {
+        0 => gen_number(rng),
+        1 => gen_string(rng, budget.min(5)),
+        2 => "true".to_string(),
+        3 => ["false", "null"][rng.gen_range(0..2)].to_string(),
+        4 => {
+            // object
+            let n = rng.gen_range(0..=2.min(budget / 4));
+            let mut parts = Vec::new();
+            let mut remaining = budget.saturating_sub(2);
+            for _ in 0..n {
+                let child_budget = remaining / 2;
+                parts.push(format!("{}:{}", gen_string(rng, 3), gen_value(rng, child_budget)));
+                remaining = remaining.saturating_sub(child_budget);
+            }
+            format!("{{{}}}", parts.join(","))
+        }
+        _ => {
+            // array
+            let n = rng.gen_range(0..=2.min(budget / 3));
+            let mut parts = Vec::new();
+            let mut remaining = budget.saturating_sub(2);
+            for _ in 0..n {
+                let child_budget = remaining / 2;
+                parts.push(gen_value(rng, child_budget));
+                remaining = remaining.saturating_sub(child_budget);
+            }
+            format!("[{}]", parts.join(","))
+        }
+    }
+}
+
+fn gen_string(rng: &mut dyn RngCore, max_len: usize) -> String {
+    let len = rng.gen_range(0..=max_len.max(1));
+    let mut s = String::from("\"");
+    for _ in 0..len {
+        // Occasionally place a '{' inside the string to exercise k-Repetition.
+        let c = if rng.gen_ratio(1, 12) {
+            '{'
+        } else {
+            char::from(b'a' + rng.gen_range(0..26u8))
+        };
+        s.push(c);
+    }
+    s.push('"');
+    s
+}
+
+fn gen_number(rng: &mut dyn RngCore) -> String {
+    let sign = if rng.gen_bool(0.2) { "-" } else { "" };
+    let n: u32 = rng.gen_range(0..100);
+    format!("{sign}{n}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn json() -> Json {
+        Json::new()
+    }
+
+    #[test]
+    fn accepts_scalars() {
+        let j = json();
+        for ok in ["0", "7", "-3", "42", "true", "false", "null", "\"\"", "\"abc\"", "\"a1\""] {
+            assert!(j.accepts(ok), "{ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_scalars() {
+        let j = json();
+        for bad in ["", "01", "+3", "-", "tru", "truex", "\"abc", "abc\"", "\"A\"", "\" \""] {
+            assert!(!j.accepts(bad), "{bad}");
+        }
+    }
+
+    #[test]
+    fn accepts_objects_and_arrays() {
+        let j = json();
+        for ok in [
+            "{}",
+            "[]",
+            "{\"a\":1}",
+            "{\"a\":1,\"b\":[]}",
+            "[1,2,3]",
+            "[[],[{}]]",
+            "{\"k\":{\"x\":2}}",
+            "[true,false,null]",
+            "{\"s\":\"v\"}",
+        ] {
+            assert!(j.accepts(ok), "{ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_structures() {
+        let j = json();
+        for bad in [
+            "{",
+            "}",
+            "{]",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\"1}",
+            "{a:1}",
+            "[1 2]",
+            "{\"a\":1,}",
+            "{\"a\":1}{",
+            "[,]",
+            "{,}",
+            "{\"a\":1 }",
+        ] {
+            assert!(!j.accepts(bad), "{bad}");
+        }
+    }
+
+    #[test]
+    fn braces_inside_strings_are_plain_text() {
+        let j = json();
+        // The paper's §5.1 example (restricted to our string alphabet).
+        assert!(j.accepts("{\"{\":true}"));
+        // k-repeating the inner '{' keeps the string valid (k-Repetition property).
+        assert!(j.accepts("{\"{{\":true}"));
+        assert!(j.accepts("{\"{{{{\":true}"));
+        // But repeating the *structural* brace does not.
+        assert!(!j.accepts("{{\"x\":true}"));
+    }
+
+    #[test]
+    fn no_whitespace_dialect() {
+        let j = json();
+        assert!(!j.accepts("{ \"a\": 1 }"));
+        assert!(!j.accepts(" 1"));
+    }
+
+    #[test]
+    fn generator_produces_members_and_variety() {
+        let j = json();
+        let mut rng = StdRng::seed_from_u64(11);
+        let corpus = j.generate_corpus(&mut rng, 25, 100);
+        assert!(corpus.len() > 20);
+        assert!(corpus.iter().any(|s| s.contains('{')));
+        assert!(corpus.iter().any(|s| s.contains('[')));
+        for s in &corpus {
+            assert!(j.accepts(s), "{s}");
+        }
+    }
+
+    #[test]
+    fn seeds_are_structurally_diverse() {
+        let seeds = json().seeds();
+        assert!(seeds.iter().any(|s| s.contains('[')));
+        assert!(seeds.iter().any(|s| s.contains('{')));
+        assert!(seeds.iter().any(|s| s.contains("}}")));
+    }
+}

@@ -1,0 +1,217 @@
+//! The LISP / S-expression oracle (paper Table 1, row "lisp").
+//!
+//! ```text
+//! expr := atom | list
+//! list := '(' ')' | '(' expr (' ' expr)* ')'
+//! atom := [a-z]+ | [0-9]+
+//! ```
+//!
+//! A single space separates sibling expressions inside a list; no other whitespace
+//! is allowed. Parentheses are the call/return pair of the underlying VPL.
+
+use rand::{Rng, RngCore};
+
+use crate::Language;
+
+/// The S-expression oracle language.
+#[derive(Clone, Debug, Default)]
+pub struct Lisp {
+    _private: (),
+}
+
+impl Lisp {
+    /// Creates the LISP oracle.
+    #[must_use]
+    pub fn new() -> Self {
+        Lisp::default()
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expr(&mut self) -> bool {
+        match self.peek() {
+            Some(b'(') => self.list(),
+            Some(b'a'..=b'z') => {
+                while matches!(self.peek(), Some(b'a'..=b'z')) {
+                    self.pos += 1;
+                }
+                true
+            }
+            Some(b'0'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn list(&mut self) -> bool {
+        if !self.eat(b'(') {
+            return false;
+        }
+        if self.eat(b')') {
+            return true;
+        }
+        loop {
+            if !self.expr() {
+                return false;
+            }
+            if self.eat(b')') {
+                return true;
+            }
+            if !self.eat(b' ') {
+                return false;
+            }
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.s.len()
+    }
+}
+
+impl Language for Lisp {
+    fn name(&self) -> &'static str {
+        "lisp"
+    }
+
+    fn accepts(&self, input: &str) -> bool {
+        if !input.is_ascii() {
+            return false;
+        }
+        let mut p = Parser { s: input.as_bytes(), pos: 0 };
+        p.expr() && p.at_end()
+    }
+
+    fn alphabet(&self) -> Vec<char> {
+        let mut a = vec!['(', ')', ' '];
+        a.extend('a'..='z');
+        a.extend('0'..='9');
+        a
+    }
+
+    fn seeds(&self) -> Vec<String> {
+        vec![
+            "(add 1 2)".to_string(),
+            "(f (g x) y)".to_string(),
+            "()".to_string(),
+            "(cons a (cons b nil))".to_string(),
+            "42".to_string(),
+            "xyz".to_string(),
+            "(q)".to_string(),
+        ]
+    }
+
+    fn generate(&self, rng: &mut dyn RngCore, budget: usize) -> String {
+        gen_expr(rng, budget)
+    }
+}
+
+fn gen_expr(rng: &mut dyn RngCore, budget: usize) -> String {
+    if budget < 4 || rng.gen_bool(0.4) {
+        gen_atom(rng)
+    } else {
+        let n = rng.gen_range(0..=3.min(budget / 3));
+        let mut remaining = budget.saturating_sub(2);
+        let mut parts = Vec::new();
+        for _ in 0..n {
+            let child = remaining / 2;
+            parts.push(gen_expr(rng, child));
+            remaining = remaining.saturating_sub(child + 1);
+        }
+        format!("({})", parts.join(" "))
+    }
+}
+
+fn gen_atom(rng: &mut dyn RngCore) -> String {
+    if rng.gen_bool(0.5) {
+        let len = rng.gen_range(1..=3);
+        (0..len).map(|_| char::from(b'a' + rng.gen_range(0..26u8))).collect()
+    } else {
+        format!("{}", rng.gen_range(0..100u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn accepts_atoms_and_lists() {
+        let l = Lisp::new();
+        for ok in ["x", "abc", "42", "()", "(x)", "(add 1 2)", "(f (g x) y)", "((()))", "(a (b (c)))"] {
+            assert!(l.accepts(ok), "{ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_expressions() {
+        let l = Lisp::new();
+        for bad in [
+            "",
+            "(",
+            ")",
+            "(x",
+            "x)",
+            "( x)",
+            "(x )",
+            "(x  y)",
+            "(x y) ",
+            "a b",
+            "(a,b)",
+            "(A)",
+            "()()",
+        ] {
+            assert!(!l.accepts(bad), "{bad}");
+        }
+    }
+
+    #[test]
+    fn seeds_accepted() {
+        let l = Lisp::new();
+        for s in l.seeds() {
+            assert!(l.accepts(&s), "{s}");
+        }
+    }
+
+    #[test]
+    fn generator_members() {
+        let l = Lisp::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let s = l.generate(&mut rng, 20);
+            assert!(l.accepts(&s), "{s}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let l = Lisp::new();
+        let deep = format!("{}{}{}", "(".repeat(30), "x", ")".repeat(30));
+        assert!(l.accepts(&deep));
+        let unbalanced = format!("{}{}{}", "(".repeat(30), "x", ")".repeat(29));
+        assert!(!l.accepts(&unbalanced));
+    }
+}

@@ -1,0 +1,294 @@
+//! The MathExpr oracle (paper Table 1, row "mathexpr").
+//!
+//! Arithmetic expressions with named single-argument functions:
+//!
+//! ```text
+//! expr   := term (('+' | '-') term)*
+//! term   := factor (('*' | '/') factor)*
+//! factor := num | '(' expr ')' | func '(' expr ')'
+//! func   := "sin" | "cos" | "tan" | "log" | "exp" | "abs"
+//! num    := [0-9]+
+//! ```
+//!
+//! The paper notes that the large pool of constant function names is what makes
+//! MathExpr expensive for V-Star (it explores the combinations exhaustively); the
+//! function-name pool is configurable so that ablations can vary this cost.
+
+use rand::{Rng, RngCore};
+
+use crate::Language;
+
+/// Default function-name pool.
+pub const DEFAULT_FUNCTIONS: &[&str] = &["sin", "cos", "tan", "log", "exp", "abs"];
+
+/// The MathExpr oracle language.
+#[derive(Clone, Debug)]
+pub struct MathExpr {
+    functions: Vec<String>,
+}
+
+impl Default for MathExpr {
+    fn default() -> Self {
+        MathExpr { functions: DEFAULT_FUNCTIONS.iter().map(|s| (*s).to_string()).collect() }
+    }
+}
+
+impl MathExpr {
+    /// Creates the MathExpr oracle with the default function pool.
+    #[must_use]
+    pub fn new() -> Self {
+        MathExpr::default()
+    }
+
+    /// Creates the oracle with a custom pool of function names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `functions` is empty or contains non-lowercase-ASCII names.
+    #[must_use]
+    pub fn with_functions(functions: &[&str]) -> Self {
+        assert!(!functions.is_empty(), "function pool must not be empty");
+        for f in functions {
+            assert!(
+                !f.is_empty() && f.chars().all(|c| c.is_ascii_lowercase()),
+                "function names must be lowercase ASCII"
+            );
+        }
+        MathExpr { functions: functions.iter().map(|s| (*s).to_string()).collect() }
+    }
+
+    /// The configured function names.
+    #[must_use]
+    pub fn functions(&self) -> &[String] {
+        &self.functions
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    pos: usize,
+    functions: &'a [String],
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expr(&mut self) -> bool {
+        if !self.term() {
+            return false;
+        }
+        while matches!(self.peek(), Some(b'+') | Some(b'-')) {
+            self.pos += 1;
+            if !self.term() {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn term(&mut self) -> bool {
+        if !self.factor() {
+            return false;
+        }
+        while matches!(self.peek(), Some(b'*') | Some(b'/')) {
+            self.pos += 1;
+            if !self.factor() {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn factor(&mut self) -> bool {
+        match self.peek() {
+            Some(b'0'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+                true
+            }
+            Some(b'(') => {
+                self.pos += 1;
+                self.expr() && self.eat(b')')
+            }
+            Some(b'a'..=b'z') => {
+                for f in self.functions {
+                    if self.s[self.pos..].starts_with(f.as_bytes()) {
+                        self.pos += f.len();
+                        return self.eat(b'(') && self.expr() && self.eat(b')');
+                    }
+                }
+                false
+            }
+            _ => false,
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.s.len()
+    }
+}
+
+impl Language for MathExpr {
+    fn name(&self) -> &'static str {
+        "mathexpr"
+    }
+
+    fn accepts(&self, input: &str) -> bool {
+        if !input.is_ascii() {
+            return false;
+        }
+        let mut p = Parser { s: input.as_bytes(), pos: 0, functions: &self.functions };
+        p.expr() && p.at_end()
+    }
+
+    fn alphabet(&self) -> Vec<char> {
+        let mut a = vec!['(', ')', '+', '-', '*', '/'];
+        a.extend('0'..='9');
+        let mut letters: Vec<char> = self.functions.iter().flat_map(|f| f.chars()).collect();
+        letters.sort_unstable();
+        letters.dedup();
+        a.extend(letters);
+        a
+    }
+
+    fn seeds(&self) -> Vec<String> {
+        vec![
+            "1+2*3".to_string(),
+            "sin(4)".to_string(),
+            "(1+2)/3".to_string(),
+            "cos(sin(5)+1)".to_string(),
+            "12-7".to_string(),
+            "0".to_string(),
+            "tan(8)*2".to_string(),
+            "log(1)-exp(0)".to_string(),
+            "abs(9)".to_string(),
+        ]
+    }
+
+    fn generate(&self, rng: &mut dyn RngCore, budget: usize) -> String {
+        gen_expr(rng, budget, &self.functions)
+    }
+}
+
+fn gen_expr(rng: &mut dyn RngCore, budget: usize, functions: &[String]) -> String {
+    let mut s = gen_term(rng, budget / 2, functions);
+    if budget > 4 && rng.gen_bool(0.4) {
+        s.push(if rng.gen_bool(0.5) { '+' } else { '-' });
+        s.push_str(&gen_term(rng, budget / 2, functions));
+    }
+    s
+}
+
+fn gen_term(rng: &mut dyn RngCore, budget: usize, functions: &[String]) -> String {
+    let mut s = gen_factor(rng, budget / 2, functions);
+    if budget > 4 && rng.gen_bool(0.3) {
+        s.push(if rng.gen_bool(0.5) { '*' } else { '/' });
+        s.push_str(&gen_factor(rng, budget / 2, functions));
+    }
+    s
+}
+
+fn gen_factor(rng: &mut dyn RngCore, budget: usize, functions: &[String]) -> String {
+    let choice = if budget < 6 { 0 } else { rng.gen_range(0..3) };
+    match choice {
+        0 => format!("{}", rng.gen_range(0..100u32)),
+        1 => format!("({})", gen_expr(rng, budget.saturating_sub(2), functions)),
+        _ => {
+            let f = &functions[rng.gen_range(0..functions.len())];
+            format!("{f}({})", gen_expr(rng, budget.saturating_sub(f.len() + 2), functions))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn accepts_valid_expressions() {
+        let m = MathExpr::new();
+        for ok in [
+            "1",
+            "42",
+            "1+2",
+            "1+2*3",
+            "(1+2)*3",
+            "sin(4)",
+            "cos(sin(5)+1)",
+            "1/2/3",
+            "abs(7)-exp(0)",
+            "((((1))))",
+        ] {
+            assert!(m.accepts(ok), "{ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_expressions() {
+        let m = MathExpr::new();
+        for bad in [
+            "",
+            "+1",
+            "1+",
+            "1**2",
+            "(1+2",
+            "1+2)",
+            "sin",
+            "sin()",
+            "sin 4",
+            "foo(1)",
+            "1 + 2",
+            "sin(4)x",
+            "-1",
+        ] {
+            assert!(!m.accepts(bad), "{bad}");
+        }
+    }
+
+    #[test]
+    fn custom_function_pool() {
+        let m = MathExpr::with_functions(&["f", "gg"]);
+        assert!(m.accepts("f(1)"));
+        assert!(m.accepts("gg(2+3)"));
+        assert!(!m.accepts("sin(1)"));
+        assert_eq!(m.functions().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "function pool must not be empty")]
+    fn empty_function_pool_panics() {
+        let _ = MathExpr::with_functions(&[]);
+    }
+
+    #[test]
+    fn seeds_accepted() {
+        let m = MathExpr::new();
+        for s in m.seeds() {
+            assert!(m.accepts(&s), "{s}");
+        }
+    }
+
+    #[test]
+    fn generator_members() {
+        let m = MathExpr::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..150 {
+            let s = m.generate(&mut rng, 25);
+            assert!(m.accepts(&s), "{s}");
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Toy oracles used as running examples throughout the paper.
+//!
+//! * [`Fig1`] — the character-based VPL of Figure 1
+//!   (`L → ‹a A b› L | c B | ε`, `A → ‹g L h› E`, `B → d L`, `E → ε`).
+//! * [`ToyXml`] — the token-based toy XML of Figure 2
+//!   (`L → OPEN L CLOSE | TEXT` with `OPEN = <p>`, `CLOSE = </p>`, `TEXT = [a-z]+`).
+//! * [`Dyck`] — balanced parentheses with plain `x` bodies, a minimal warm-up
+//!   language for the VPA learner.
+
+use rand::{Rng, RngCore};
+use vstar_vpl::grammar::figure1_grammar;
+use vstar_vpl::Vpg;
+
+use crate::Language;
+
+/// The Figure-1 running-example language.
+#[derive(Clone, Debug)]
+pub struct Fig1 {
+    grammar: Vpg,
+}
+
+impl Default for Fig1 {
+    fn default() -> Self {
+        Fig1 { grammar: figure1_grammar() }
+    }
+}
+
+impl Fig1 {
+    /// Creates the Figure-1 oracle.
+    #[must_use]
+    pub fn new() -> Self {
+        Fig1::default()
+    }
+
+    /// The reference VPG (with the oracle tagging `{(a,b),(g,h)}`).
+    #[must_use]
+    pub fn grammar(&self) -> &Vpg {
+        &self.grammar
+    }
+}
+
+impl Language for Fig1 {
+    fn name(&self) -> &'static str {
+        "fig1"
+    }
+
+    fn accepts(&self, input: &str) -> bool {
+        self.grammar.accepts(input)
+    }
+
+    fn alphabet(&self) -> Vec<char> {
+        vec!['a', 'b', 'c', 'd', 'g', 'h']
+    }
+
+    fn seeds(&self) -> Vec<String> {
+        // The single seed string used in the paper's §4.3 walkthrough.
+        vec!["agcdcdhbcd".to_string()]
+    }
+
+    fn generate(&self, rng: &mut dyn RngCore, budget: usize) -> String {
+        self.grammar.sampler().sample(rng, budget).unwrap_or_default()
+    }
+}
+
+/// The Figure-2 toy XML language over the multi-character tokens `<p>` / `</p>`.
+#[derive(Clone, Debug, Default)]
+pub struct ToyXml {
+    _private: (),
+}
+
+impl ToyXml {
+    /// Creates the toy-XML oracle.
+    #[must_use]
+    pub fn new() -> Self {
+        ToyXml::default()
+    }
+}
+
+impl Language for ToyXml {
+    fn name(&self) -> &'static str {
+        "toy_xml"
+    }
+
+    fn accepts(&self, input: &str) -> bool {
+        // L := "<p>" L "</p>" | [a-z]+
+        fn parse(s: &[u8], pos: usize) -> Option<usize> {
+            if s[pos..].starts_with(b"<p>") {
+                let inner = parse(s, pos + 3)?;
+                if s[inner..].starts_with(b"</p>") {
+                    Some(inner + 4)
+                } else {
+                    None
+                }
+            } else {
+                let mut i = pos;
+                while i < s.len() && s[i].is_ascii_lowercase() {
+                    i += 1;
+                }
+                if i > pos {
+                    Some(i)
+                } else {
+                    None
+                }
+            }
+        }
+        if !input.is_ascii() {
+            return false;
+        }
+        parse(input.as_bytes(), 0) == Some(input.len())
+    }
+
+    fn alphabet(&self) -> Vec<char> {
+        let mut a = vec!['<', '>', '/'];
+        a.extend('a'..='z');
+        a
+    }
+
+    fn seeds(&self) -> Vec<String> {
+        vec!["<p><p>p</p></p>".to_string()]
+    }
+
+    fn generate(&self, rng: &mut dyn RngCore, budget: usize) -> String {
+        let depth = rng.gen_range(0..=(budget / 7).min(4));
+        let text_len = rng.gen_range(1..=3);
+        let text: String = (0..text_len).map(|_| char::from(b'a' + rng.gen_range(0..26u8))).collect();
+        format!("{}{}{}", "<p>".repeat(depth), text, "</p>".repeat(depth))
+    }
+}
+
+/// Balanced parentheses with `x` bodies.
+#[derive(Clone, Debug, Default)]
+pub struct Dyck {
+    _private: (),
+}
+
+impl Dyck {
+    /// Creates the Dyck oracle.
+    #[must_use]
+    pub fn new() -> Self {
+        Dyck::default()
+    }
+}
+
+impl Language for Dyck {
+    fn name(&self) -> &'static str {
+        "dyck"
+    }
+
+    fn accepts(&self, input: &str) -> bool {
+        let mut depth: i64 = 0;
+        for c in input.chars() {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return false;
+                    }
+                }
+                'x' => {}
+                _ => return false,
+            }
+        }
+        depth == 0
+    }
+
+    fn alphabet(&self) -> Vec<char> {
+        vec!['(', ')', 'x']
+    }
+
+    fn seeds(&self) -> Vec<String> {
+        vec!["(x(x))x".to_string(), "()".to_string()]
+    }
+
+    fn generate(&self, rng: &mut dyn RngCore, budget: usize) -> String {
+        let mut out = String::new();
+        let mut depth = 0usize;
+        let mut remaining = budget.max(2);
+        while remaining > 0 {
+            match rng.gen_range(0..3) {
+                0 if remaining > depth + 1 => {
+                    out.push('(');
+                    depth += 1;
+                }
+                1 if depth > 0 => {
+                    out.push(')');
+                    depth -= 1;
+                }
+                _ => out.push('x'),
+            }
+            remaining -= 1;
+        }
+        out.push_str(&")".repeat(depth));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fig1_matches_reference_grammar() {
+        let f = Fig1::new();
+        assert!(f.accepts("agcdcdhbcd"));
+        assert!(f.accepts(""));
+        assert!(f.accepts("cd"));
+        assert!(!f.accepts("ab"));
+        assert!(!f.accepts("ag"));
+        assert_eq!(f.grammar().nonterminal_count(), 4);
+    }
+
+    #[test]
+    fn fig1_generation() {
+        let f = Fig1::new();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..100 {
+            let s = f.generate(&mut rng, 20);
+            assert!(f.accepts(&s), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn toy_xml_examples() {
+        let t = ToyXml::new();
+        assert!(t.accepts("p"));
+        assert!(t.accepts("hello"));
+        assert!(t.accepts("<p>p</p>"));
+        assert!(t.accepts("<p><p>p</p></p>"));
+        assert!(!t.accepts("<p></p>")); // the innermost body must be text
+        assert!(!t.accepts("<p>p"));
+        assert!(!t.accepts("<p>p</p></p>"));
+        assert!(!t.accepts(""));
+        assert!(!t.accepts("<q>p</q>"));
+    }
+
+    #[test]
+    fn toy_xml_generation() {
+        let t = ToyXml::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let s = t.generate(&mut rng, 25);
+            assert!(t.accepts(&s), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dyck_examples() {
+        let d = Dyck::new();
+        assert!(d.accepts(""));
+        assert!(d.accepts("()"));
+        assert!(d.accepts("(x(x))x"));
+        assert!(!d.accepts("("));
+        assert!(!d.accepts(")("));
+        assert!(!d.accepts("(y)"));
+    }
+
+    #[test]
+    fn dyck_generation() {
+        let d = Dyck::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let s = d.generate(&mut rng, 12);
+            assert!(d.accepts(&s), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn toy_seeds_accepted() {
+        for lang in [&Fig1::new() as &dyn Language, &ToyXml::new(), &Dyck::new()] {
+            for s in lang.seeds() {
+                assert!(lang.accepts(&s), "{} seed {s:?}", lang.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! The While-language oracle (paper Table 1, row "while").
+//!
+//! A compact imperative toy language with explicit block braces, so that loops and
+//! conditionals introduce the nesting structure V-Star exploits:
+//!
+//! ```text
+//! program := stmt
+//! stmt    := basic (';' basic)*
+//! basic   := "skip"
+//!          | id ":=" aexp
+//!          | "while" '(' bexp ')' '{' stmt '}'
+//!          | "if" '(' bexp ')' '{' stmt '}' "else" '{' stmt '}'
+//! bexp    := "true" | "false" | aexp ('<' | '=' | '>') aexp
+//! aexp    := term (('+' | '-') term)*
+//! term    := id | num | '(' aexp ')'
+//! id      := [a-z]  (single letter)
+//! num     := [0-9]+
+//! ```
+//!
+//! No whitespace is allowed. Example: `x:=1;while(x<3){x:=x+1}`.
+
+use rand::{Rng, RngCore};
+
+use crate::Language;
+
+/// The While-language oracle.
+#[derive(Clone, Debug, Default)]
+pub struct WhileLang {
+    _private: (),
+}
+
+impl WhileLang {
+    /// Creates the While-language oracle.
+    #[must_use]
+    pub fn new() -> Self {
+        WhileLang::default()
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.s[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn stmt(&mut self) -> bool {
+        if !self.basic() {
+            return false;
+        }
+        while self.peek() == Some(b';') {
+            self.pos += 1;
+            if !self.basic() {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn basic(&mut self) -> bool {
+        // Keywords first; they never collide with assignments because assignments
+        // are a single id character followed by ':'.
+        if self.s[self.pos..].starts_with(b"skip") {
+            self.pos += 4;
+            return true;
+        }
+        if self.s[self.pos..].starts_with(b"while(") {
+            self.pos += 5;
+            return self.eat(b'(')
+                && self.bexp()
+                && self.eat(b')')
+                && self.eat(b'{')
+                && self.stmt()
+                && self.eat(b'}');
+        }
+        if self.s[self.pos..].starts_with(b"if(") {
+            self.pos += 2;
+            return self.eat(b'(')
+                && self.bexp()
+                && self.eat(b')')
+                && self.eat(b'{')
+                && self.stmt()
+                && self.eat(b'}')
+                && self.eat_keyword("else")
+                && self.eat(b'{')
+                && self.stmt()
+                && self.eat(b'}');
+        }
+        // assignment: id ":=" aexp
+        match self.peek() {
+            Some(b'a'..=b'z') => {
+                self.pos += 1;
+                self.eat(b':') && self.eat(b'=') && self.aexp()
+            }
+            _ => false,
+        }
+    }
+
+    fn bexp(&mut self) -> bool {
+        if self.s[self.pos..].starts_with(b"true") {
+            self.pos += 4;
+            return true;
+        }
+        if self.s[self.pos..].starts_with(b"false") {
+            self.pos += 5;
+            return true;
+        }
+        if !self.aexp() {
+            return false;
+        }
+        match self.peek() {
+            Some(b'<') | Some(b'=') | Some(b'>') => {
+                self.pos += 1;
+                self.aexp()
+            }
+            _ => false,
+        }
+    }
+
+    fn aexp(&mut self) -> bool {
+        if !self.term() {
+            return false;
+        }
+        while matches!(self.peek(), Some(b'+') | Some(b'-')) {
+            self.pos += 1;
+            if !self.term() {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn term(&mut self) -> bool {
+        match self.peek() {
+            Some(b'a'..=b'z') => {
+                self.pos += 1;
+                true
+            }
+            Some(b'0'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+                true
+            }
+            Some(b'(') => {
+                self.pos += 1;
+                self.aexp() && self.eat(b')')
+            }
+            _ => false,
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.s.len()
+    }
+}
+
+impl Language for WhileLang {
+    fn name(&self) -> &'static str {
+        "while"
+    }
+
+    fn accepts(&self, input: &str) -> bool {
+        if !input.is_ascii() {
+            return false;
+        }
+        let mut p = Parser { s: input.as_bytes(), pos: 0 };
+        p.stmt() && p.at_end()
+    }
+
+    fn alphabet(&self) -> Vec<char> {
+        let mut a = vec!['(', ')', '{', '}', ';', ':', '=', '<', '>', '+', '-'];
+        a.extend('a'..='z');
+        a.extend('0'..='9');
+        a
+    }
+
+    fn seeds(&self) -> Vec<String> {
+        vec![
+            "x:=1".to_string(),
+            "skip;x:=2".to_string(),
+            "while(x<3){x:=x+1}".to_string(),
+            "if(x=0){skip}else{y:=7}".to_string(),
+            "x:=(y+1)-2".to_string(),
+            "skip".to_string(),
+            "i:=e+2".to_string(),
+            "while(true){skip}".to_string(),
+            "f:=5;d:=o".to_string(),
+            "while(false){skip}".to_string(),
+            "z:=(4)".to_string(),
+            "if(2<14){skip}else{k:=9}".to_string(),
+        ]
+    }
+
+    fn generate(&self, rng: &mut dyn RngCore, budget: usize) -> String {
+        gen_stmt(rng, budget)
+    }
+}
+
+fn gen_id(rng: &mut dyn RngCore) -> char {
+    char::from(b'a' + rng.gen_range(0..26u8))
+}
+
+fn gen_num(rng: &mut dyn RngCore) -> String {
+    format!("{}", rng.gen_range(0..20u32))
+}
+
+fn gen_term(rng: &mut dyn RngCore, budget: usize) -> String {
+    match rng.gen_range(0..3) {
+        0 => gen_id(rng).to_string(),
+        1 => gen_num(rng),
+        _ if budget > 4 => format!("({})", gen_aexp(rng, budget - 2)),
+        _ => gen_id(rng).to_string(),
+    }
+}
+
+fn gen_aexp(rng: &mut dyn RngCore, budget: usize) -> String {
+    let mut s = gen_term(rng, budget / 2);
+    if budget > 3 && rng.gen_bool(0.4) {
+        s.push(if rng.gen_bool(0.5) { '+' } else { '-' });
+        s.push_str(&gen_term(rng, budget / 2));
+    }
+    s
+}
+
+fn gen_bexp(rng: &mut dyn RngCore, budget: usize) -> String {
+    match rng.gen_range(0..4) {
+        0 => "true".to_string(),
+        1 => "false".to_string(),
+        _ => {
+            let op = ['<', '=', '>'][rng.gen_range(0..3)];
+            format!("{}{op}{}", gen_aexp(rng, budget / 2), gen_aexp(rng, budget / 2))
+        }
+    }
+}
+
+fn gen_basic(rng: &mut dyn RngCore, budget: usize) -> String {
+    let choice = if budget < 14 { rng.gen_range(0..2) } else { rng.gen_range(0..4) };
+    match choice {
+        0 => "skip".to_string(),
+        1 => format!("{}:={}", gen_id(rng), gen_aexp(rng, budget.saturating_sub(3))),
+        2 => format!(
+            "while({}){{{}}}",
+            gen_bexp(rng, budget / 3),
+            gen_stmt(rng, budget.saturating_sub(10))
+        ),
+        _ => format!(
+            "if({}){{{}}}else{{{}}}",
+            gen_bexp(rng, budget / 4),
+            gen_stmt(rng, budget / 4),
+            gen_stmt(rng, budget / 4)
+        ),
+    }
+}
+
+fn gen_stmt(rng: &mut dyn RngCore, budget: usize) -> String {
+    let mut s = gen_basic(rng, budget);
+    if budget > 10 && rng.gen_bool(0.35) {
+        s.push(';');
+        s.push_str(&gen_basic(rng, budget / 2));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn accepts_valid_programs() {
+        let w = WhileLang::new();
+        for ok in [
+            "skip",
+            "x:=1",
+            "x:=y",
+            "x:=1;y:=2",
+            "x:=(1+2)-z",
+            "while(x<3){x:=x+1}",
+            "while(true){skip}",
+            "if(x=0){skip}else{y:=7}",
+            "if(false){x:=1}else{while(y>0){y:=y-1}}",
+            "s:=1", // 's' id does not clash with "skip"
+            "w:=2",
+        ] {
+            assert!(w.accepts(ok), "{ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_programs() {
+        let w = WhileLang::new();
+        for bad in [
+            "",
+            "x:=",
+            ":=1",
+            "x=1",
+            "x:=1;",
+            ";x:=1",
+            "while(x<3)x:=1",
+            "while(x<3){x:=1",
+            "whilex<3){x:=1}",
+            "if(x=0){skip}",
+            "if(x=0){skip}else",
+            "skip skip",
+            "x:=1 ;y:=2",
+            "x:=+1",
+            "while(x){skip}",
+            "X:=1",
+        ] {
+            assert!(!w.accepts(bad), "{bad}");
+        }
+    }
+
+    #[test]
+    fn nested_loops() {
+        let w = WhileLang::new();
+        assert!(w.accepts("while(x<3){while(y<2){y:=y+1};x:=x+1}"));
+        assert!(w.accepts("if(x<1){if(y<1){skip}else{skip}}else{skip}"));
+    }
+
+    #[test]
+    fn seeds_accepted() {
+        let w = WhileLang::new();
+        for s in w.seeds() {
+            assert!(w.accepts(&s), "{s}");
+        }
+    }
+
+    #[test]
+    fn generator_members() {
+        let w = WhileLang::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..150 {
+            let s = w.generate(&mut rng, 30);
+            assert!(w.accepts(&s), "{s}");
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! The XML oracle (paper Table 1, row "xml").
+//!
+//! ```text
+//! doc     := element
+//! element := open content close
+//! open    := '<' name attr? '>'
+//! close   := '</' name '>'
+//! attr    := ' ' name '="' [a-z]* '"'
+//! content := (element | text)*
+//! text    := [a-z]+
+//! name    := [a-z]+
+//! ```
+//!
+//! Open and close tags are multi-character *tokens* — the situation §5 of the paper
+//! is about: the call token `OPEN` and return token `CLOSE` must be inferred
+//! together with their lexical rules (including the optional attribute). Close-tag
+//! names are not required to match the open-tag name, which keeps the token-level
+//! language a visibly pushdown language with a single call/return token pair
+//! (matching names would need unboundedly many token pairs).
+
+use rand::{Rng, RngCore};
+
+use crate::Language;
+
+/// Configuration of the XML oracle.
+#[derive(Clone, Debug)]
+pub struct XmlConfig {
+    /// Whether open tags may carry one `name="value"` attribute.
+    pub allow_attributes: bool,
+    /// Maximum tag-name length used by the generator (recognition allows any length).
+    pub max_name_len: usize,
+}
+
+impl Default for XmlConfig {
+    fn default() -> Self {
+        XmlConfig { allow_attributes: true, max_name_len: 3 }
+    }
+}
+
+/// The XML oracle language.
+#[derive(Clone, Debug, Default)]
+pub struct Xml {
+    config: XmlConfig,
+}
+
+impl Xml {
+    /// Creates the XML oracle with the default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Xml::default()
+    }
+
+    /// Creates the XML oracle with a custom configuration.
+    #[must_use]
+    pub fn with_config(config: XmlConfig) -> Self {
+        Xml { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &XmlConfig {
+        &self.config
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    pos: usize,
+    allow_attributes: bool,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.s.get(self.pos + 1).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn name(&mut self) -> bool {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'a'..=b'z')) {
+            self.pos += 1;
+        }
+        self.pos > start
+    }
+
+    fn open_tag(&mut self) -> bool {
+        if !self.eat(b'<') {
+            return false;
+        }
+        if !self.name() {
+            return false;
+        }
+        if self.allow_attributes && self.peek() == Some(b' ') {
+            self.pos += 1;
+            if !self.name() || !self.eat(b'=') || !self.eat(b'"') {
+                return false;
+            }
+            while matches!(self.peek(), Some(b'a'..=b'z')) {
+                self.pos += 1;
+            }
+            if !self.eat(b'"') {
+                return false;
+            }
+        }
+        self.eat(b'>')
+    }
+
+    fn close_tag(&mut self) -> bool {
+        self.eat(b'<') && self.eat(b'/') && self.name() && self.eat(b'>')
+    }
+
+    fn element(&mut self) -> bool {
+        if !self.open_tag() {
+            return false;
+        }
+        // content: (element | text)* until a close tag starts.
+        loop {
+            match self.peek() {
+                Some(b'<') => {
+                    if self.peek2() == Some(b'/') {
+                        return self.close_tag();
+                    }
+                    if !self.element() {
+                        return false;
+                    }
+                }
+                Some(b'a'..=b'z') => {
+                    while matches!(self.peek(), Some(b'a'..=b'z')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.s.len()
+    }
+}
+
+impl Language for Xml {
+    fn name(&self) -> &'static str {
+        "xml"
+    }
+
+    fn accepts(&self, input: &str) -> bool {
+        if !input.is_ascii() {
+            return false;
+        }
+        let mut p =
+            Parser { s: input.as_bytes(), pos: 0, allow_attributes: self.config.allow_attributes };
+        p.element() && p.at_end()
+    }
+
+    fn alphabet(&self) -> Vec<char> {
+        let mut a = vec!['<', '>', '/', ' ', '=', '"'];
+        a.extend('a'..='z');
+        a
+    }
+
+    fn seeds(&self) -> Vec<String> {
+        let mut seeds = vec![
+            "<a>x</a>".to_string(),
+            "<a><b>y</b></a>".to_string(),
+            "<p>hi<q>z</q></p>".to_string(),
+            "<ab></ab>".to_string(),
+            "<r>no<u>w</u>go</r>".to_string(),
+        ];
+        if self.config.allow_attributes {
+            seeds.push("<a k=\"v\">x</a>".to_string());
+        }
+        seeds
+    }
+
+    fn generate(&self, rng: &mut dyn RngCore, budget: usize) -> String {
+        gen_element(rng, budget, &self.config)
+    }
+}
+
+fn gen_name(rng: &mut dyn RngCore, max_len: usize) -> String {
+    let len = rng.gen_range(1..=max_len.max(1));
+    (0..len).map(|_| char::from(b'a' + rng.gen_range(0..26u8))).collect()
+}
+
+fn gen_element(rng: &mut dyn RngCore, budget: usize, config: &XmlConfig) -> String {
+    let name = gen_name(rng, config.max_name_len);
+    let attr = if config.allow_attributes && rng.gen_bool(0.3) {
+        format!(" {}=\"{}\"", gen_name(rng, config.max_name_len), gen_name(rng, config.max_name_len))
+    } else {
+        String::new()
+    };
+    let close_name = gen_name(rng, config.max_name_len);
+    let mut content = String::new();
+    if budget > 8 {
+        let pieces = rng.gen_range(0..=2);
+        let mut remaining = budget.saturating_sub(name.len() + close_name.len() + 5);
+        for _ in 0..pieces {
+            if rng.gen_bool(0.5) && remaining > 8 {
+                let child = remaining / 2;
+                content.push_str(&gen_element(rng, child, config));
+                remaining = remaining.saturating_sub(child);
+            } else {
+                content.push_str(&gen_name(rng, 4));
+                remaining = remaining.saturating_sub(4);
+            }
+        }
+    } else if rng.gen_bool(0.7) {
+        content = gen_name(rng, 3);
+    }
+    format!("<{name}{attr}>{content}</{close_name}>")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn accepts_simple_documents() {
+        let x = Xml::new();
+        for ok in [
+            "<a></a>",
+            "<a>x</a>",
+            "<a><b>y</b></a>",
+            "<p>hi<q>z</q>bye</p>",
+            "<a>x</b>", // close-tag names need not match
+            "<tag k=\"v\">t</tag>",
+            "<a k=\"\">x</a>",
+            "<a><b></b><c></c></a>",
+        ] {
+            assert!(x.accepts(ok), "{ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        let x = Xml::new();
+        for bad in [
+            "",
+            "x",
+            "<a>",
+            "</a>",
+            "<a>x",
+            "<a>x</a",
+            "<a>x</a>y",
+            "<a>x</a><b></b>",
+            "<>x</a>",
+            "<a >x</a>",
+            "<a k=>x</a>",
+            "<a k=\"V\">x</a>",
+            "<a><b>x</a>",
+            "<A>x</A>",
+        ] {
+            assert!(!x.accepts(bad), "{bad}");
+        }
+    }
+
+    #[test]
+    fn attribute_free_configuration() {
+        let x = Xml::with_config(XmlConfig { allow_attributes: false, max_name_len: 2 });
+        assert!(x.accepts("<a>x</a>"));
+        assert!(!x.accepts("<a k=\"v\">x</a>"));
+        assert!(!x.config().allow_attributes);
+    }
+
+    #[test]
+    fn toy_xml_string_from_paper() {
+        // Figure 2 seed (with tag name "p"): <p><p>p</p></p>
+        let x = Xml::new();
+        assert!(x.accepts("<p><p>p</p></p>"));
+    }
+
+    #[test]
+    fn generator_members() {
+        let x = Xml::new();
+        let mut rng = StdRng::seed_from_u64(23);
+        let corpus = x.generate_corpus(&mut rng, 40, 80);
+        assert!(corpus.len() > 20);
+        for s in &corpus {
+            assert!(x.accepts(s), "{s}");
+        }
+        assert!(corpus.iter().any(|s| s.contains('=')), "some sample should carry an attribute");
+    }
+}

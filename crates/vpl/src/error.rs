@@ -1,0 +1,104 @@
+//! Error type shared by the `vstar-vpl` crate.
+
+use std::fmt;
+
+/// Errors produced while constructing or validating VPL objects
+/// (taggings, grammars, automata).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VplError {
+    /// A character was used both as a call and as a return symbol, or appeared in
+    /// two different call/return pairs (violates the Unique Pairing assumption).
+    AmbiguousTagging {
+        /// The offending character.
+        ch: char,
+    },
+    /// A grammar rule used a terminal with the wrong kind (e.g. a call symbol in a
+    /// linear rule `L → c L1`).
+    InvalidRuleKind {
+        /// Human-readable description of the offending rule.
+        rule: String,
+    },
+    /// A grammar references a nonterminal that was never declared.
+    UnknownNonterminal {
+        /// Index of the offending nonterminal.
+        index: usize,
+    },
+    /// A grammar has no nonterminals or no start symbol.
+    EmptyGrammar,
+    /// An automaton transition refers to a state that does not exist.
+    UnknownState {
+        /// Index of the offending state.
+        index: usize,
+    },
+    /// An automaton transition uses a symbol of the wrong kind for its table
+    /// (e.g. a plain symbol in the call-transition table).
+    InvalidTransitionKind {
+        /// The offending character.
+        ch: char,
+        /// Name of the transition table.
+        table: &'static str,
+    },
+    /// A deterministic automaton was given two conflicting transitions.
+    ConflictingTransition {
+        /// Human-readable description of the conflict.
+        detail: String,
+    },
+}
+
+impl fmt::Display for VplError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VplError::AmbiguousTagging { ch } => {
+                write!(f, "character {ch:?} is tagged ambiguously (unique pairing violated)")
+            }
+            VplError::InvalidRuleKind { rule } => {
+                write!(f, "grammar rule uses a terminal of the wrong kind: {rule}")
+            }
+            VplError::UnknownNonterminal { index } => {
+                write!(f, "rule references unknown nonterminal #{index}")
+            }
+            VplError::EmptyGrammar => write!(f, "grammar has no nonterminals"),
+            VplError::UnknownState { index } => {
+                write!(f, "transition references unknown state #{index}")
+            }
+            VplError::InvalidTransitionKind { ch, table } => {
+                write!(f, "symbol {ch:?} has the wrong kind for the {table} transition table")
+            }
+            VplError::ConflictingTransition { detail } => {
+                write!(f, "conflicting deterministic transition: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VplError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errs = [
+            VplError::AmbiguousTagging { ch: 'a' },
+            VplError::InvalidRuleKind { rule: "L -> a L1".into() },
+            VplError::UnknownNonterminal { index: 3 },
+            VplError::EmptyGrammar,
+            VplError::UnknownState { index: 7 },
+            VplError::InvalidTransitionKind { ch: 'x', table: "call" },
+            VplError::ConflictingTransition { detail: "q0 --a--> {q1, q2}".into() },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("grammar"));
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(VplError::EmptyGrammar);
+        assert_eq!(e.to_string(), "grammar has no nonterminals");
+    }
+}

@@ -1,0 +1,735 @@
+//! Well-matched visibly pushdown grammars (paper Definition 3.1).
+//!
+//! Every production rule has one of the three shapes
+//!
+//! * `L → ε`
+//! * `L → c L₁` with `c` a plain symbol (a *linear rule*),
+//! * `L → ‹a L₁ b› L₂` with `‹a` a call symbol and `b›` a return symbol
+//!   (a *matching rule*),
+//!
+//! which guarantees that every derived string is well matched.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+use rand::Rng;
+
+use crate::error::VplError;
+use crate::nested::matching_positions;
+use crate::symbol::Kind;
+use crate::tagging::Tagging;
+
+/// Identifier of a nonterminal inside a [`Vpg`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NonterminalId(pub usize);
+
+impl fmt::Display for NonterminalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// Right-hand side of a well-matched VPG rule.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RuleRhs {
+    /// `L → ε`
+    Empty,
+    /// `L → c L₁` where `c` is a plain symbol.
+    Linear {
+        /// The plain terminal.
+        plain: char,
+        /// The continuation nonterminal `L₁`.
+        next: NonterminalId,
+    },
+    /// `L → ‹a L₁ b› L₂`.
+    Match {
+        /// The call terminal `‹a`.
+        call: char,
+        /// The nonterminal `L₁` generating the nested body.
+        inner: NonterminalId,
+        /// The return terminal `b›`.
+        ret: char,
+        /// The continuation nonterminal `L₂`.
+        next: NonterminalId,
+    },
+}
+
+/// A validated, immutable well-matched VPG.
+///
+/// Construct one through [`VpgBuilder`]. The grammar owns its [`Tagging`]; linear
+/// rules may only use plain characters and matching rules may only use call/return
+/// characters of that tagging.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Vpg {
+    names: Vec<String>,
+    rules: Vec<Vec<RuleRhs>>,
+    start: NonterminalId,
+    tagging: Tagging,
+}
+
+/// Incremental builder for [`Vpg`] values.
+///
+/// See the crate-level example for typical usage.
+#[derive(Clone, Debug)]
+pub struct VpgBuilder {
+    names: Vec<String>,
+    rules: Vec<Vec<RuleRhs>>,
+    tagging: Tagging,
+}
+
+impl VpgBuilder {
+    /// Creates a builder for a grammar over the given tagging.
+    #[must_use]
+    pub fn new(tagging: Tagging) -> Self {
+        VpgBuilder { names: Vec::new(), rules: Vec::new(), tagging }
+    }
+
+    /// Declares (or looks up) a nonterminal by name.
+    pub fn nonterminal(&mut self, name: &str) -> NonterminalId {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return NonterminalId(i);
+        }
+        self.names.push(name.to_owned());
+        self.rules.push(Vec::new());
+        NonterminalId(self.names.len() - 1)
+    }
+
+    /// Adds the rule `lhs → ε`.
+    pub fn empty_rule(&mut self, lhs: NonterminalId) -> &mut Self {
+        self.push(lhs, RuleRhs::Empty);
+        self
+    }
+
+    /// Adds the linear rule `lhs → plain next`.
+    pub fn linear_rule(&mut self, lhs: NonterminalId, plain: char, next: NonterminalId) -> &mut Self {
+        self.push(lhs, RuleRhs::Linear { plain, next });
+        self
+    }
+
+    /// Adds the matching rule `lhs → ‹call inner ret› next`.
+    pub fn match_rule(
+        &mut self,
+        lhs: NonterminalId,
+        call: char,
+        inner: NonterminalId,
+        ret: char,
+        next: NonterminalId,
+    ) -> &mut Self {
+        self.push(lhs, RuleRhs::Match { call, inner, ret, next });
+        self
+    }
+
+    fn push(&mut self, lhs: NonterminalId, rhs: RuleRhs) {
+        if !self.rules[lhs.0].contains(&rhs) {
+            self.rules[lhs.0].push(rhs);
+        }
+    }
+
+    /// Finishes the grammar with the given start nonterminal.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a rule refers to an undeclared nonterminal, uses a
+    /// terminal of the wrong kind, or if the grammar is empty.
+    pub fn build(self, start: NonterminalId) -> Result<Vpg, VplError> {
+        if self.names.is_empty() {
+            return Err(VplError::EmptyGrammar);
+        }
+        if start.0 >= self.names.len() {
+            return Err(VplError::UnknownNonterminal { index: start.0 });
+        }
+        let n = self.names.len();
+        for alts in &self.rules {
+            for rhs in alts {
+                match *rhs {
+                    RuleRhs::Empty => {}
+                    RuleRhs::Linear { plain, next } => {
+                        if next.0 >= n {
+                            return Err(VplError::UnknownNonterminal { index: next.0 });
+                        }
+                        if self.tagging.kind(plain) != Kind::Plain {
+                            return Err(VplError::InvalidRuleKind {
+                                rule: format!("L -> {plain} L1 (terminal is not plain)"),
+                            });
+                        }
+                    }
+                    RuleRhs::Match { call, inner, ret, next } => {
+                        if inner.0 >= n || next.0 >= n {
+                            return Err(VplError::UnknownNonterminal {
+                                index: inner.0.max(next.0),
+                            });
+                        }
+                        if self.tagging.kind(call) != Kind::Call {
+                            return Err(VplError::InvalidRuleKind {
+                                rule: format!("L -> <{call} L1 {ret}> L2 (call terminal is not a call symbol)"),
+                            });
+                        }
+                        if self.tagging.kind(ret) != Kind::Return {
+                            return Err(VplError::InvalidRuleKind {
+                                rule: format!("L -> <{call} L1 {ret}> L2 (return terminal is not a return symbol)"),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Vpg { names: self.names, rules: self.rules, start, tagging: self.tagging })
+    }
+}
+
+impl Vpg {
+    /// The grammar's tagging function.
+    #[must_use]
+    pub fn tagging(&self) -> &Tagging {
+        &self.tagging
+    }
+
+    /// The start nonterminal.
+    #[must_use]
+    pub fn start(&self) -> NonterminalId {
+        self.start
+    }
+
+    /// Number of nonterminals.
+    #[must_use]
+    pub fn nonterminal_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Total number of rules.
+    #[must_use]
+    pub fn rule_count(&self) -> usize {
+        self.rules.iter().map(Vec::len).sum()
+    }
+
+    /// The name of a nonterminal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nt` does not belong to this grammar.
+    #[must_use]
+    pub fn name(&self, nt: NonterminalId) -> &str {
+        &self.names[nt.0]
+    }
+
+    /// The alternatives of a nonterminal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nt` does not belong to this grammar.
+    #[must_use]
+    pub fn alternatives(&self, nt: NonterminalId) -> &[RuleRhs] {
+        &self.rules[nt.0]
+    }
+
+    /// Iterates over `(lhs, rhs)` for every rule.
+    pub fn rules(&self) -> impl Iterator<Item = (NonterminalId, RuleRhs)> + '_ {
+        self.rules
+            .iter()
+            .enumerate()
+            .flat_map(|(i, alts)| alts.iter().map(move |&r| (NonterminalId(i), r)))
+    }
+
+    /// Returns `true` if the grammar generates `s`.
+    ///
+    /// Recognition first checks well-matchedness under the grammar's tagging and
+    /// then runs a memoized derivation check; the matching positions of the tagged
+    /// string make each nested span unambiguous.
+    #[must_use]
+    pub fn accepts(&self, s: &str) -> bool {
+        let tagged = self.tagging.tag(s);
+        let Some(matches) = matching_positions(&tagged) else {
+            return false;
+        };
+        let chars: Vec<char> = s.chars().collect();
+        let mut memo: HashMap<(usize, usize, usize), bool> = HashMap::new();
+        self.derives(self.start, 0, chars.len(), &chars, &matches, &mut memo)
+    }
+
+    fn derives(
+        &self,
+        nt: NonterminalId,
+        i: usize,
+        j: usize,
+        s: &[char],
+        matches: &[Option<usize>],
+        memo: &mut HashMap<(usize, usize, usize), bool>,
+    ) -> bool {
+        debug_assert!(i <= j);
+        if let Some(&v) = memo.get(&(nt.0, i, j)) {
+            return v;
+        }
+        // Insert a provisional `false` to cut (impossible) cycles defensively.
+        memo.insert((nt.0, i, j), false);
+        let mut result = false;
+        for rhs in &self.rules[nt.0] {
+            match *rhs {
+                RuleRhs::Empty => {
+                    if i == j {
+                        result = true;
+                    }
+                }
+                RuleRhs::Linear { plain, next } => {
+                    if i < j
+                        && s[i] == plain
+                        && self.tagging.kind(s[i]) == Kind::Plain
+                        && self.derives(next, i + 1, j, s, matches, memo)
+                    {
+                        result = true;
+                    }
+                }
+                RuleRhs::Match { call, inner, ret, next } => {
+                    if i < j && s[i] == call && self.tagging.kind(s[i]) == Kind::Call {
+                        if let Some(m) = matches[i] {
+                            if m < j
+                                && s[m] == ret
+                                && self.derives(inner, i + 1, m, s, matches, memo)
+                                && self.derives(next, m + 1, j, s, matches, memo)
+                            {
+                                result = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if result {
+                break;
+            }
+        }
+        memo.insert((nt.0, i, j), result);
+        result
+    }
+
+    /// Shortest derivable length for every nonterminal, or `None` for unproductive
+    /// nonterminals.
+    #[must_use]
+    pub fn min_lengths(&self) -> Vec<Option<usize>> {
+        let n = self.names.len();
+        let mut min: Vec<Option<usize>> = vec![None; n];
+        loop {
+            let mut changed = false;
+            for (i, alts) in self.rules.iter().enumerate() {
+                for rhs in alts {
+                    let candidate = match *rhs {
+                        RuleRhs::Empty => Some(0),
+                        RuleRhs::Linear { next, .. } => min[next.0].map(|m| m + 1),
+                        RuleRhs::Match { inner, next, .. } => match (min[inner.0], min[next.0]) {
+                            (Some(a), Some(b)) => Some(a + b + 2),
+                            _ => None,
+                        },
+                    };
+                    if let Some(c) = candidate {
+                        if min[i].map_or(true, |cur| c < cur) {
+                            min[i] = Some(c);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return min;
+            }
+        }
+    }
+
+    /// Enumerates every generated string of length at most `max_len`, in sorted
+    /// order. Intended for tests and exhaustive-equivalence checks on small bounds.
+    #[must_use]
+    pub fn enumerate(&self, max_len: usize) -> Vec<String> {
+        let n = self.names.len();
+        let mut langs: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+        loop {
+            let mut changed = false;
+            for (i, alts) in self.rules.iter().enumerate() {
+                let mut additions: Vec<String> = Vec::new();
+                for rhs in alts {
+                    match *rhs {
+                        RuleRhs::Empty => additions.push(String::new()),
+                        RuleRhs::Linear { plain, next } => {
+                            for t in &langs[next.0] {
+                                if t.chars().count() + 1 <= max_len {
+                                    additions.push(format!("{plain}{t}"));
+                                }
+                            }
+                        }
+                        RuleRhs::Match { call, inner, ret, next } => {
+                            for t1 in &langs[inner.0] {
+                                for t2 in &langs[next.0] {
+                                    if t1.chars().count() + t2.chars().count() + 2 <= max_len {
+                                        additions.push(format!("{call}{t1}{ret}{t2}"));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                for a in additions {
+                    if langs[i].insert(a) {
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        langs[self.start.0].iter().cloned().collect()
+    }
+
+    /// Creates a random sampler over this grammar.
+    #[must_use]
+    pub fn sampler(&self) -> VpgSampler<'_> {
+        VpgSampler { vpg: self, min: self.min_lengths() }
+    }
+
+    /// The set of terminals occurring in the grammar's rules.
+    #[must_use]
+    pub fn terminals(&self) -> BTreeSet<char> {
+        let mut set = BTreeSet::new();
+        for (_, rhs) in self.rules() {
+            match rhs {
+                RuleRhs::Empty => {}
+                RuleRhs::Linear { plain, .. } => {
+                    set.insert(plain);
+                }
+                RuleRhs::Match { call, ret, .. } => {
+                    set.insert(call);
+                    set.insert(ret);
+                }
+            }
+        }
+        set
+    }
+
+    /// Returns a structurally identical grammar with unreachable and unproductive
+    /// nonterminals removed (the start nonterminal is always kept).
+    #[must_use]
+    pub fn trimmed(&self) -> Vpg {
+        let min = self.min_lengths();
+        // Reachability from the start through productive rules only.
+        let mut reachable: HashSet<usize> = HashSet::new();
+        let mut stack = vec![self.start.0];
+        while let Some(i) = stack.pop() {
+            if !reachable.insert(i) {
+                continue;
+            }
+            for rhs in &self.rules[i] {
+                match *rhs {
+                    RuleRhs::Empty => {}
+                    RuleRhs::Linear { next, .. } => stack.push(next.0),
+                    RuleRhs::Match { inner, next, .. } => {
+                        stack.push(inner.0);
+                        stack.push(next.0);
+                    }
+                }
+            }
+        }
+        let keep: Vec<usize> = (0..self.names.len())
+            .filter(|&i| i == self.start.0 || (reachable.contains(&i) && min[i].is_some()))
+            .collect();
+        let remap: HashMap<usize, usize> =
+            keep.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+        let mut names = Vec::with_capacity(keep.len());
+        let mut rules = Vec::with_capacity(keep.len());
+        for &old in &keep {
+            names.push(self.names[old].clone());
+            let alts: Vec<RuleRhs> = self.rules[old]
+                .iter()
+                .filter_map(|rhs| match *rhs {
+                    RuleRhs::Empty => Some(RuleRhs::Empty),
+                    RuleRhs::Linear { plain, next } => remap
+                        .get(&next.0)
+                        .map(|&n| RuleRhs::Linear { plain, next: NonterminalId(n) }),
+                    RuleRhs::Match { call, inner, ret, next } => {
+                        match (remap.get(&inner.0), remap.get(&next.0)) {
+                            (Some(&a), Some(&b)) => Some(RuleRhs::Match {
+                                call,
+                                inner: NonterminalId(a),
+                                ret,
+                                next: NonterminalId(b),
+                            }),
+                            _ => None,
+                        }
+                    }
+                })
+                .collect();
+            rules.push(alts);
+        }
+        Vpg {
+            names,
+            rules,
+            start: NonterminalId(remap[&self.start.0]),
+            tagging: self.tagging.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Vpg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, alts) in self.rules.iter().enumerate() {
+            if alts.is_empty() {
+                continue;
+            }
+            write!(f, "{}{} →", self.names[i], if NonterminalId(i) == self.start { "*" } else { "" })?;
+            for (k, rhs) in alts.iter().enumerate() {
+                if k > 0 {
+                    write!(f, " |")?;
+                }
+                match *rhs {
+                    RuleRhs::Empty => write!(f, " ε")?,
+                    RuleRhs::Linear { plain, next } => {
+                        write!(f, " {plain} {}", self.names[next.0])?;
+                    }
+                    RuleRhs::Match { call, inner, ret, next } => {
+                        write!(f, " ‹{call} {} {ret}› {}", self.names[inner.0], self.names[next.0])?;
+                    }
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Random sentence sampler for a [`Vpg`], used to build precision datasets and
+/// test-string pools.
+#[derive(Clone, Debug)]
+pub struct VpgSampler<'g> {
+    vpg: &'g Vpg,
+    min: Vec<Option<usize>>,
+}
+
+impl<'g> VpgSampler<'g> {
+    /// Samples one sentence. `budget` bounds the expansion: once the remaining
+    /// budget is lower than the cheapest alternative's cost, the sampler greedily
+    /// picks the shortest completion, guaranteeing termination.
+    ///
+    /// Returns `None` if the start nonterminal is unproductive.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, budget: usize) -> Option<String> {
+        self.min[self.vpg.start.0]?;
+        let mut out = String::new();
+        self.expand(self.vpg.start, rng, budget, &mut out)?;
+        Some(out)
+    }
+
+    /// Samples `count` sentences (duplicates possible), skipping failed expansions.
+    pub fn sample_many<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        budget: usize,
+        count: usize,
+    ) -> Vec<String> {
+        (0..count).filter_map(|_| self.sample(rng, budget)).collect()
+    }
+
+    fn rhs_min(&self, rhs: RuleRhs) -> Option<usize> {
+        match rhs {
+            RuleRhs::Empty => Some(0),
+            RuleRhs::Linear { next, .. } => self.min[next.0].map(|m| m + 1),
+            RuleRhs::Match { inner, next, .. } => match (self.min[inner.0], self.min[next.0]) {
+                (Some(a), Some(b)) => Some(a + b + 2),
+                _ => None,
+            },
+        }
+    }
+
+    fn expand<R: Rng + ?Sized>(
+        &self,
+        nt: NonterminalId,
+        rng: &mut R,
+        budget: usize,
+        out: &mut String,
+    ) -> Option<usize> {
+        let alts: Vec<(RuleRhs, usize)> = self.vpg.rules[nt.0]
+            .iter()
+            .filter_map(|&r| self.rhs_min(r).map(|m| (r, m)))
+            .collect();
+        if alts.is_empty() {
+            return None;
+        }
+        // Alternatives that fit in the budget; otherwise fall back to the cheapest.
+        let fitting: Vec<&(RuleRhs, usize)> = alts.iter().filter(|(_, m)| *m <= budget).collect();
+        let (rhs, _) = if fitting.is_empty() {
+            *alts.iter().min_by_key(|(_, m)| *m).expect("nonempty")
+        } else {
+            *fitting[rng.gen_range(0..fitting.len())]
+        };
+        match rhs {
+            RuleRhs::Empty => Some(budget),
+            RuleRhs::Linear { plain, next } => {
+                out.push(plain);
+                self.expand(next, rng, budget.saturating_sub(1), out)
+            }
+            RuleRhs::Match { call, inner, ret, next } => {
+                out.push(call);
+                let remaining = self.expand(inner, rng, budget.saturating_sub(2), out)?;
+                out.push(ret);
+                self.expand(next, rng, remaining, out)
+            }
+        }
+    }
+}
+
+/// Builds the paper's Figure 1 running-example grammar:
+/// `L → ‹a A b› L | c B | ε`, `A → ‹g L h› E`, `B → d L`, `E → ε`.
+///
+/// # Panics
+///
+/// Never panics; the grammar is statically well formed.
+#[must_use]
+pub fn figure1_grammar() -> Vpg {
+    let tagging = Tagging::from_pairs([('a', 'b'), ('g', 'h')]).expect("disjoint pairs");
+    let mut b = VpgBuilder::new(tagging);
+    let l = b.nonterminal("L");
+    let a = b.nonterminal("A");
+    let bb = b.nonterminal("B");
+    let e = b.nonterminal("E");
+    b.match_rule(l, 'a', a, 'b', l);
+    b.linear_rule(l, 'c', bb);
+    b.empty_rule(l);
+    b.match_rule(a, 'g', l, 'h', e);
+    b.linear_rule(bb, 'd', l);
+    b.empty_rule(e);
+    b.build(l).expect("figure 1 grammar is well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn figure1_accepts_seed_string() {
+        let g = figure1_grammar();
+        assert!(g.accepts("agcdcdhbcd"));
+        assert!(g.accepts(""));
+        assert!(g.accepts("cd"));
+        assert!(g.accepts("aghb"));
+        assert!(g.accepts("agagcdhbhbcd"));
+    }
+
+    #[test]
+    fn figure1_rejects_invalid_strings() {
+        let g = figure1_grammar();
+        assert!(!g.accepts("a"));
+        assert!(!g.accepts("ab")); // A has no empty rule: ‹a must contain g..h
+        assert!(!g.accepts("ag hb"));
+        assert!(!g.accepts("c"));
+        assert!(!g.accepts("agcdcdhbx"));
+        assert!(!g.accepts("ba"));
+    }
+
+    #[test]
+    fn pumping_the_seed_string() {
+        // (ag)^k cdcd (hb)^k cd ∈ L for k ≥ 1 (paper §4.3 example).
+        let g = figure1_grammar();
+        for k in 1..5 {
+            let s = format!("{}cdcd{}cd", "ag".repeat(k), "hb".repeat(k));
+            assert!(g.accepts(&s), "k = {k}");
+        }
+        // Unbalanced pumping must be rejected.
+        assert!(!g.accepts(&format!("{}cdcd{}cd", "ag".repeat(2), "hb".repeat(3))));
+    }
+
+    #[test]
+    fn builder_validates_kinds() {
+        let tagging = Tagging::from_pairs([('a', 'b')]).unwrap();
+        let mut b = VpgBuilder::new(tagging.clone());
+        let l = b.nonterminal("L");
+        b.linear_rule(l, 'a', l); // 'a' is a call symbol: invalid linear rule
+        assert!(matches!(b.build(l), Err(VplError::InvalidRuleKind { .. })));
+
+        let mut b = VpgBuilder::new(tagging);
+        let l = b.nonterminal("L");
+        b.match_rule(l, 'b', l, 'a', l); // swapped kinds
+        assert!(b.build(l).is_err());
+    }
+
+    #[test]
+    fn empty_builder_is_an_error() {
+        let b = VpgBuilder::new(Tagging::new());
+        assert!(matches!(b.build(NonterminalId(0)), Err(VplError::EmptyGrammar)));
+    }
+
+    #[test]
+    fn min_lengths_and_trim() {
+        let g = figure1_grammar();
+        let min = g.min_lengths();
+        assert_eq!(min[g.start().0], Some(0));
+        // A requires ‹g L h›, so its minimum is 2.
+        let a = NonterminalId(1);
+        assert_eq!(min[a.0], Some(2));
+        let t = g.trimmed();
+        assert_eq!(t.nonterminal_count(), g.nonterminal_count());
+        assert!(t.accepts("agcdcdhbcd"));
+    }
+
+    #[test]
+    fn trimming_removes_unproductive_nonterminals() {
+        let tagging = Tagging::from_pairs([('a', 'b')]).unwrap();
+        let mut b = VpgBuilder::new(tagging);
+        let l = b.nonterminal("L");
+        let dead = b.nonterminal("Dead");
+        b.empty_rule(l);
+        b.linear_rule(l, 'x', l);
+        // Dead only refers to itself through a linear rule: unproductive.
+        b.linear_rule(dead, 'y', dead);
+        b.linear_rule(l, 'z', dead);
+        let g = b.build(l).unwrap();
+        let t = g.trimmed();
+        assert_eq!(t.nonterminal_count(), 1);
+        assert!(t.accepts("xx"));
+        assert!(!t.accepts("zy"));
+    }
+
+    #[test]
+    fn enumeration_matches_recognizer() {
+        let g = figure1_grammar();
+        let words = g.enumerate(8);
+        assert!(words.contains(&String::new()));
+        assert!(words.contains(&"cd".to_string()));
+        assert!(words.contains(&"aghb".to_string()));
+        for w in &words {
+            assert!(g.accepts(w), "enumerated word {w:?} must be accepted");
+        }
+        // Everything of length ≤ 4 over the terminal alphabet that the recognizer
+        // accepts must be enumerated.
+        let terminals: Vec<char> = g.terminals().into_iter().collect();
+        for w in crate::words::all_strings(&terminals, 4) {
+            let in_enum = words.contains(&w);
+            assert_eq!(g.accepts(&w), in_enum, "mismatch on {w:?}");
+        }
+    }
+
+    #[test]
+    fn sampler_produces_members() {
+        let g = figure1_grammar();
+        let sampler = g.sampler();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let s = sampler.sample(&mut rng, 30).unwrap();
+            assert!(g.accepts(&s), "sampled string {s:?} must be in the language");
+        }
+        let many = sampler.sample_many(&mut rng, 20, 50);
+        assert_eq!(many.len(), 50);
+    }
+
+    #[test]
+    fn display_lists_all_nonterminals() {
+        let g = figure1_grammar();
+        let text = g.to_string();
+        assert!(text.contains("L*"));
+        assert!(text.contains('ε'));
+        assert!(text.contains("‹a"));
+        assert!(text.contains("b›"));
+    }
+
+    #[test]
+    fn rules_iterator_counts() {
+        let g = figure1_grammar();
+        assert_eq!(g.rules().count(), g.rule_count());
+        assert_eq!(g.rule_count(), 6);
+        assert_eq!(g.terminals().len(), 6);
+    }
+}

@@ -1,0 +1,57 @@
+//! Visibly pushdown grammar / automaton substrate for the V-Star reproduction.
+//!
+//! This crate implements the formal machinery from Sections 3 and 4 of
+//! *V-Star: Learning Visibly Pushdown Grammars from Program Inputs* (PLDI 2024):
+//!
+//! * [`Kind`] / [`TaggedChar`] — the partition of terminals into call, plain and
+//!   return symbols (paper §3.2).
+//! * [`Tagging`] — a tagging function `t : Σ → Σ̂` with uniquely paired call/return
+//!   symbols (paper §4.1, "Unique Pairing" assumption).
+//! * [`Vpg`] — well-matched visibly pushdown grammars (paper Definition 3.1), with a
+//!   recognizer, a random sampler and bounded enumeration.
+//! * [`Vpa`] — deterministic visibly pushdown automata (paper §3.3) with
+//!   configuration-level execution.
+//! * [`nested`] — matching/nesting analysis of tagged strings (well-matchedness,
+//!   matching positions, unmatched symbol counts).
+//! * [`vpa_to_vpg`] — the VPA → VPG conversion used by V-Star after learning
+//!   (paper §6, following Alur & Madhusudan 2004).
+//!
+//! # Example
+//!
+//! ```
+//! use vstar_vpl::{Tagging, VpgBuilder};
+//!
+//! // The running example of the paper (Figure 1):
+//! //   L → ‹a A b› L | c B | ε      A → ‹g L h› E      B → d L      E → ε
+//! let tagging = Tagging::from_pairs([('a', 'b'), ('g', 'h')]).unwrap();
+//! let mut b = VpgBuilder::new(tagging);
+//! let (l, a, bb, e) = (b.nonterminal("L"), b.nonterminal("A"), b.nonterminal("B"), b.nonterminal("E"));
+//! b.match_rule(l, 'a', a, 'b', l);
+//! b.linear_rule(l, 'c', bb);
+//! b.empty_rule(l);
+//! b.match_rule(a, 'g', l, 'h', e);
+//! b.linear_rule(bb, 'd', l);
+//! b.empty_rule(e);
+//! let vpg = b.build(l).unwrap();
+//! assert!(vpg.accepts("agcdcdhbcd"));
+//! assert!(!vpg.accepts("agcdcdhbx"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod grammar;
+pub mod nested;
+pub mod symbol;
+pub mod tagging;
+pub mod vpa;
+pub mod vpa_to_vpg;
+pub mod words;
+
+pub use error::VplError;
+pub use grammar::{NonterminalId, RuleRhs, Vpg, VpgBuilder, VpgSampler};
+pub use symbol::{Kind, TaggedChar};
+pub use tagging::Tagging;
+pub use vpa::{StateId, Vpa, VpaBuilder};
+pub use vpa_to_vpg::vpa_to_vpg;

@@ -1,0 +1,227 @@
+//! Nesting analysis of tagged strings.
+//!
+//! These helpers implement the "well-matched" notions used throughout the paper:
+//! matching positions of call/return symbols, unmatched-symbol counts (used in the
+//! compatibility checks of Definitions 4.5 and 5.1) and nesting depth.
+
+use crate::symbol::{Kind, TaggedChar};
+
+/// Returns `true` if the tagged string is well matched: every call symbol is closed
+/// by a later return symbol of the *paired* character for the tagging that produced
+/// the string, and no return symbol appears without an open call.
+///
+/// Pairing is judged structurally: the matching return for a call is whichever return
+/// closes it; callers that need character-level pairing should use
+/// [`matching_positions`] and inspect the characters.
+#[must_use]
+pub fn is_well_matched(s: &[TaggedChar]) -> bool {
+    matching_positions(s).is_some()
+}
+
+/// Computes the matching structure of a tagged string.
+///
+/// Returns `None` if the string is not well matched. Otherwise returns a vector
+/// `m` with `m[i] = Some(j)` when position `i` is a call matched by the return at
+/// position `j` (and symmetrically `m[j] = Some(i)`), and `m[i] = None` for plain
+/// symbols.
+#[must_use]
+pub fn matching_positions(s: &[TaggedChar]) -> Option<Vec<Option<usize>>> {
+    let mut out = vec![None; s.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, t) in s.iter().enumerate() {
+        match t.kind {
+            Kind::Call => stack.push(i),
+            Kind::Return => {
+                let open = stack.pop()?;
+                out[open] = Some(i);
+                out[i] = Some(open);
+            }
+            Kind::Plain => {}
+        }
+    }
+    if stack.is_empty() {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Counts of unmatched call and return symbols in a (possibly ill-matched) tagged
+/// string.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub struct UnmatchedCounts {
+    /// Number of call symbols whose matching return is *not* inside the string.
+    pub calls: usize,
+    /// Number of return symbols whose matching call is *not* inside the string.
+    pub returns: usize,
+}
+
+impl UnmatchedCounts {
+    /// Total number of unmatched symbols.
+    #[must_use]
+    pub fn total(self) -> usize {
+        self.calls + self.returns
+    }
+
+    /// `true` when the string is well matched (no pending symbol on either side).
+    #[must_use]
+    pub fn is_balanced(self) -> bool {
+        self.total() == 0
+    }
+}
+
+/// Counts unmatched call and return symbols of a tagged string (paper's `n_c`, `n_d`
+/// counts in the proof of Lemma B.3).
+#[must_use]
+pub fn unmatched_counts(s: &[TaggedChar]) -> UnmatchedCounts {
+    let mut pending_calls = 0usize;
+    let mut unmatched_returns = 0usize;
+    for t in s {
+        match t.kind {
+            Kind::Call => pending_calls += 1,
+            Kind::Return => {
+                if pending_calls > 0 {
+                    pending_calls -= 1;
+                } else {
+                    unmatched_returns += 1;
+                }
+            }
+            Kind::Plain => {}
+        }
+    }
+    UnmatchedCounts { calls: pending_calls, returns: unmatched_returns }
+}
+
+/// Positions (indices into `s`) of call symbols of character `call` that are
+/// unmatched *within* `s` (their return lies outside the slice).
+#[must_use]
+pub fn unmatched_call_positions(s: &[TaggedChar], call: char) -> Vec<usize> {
+    let mut stack: Vec<usize> = Vec::new();
+    let mut result: Vec<usize> = Vec::new();
+    for (i, t) in s.iter().enumerate() {
+        match t.kind {
+            Kind::Call => stack.push(i),
+            Kind::Return => {
+                stack.pop();
+            }
+            Kind::Plain => {}
+        }
+    }
+    for i in stack {
+        if s[i].ch == call {
+            result.push(i);
+        }
+    }
+    result
+}
+
+/// Positions of return symbols of character `ret` that are unmatched within `s`
+/// (their call lies outside the slice).
+#[must_use]
+pub fn unmatched_return_positions(s: &[TaggedChar], ret: char) -> Vec<usize> {
+    let mut depth = 0usize;
+    let mut result = Vec::new();
+    for (i, t) in s.iter().enumerate() {
+        match t.kind {
+            Kind::Call => depth += 1,
+            Kind::Return => {
+                if depth > 0 {
+                    depth -= 1;
+                } else if t.ch == ret {
+                    result.push(i);
+                }
+            }
+            Kind::Plain => {}
+        }
+    }
+    result
+}
+
+/// Maximum nesting depth of a tagged string (0 for strings without call symbols).
+///
+/// Unmatched returns are ignored; unmatched calls still contribute to the depth of
+/// the positions following them.
+#[must_use]
+pub fn nesting_depth(s: &[TaggedChar]) -> usize {
+    let mut depth = 0usize;
+    let mut max = 0usize;
+    for t in s {
+        match t.kind {
+            Kind::Call => {
+                depth += 1;
+                max = max.max(depth);
+            }
+            Kind::Return => depth = depth.saturating_sub(1),
+            Kind::Plain => {}
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tagging::Tagging;
+
+    fn tag(s: &str) -> Vec<TaggedChar> {
+        Tagging::from_pairs([('a', 'b'), ('g', 'h')]).unwrap().tag(s)
+    }
+
+    #[test]
+    fn empty_is_well_matched() {
+        assert!(is_well_matched(&tag("")));
+        assert_eq!(nesting_depth(&tag("")), 0);
+    }
+
+    #[test]
+    fn matching_positions_simple() {
+        let m = matching_positions(&tag("agchb")).unwrap();
+        assert_eq!(m[0], Some(4)); // a ... b
+        assert_eq!(m[1], Some(3)); // g ... h
+        assert_eq!(m[2], None); // c plain
+        assert_eq!(m[4], Some(0));
+    }
+
+    #[test]
+    fn matching_positions_rejects_ill_matched() {
+        assert!(matching_positions(&tag("a")).is_none());
+        assert!(matching_positions(&tag("b")).is_none());
+        assert!(matching_positions(&tag("ba")).is_none());
+    }
+
+    #[test]
+    fn unmatched_counts_cases() {
+        assert_eq!(unmatched_counts(&tag("ab")).total(), 0);
+        let c = unmatched_counts(&tag("aab"));
+        assert_eq!(c, UnmatchedCounts { calls: 1, returns: 0 });
+        let c = unmatched_counts(&tag("abb"));
+        assert_eq!(c, UnmatchedCounts { calls: 0, returns: 1 });
+        let c = unmatched_counts(&tag("ba"));
+        assert_eq!(c, UnmatchedCounts { calls: 1, returns: 1 });
+        assert!(!c.is_balanced());
+    }
+
+    #[test]
+    fn unmatched_positions_by_character() {
+        // "ag" : both unmatched calls
+        let s = tag("ag");
+        assert_eq!(unmatched_call_positions(&s, 'a'), vec![0]);
+        assert_eq!(unmatched_call_positions(&s, 'g'), vec![1]);
+        assert_eq!(unmatched_call_positions(&s, 'x'), Vec::<usize>::new());
+        // "hb": both unmatched returns
+        let s = tag("hb");
+        assert_eq!(unmatched_return_positions(&s, 'h'), vec![0]);
+        assert_eq!(unmatched_return_positions(&s, 'b'), vec![1]);
+        // "agh": the g..h pair is matched, only a is pending
+        let s = tag("agh");
+        assert_eq!(unmatched_call_positions(&s, 'g'), Vec::<usize>::new());
+        assert_eq!(unmatched_call_positions(&s, 'a'), vec![0]);
+    }
+
+    #[test]
+    fn depth_measurement() {
+        assert_eq!(nesting_depth(&tag("agcdcdhbcd")), 2);
+        assert_eq!(nesting_depth(&tag("cd")), 0);
+        assert_eq!(nesting_depth(&tag("aaabbb")), 3);
+    }
+}

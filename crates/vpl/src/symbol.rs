@@ -1,0 +1,144 @@
+//! Terminal symbols and their call/plain/return kinds (paper §3.2).
+
+use std::fmt;
+
+/// The three kinds of terminals of a visibly pushdown alphabet.
+///
+/// The stack action of a VPA is fully determined by the kind of the symbol read:
+/// a call symbol pushes, a return symbol pops and a plain symbol leaves the stack
+/// untouched (paper §3.2).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Kind {
+    /// A call symbol `‹a` (pushes onto the stack).
+    Call,
+    /// A plain (internal) symbol `c` (no stack action).
+    Plain,
+    /// A return symbol `b›` (pops from the stack).
+    Return,
+}
+
+impl Kind {
+    /// Returns `true` for [`Kind::Call`].
+    #[must_use]
+    pub fn is_call(self) -> bool {
+        self == Kind::Call
+    }
+
+    /// Returns `true` for [`Kind::Plain`].
+    #[must_use]
+    pub fn is_plain(self) -> bool {
+        self == Kind::Plain
+    }
+
+    /// Returns `true` for [`Kind::Return`].
+    #[must_use]
+    pub fn is_return(self) -> bool {
+        self == Kind::Return
+    }
+}
+
+impl fmt::Display for Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Kind::Call => write!(f, "call"),
+            Kind::Plain => write!(f, "plain"),
+            Kind::Return => write!(f, "return"),
+        }
+    }
+}
+
+/// A character together with the kind assigned to it by a tagging function.
+///
+/// Displayed as `‹a` for calls, `a›` for returns and `a` for plain characters,
+/// mirroring the paper's notation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaggedChar {
+    /// The underlying (untagged) character.
+    pub ch: char,
+    /// The kind assigned by the tagging function.
+    pub kind: Kind,
+}
+
+impl TaggedChar {
+    /// A call symbol `‹ch`.
+    #[must_use]
+    pub fn call(ch: char) -> Self {
+        TaggedChar { ch, kind: Kind::Call }
+    }
+
+    /// A plain symbol `ch`.
+    #[must_use]
+    pub fn plain(ch: char) -> Self {
+        TaggedChar { ch, kind: Kind::Plain }
+    }
+
+    /// A return symbol `ch›`.
+    #[must_use]
+    pub fn ret(ch: char) -> Self {
+        TaggedChar { ch, kind: Kind::Return }
+    }
+}
+
+impl fmt::Display for TaggedChar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            Kind::Call => write!(f, "‹{}", self.ch),
+            Kind::Plain => write!(f, "{}", self.ch),
+            Kind::Return => write!(f, "{}›", self.ch),
+        }
+    }
+}
+
+/// Renders a tagged string using the paper's `‹a … b›` notation.
+#[must_use]
+pub fn display_tagged(s: &[TaggedChar]) -> String {
+    s.iter().map(ToString::to_string).collect()
+}
+
+/// Strips the tags from a tagged string, recovering the raw character string.
+#[must_use]
+pub fn untag(s: &[TaggedChar]) -> String {
+    s.iter().map(|t| t.ch).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(Kind::Call.is_call());
+        assert!(!Kind::Call.is_plain());
+        assert!(Kind::Plain.is_plain());
+        assert!(Kind::Return.is_return());
+        assert!(!Kind::Return.is_call());
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(Kind::Call.to_string(), "call");
+        assert_eq!(Kind::Plain.to_string(), "plain");
+        assert_eq!(Kind::Return.to_string(), "return");
+    }
+
+    #[test]
+    fn tagged_char_constructors_and_display() {
+        assert_eq!(TaggedChar::call('a').to_string(), "‹a");
+        assert_eq!(TaggedChar::ret('b').to_string(), "b›");
+        assert_eq!(TaggedChar::plain('c').to_string(), "c");
+    }
+
+    #[test]
+    fn display_and_untag_roundtrip() {
+        let s = vec![TaggedChar::call('a'), TaggedChar::plain('c'), TaggedChar::ret('b')];
+        assert_eq!(display_tagged(&s), "‹acb›");
+        assert_eq!(untag(&s), "acb");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![TaggedChar::ret('b'), TaggedChar::call('a'), TaggedChar::plain('a')];
+        v.sort();
+        assert_eq!(v[0].ch, 'a');
+    }
+}

@@ -1,0 +1,273 @@
+//! Tagging functions `t : Σ → Σ̂` (paper §4.1).
+//!
+//! A tagging maps every character to a call, return or plain symbol. Following the
+//! paper's *Unique Pairing* assumption, a tagging is represented as a set of
+//! disjoint `(call, return)` character pairs; every character not mentioned in a
+//! pair is a plain symbol.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::VplError;
+use crate::symbol::{Kind, TaggedChar};
+
+/// A tagging function with uniquely paired call/return characters.
+///
+/// # Example
+///
+/// ```
+/// use vstar_vpl::{Kind, Tagging};
+///
+/// let t = Tagging::from_pairs([('{', '}'), ('[', ']')]).unwrap();
+/// assert_eq!(t.kind('{'), Kind::Call);
+/// assert_eq!(t.kind(']'), Kind::Return);
+/// assert_eq!(t.kind('x'), Kind::Plain);
+/// assert!(t.is_well_matched("{[x]}"));
+/// assert!(!t.is_well_matched("{[x}"));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Tagging {
+    /// The call/return pairs, in insertion order. The index of a pair is used as the
+    /// module index of its call symbol in the k-SEVPA learner.
+    pairs: Vec<(char, char)>,
+    call_index: BTreeMap<char, usize>,
+    ret_index: BTreeMap<char, usize>,
+}
+
+impl Tagging {
+    /// The empty tagging: every character is a plain symbol.
+    #[must_use]
+    pub fn new() -> Self {
+        Tagging::default()
+    }
+
+    /// Builds a tagging from `(call, return)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VplError::AmbiguousTagging`] if a character appears in more than
+    /// one role (e.g. both as a call and a return symbol, or in two pairs).
+    pub fn from_pairs<I>(pairs: I) -> Result<Self, VplError>
+    where
+        I: IntoIterator<Item = (char, char)>,
+    {
+        let mut t = Tagging::new();
+        for (call, ret) in pairs {
+            t.add_pair(call, ret)?;
+        }
+        Ok(t)
+    }
+
+    /// Adds one `(call, return)` pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VplError::AmbiguousTagging`] if either character is already used
+    /// by this tagging (including `call == ret`).
+    pub fn add_pair(&mut self, call: char, ret: char) -> Result<(), VplError> {
+        if call == ret {
+            return Err(VplError::AmbiguousTagging { ch: call });
+        }
+        for &ch in &[call, ret] {
+            if self.call_index.contains_key(&ch) || self.ret_index.contains_key(&ch) {
+                return Err(VplError::AmbiguousTagging { ch });
+            }
+        }
+        let idx = self.pairs.len();
+        self.pairs.push((call, ret));
+        self.call_index.insert(call, idx);
+        self.ret_index.insert(ret, idx);
+        Ok(())
+    }
+
+    /// The number of call/return pairs (the `k` of the k-SEVPA).
+    #[must_use]
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Returns `true` if the tagging has no call/return pairs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The `(call, return)` pairs in insertion order.
+    #[must_use]
+    pub fn pairs(&self) -> &[(char, char)] {
+        &self.pairs
+    }
+
+    /// The call characters in pair order.
+    pub fn call_symbols(&self) -> impl Iterator<Item = char> + '_ {
+        self.pairs.iter().map(|&(c, _)| c)
+    }
+
+    /// The return characters in pair order.
+    pub fn return_symbols(&self) -> impl Iterator<Item = char> + '_ {
+        self.pairs.iter().map(|&(_, r)| r)
+    }
+
+    /// The kind assigned to `ch` by this tagging.
+    #[must_use]
+    pub fn kind(&self, ch: char) -> Kind {
+        if self.call_index.contains_key(&ch) {
+            Kind::Call
+        } else if self.ret_index.contains_key(&ch) {
+            Kind::Return
+        } else {
+            Kind::Plain
+        }
+    }
+
+    /// The pair index (module index) of a call character, if it is one.
+    #[must_use]
+    pub fn call_pair_index(&self, ch: char) -> Option<usize> {
+        self.call_index.get(&ch).copied()
+    }
+
+    /// The pair index of a return character, if it is one.
+    #[must_use]
+    pub fn return_pair_index(&self, ch: char) -> Option<usize> {
+        self.ret_index.get(&ch).copied()
+    }
+
+    /// The return character paired with call character `call`, if any.
+    #[must_use]
+    pub fn matching_return(&self, call: char) -> Option<char> {
+        self.call_index.get(&call).map(|&i| self.pairs[i].1)
+    }
+
+    /// The call character paired with return character `ret`, if any.
+    #[must_use]
+    pub fn matching_call(&self, ret: char) -> Option<char> {
+        self.ret_index.get(&ret).map(|&i| self.pairs[i].0)
+    }
+
+    /// Tags a string: `t(s) = t(s[1]) … t(s[n])` (paper §4.1).
+    #[must_use]
+    pub fn tag(&self, s: &str) -> Vec<TaggedChar> {
+        s.chars().map(|ch| TaggedChar { ch, kind: self.kind(ch) }).collect()
+    }
+
+    /// Returns `true` if `s` is well matched under this tagging: every call has a
+    /// later matching return of the **paired** character, and vice versa.
+    ///
+    /// This is the notion used throughout the paper's tagging-inference algorithm:
+    /// e.g. under the Figure-1 grammar, the tagging `{(a,h),(g,b)}` does *not* make
+    /// `agcdcdhbcd` well matched even though the string is structurally balanced,
+    /// because `a` would be closed by `b`, not by its paired return `h`.
+    #[must_use]
+    pub fn is_well_matched(&self, s: &str) -> bool {
+        let tagged = self.tag(s);
+        let Some(matches) = crate::nested::matching_positions(&tagged) else {
+            return false;
+        };
+        tagged.iter().enumerate().all(|(i, t)| match t.kind {
+            Kind::Call => {
+                let j = matches[i].expect("calls are matched in a balanced string");
+                self.matching_return(t.ch) == Some(tagged[j].ch)
+            }
+            _ => true,
+        })
+    }
+
+    /// Whether this tagging is a sub-tagging of `other` (every pair of `self` is a
+    /// pair of `other`).
+    #[must_use]
+    pub fn is_subset_of(&self, other: &Tagging) -> bool {
+        self.pairs.iter().all(|p| other.pairs.contains(p))
+    }
+}
+
+impl fmt::Display for Tagging {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (c, r)) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "(‹{c}, {r}›)")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tagging_is_all_plain() {
+        let t = Tagging::new();
+        assert!(t.is_empty());
+        assert_eq!(t.kind('a'), Kind::Plain);
+        assert!(t.is_well_matched("abc"));
+    }
+
+    #[test]
+    fn from_pairs_assigns_kinds() {
+        let t = Tagging::from_pairs([('a', 'b')]).unwrap();
+        assert_eq!(t.kind('a'), Kind::Call);
+        assert_eq!(t.kind('b'), Kind::Return);
+        assert_eq!(t.kind('c'), Kind::Plain);
+        assert_eq!(t.pair_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_characters_rejected() {
+        assert!(Tagging::from_pairs([('a', 'a')]).is_err());
+        assert!(Tagging::from_pairs([('a', 'b'), ('a', 'c')]).is_err());
+        assert!(Tagging::from_pairs([('a', 'b'), ('c', 'b')]).is_err());
+        assert!(Tagging::from_pairs([('a', 'b'), ('b', 'c')]).is_err());
+    }
+
+    #[test]
+    fn pair_lookup() {
+        let t = Tagging::from_pairs([('a', 'b'), ('g', 'h')]).unwrap();
+        assert_eq!(t.matching_return('a'), Some('b'));
+        assert_eq!(t.matching_call('h'), Some('g'));
+        assert_eq!(t.matching_return('x'), None);
+        assert_eq!(t.call_pair_index('g'), Some(1));
+        assert_eq!(t.return_pair_index('b'), Some(0));
+    }
+
+    #[test]
+    fn well_matchedness() {
+        let t = Tagging::from_pairs([('a', 'b'), ('g', 'h')]).unwrap();
+        assert!(t.is_well_matched(""));
+        assert!(t.is_well_matched("agcdcdhbcd"));
+        assert!(t.is_well_matched("ab"));
+        assert!(!t.is_well_matched("a"));
+        assert!(!t.is_well_matched("b"));
+        assert!(!t.is_well_matched("ahgb")); // crossing pairs
+        assert!(!t.is_well_matched("agbh")); // interleaved pairs
+    }
+
+    #[test]
+    fn tag_preserves_characters() {
+        let t = Tagging::from_pairs([('(', ')')]).unwrap();
+        let tagged = t.tag("(x)");
+        assert_eq!(tagged.len(), 3);
+        assert_eq!(tagged[0], TaggedChar::call('('));
+        assert_eq!(tagged[1], TaggedChar::plain('x'));
+        assert_eq!(tagged[2], TaggedChar::ret(')'));
+        assert_eq!(crate::symbol::untag(&tagged), "(x)");
+    }
+
+    #[test]
+    fn subset_relation() {
+        let small = Tagging::from_pairs([('a', 'b')]).unwrap();
+        let big = Tagging::from_pairs([('a', 'b'), ('g', 'h')]).unwrap();
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(Tagging::new().is_subset_of(&small));
+    }
+
+    #[test]
+    fn display_format() {
+        let t = Tagging::from_pairs([('a', 'b')]).unwrap();
+        assert_eq!(t.to_string(), "{(‹a, b›)}");
+        assert_eq!(Tagging::new().to_string(), "{}");
+    }
+}

@@ -1,0 +1,561 @@
+//! Deterministic visibly pushdown automata (paper §3.3).
+//!
+//! A [`Vpa`] is a partial deterministic VPA over a [`Tagging`]: reading a call
+//! symbol pushes a stack symbol, a return symbol pops one and a plain symbol leaves
+//! the stack untouched. Missing transitions reject. Acceptance requires ending in an
+//! accepting state **with an empty stack** (the well-matched acceptance condition
+//! used by the paper's learner).
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use crate::error::VplError;
+use crate::symbol::{Kind, TaggedChar};
+use crate::tagging::Tagging;
+
+/// Identifier of a VPA state.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub usize);
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Identifier of a stack symbol (other than the implicit bottom symbol `⊥`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StackSymId(pub usize);
+
+/// A run configuration: current state plus the stack (top last, bottom implicit).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Configuration {
+    /// The current state.
+    pub state: StateId,
+    /// Pushed stack symbols, bottom first; the `⊥` bottom marker is implicit.
+    pub stack: Vec<StackSymId>,
+}
+
+/// The outcome of tracing a VPA over a tagged string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace {
+    /// Configuration after each prefix: `configs[i]` is the configuration after
+    /// reading `i` symbols. Always contains at least the initial configuration.
+    pub configs: Vec<Configuration>,
+    /// If the automaton got stuck (missing transition), the index of the symbol it
+    /// could not read.
+    pub stuck_at: Option<usize>,
+}
+
+impl Trace {
+    /// `true` if the whole input was consumed.
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        self.stuck_at.is_none()
+    }
+
+    /// The final configuration reached (the last one before getting stuck).
+    ///
+    /// # Panics
+    ///
+    /// Never panics: `configs` always holds the initial configuration.
+    #[must_use]
+    pub fn last(&self) -> &Configuration {
+        self.configs.last().expect("trace always has the initial configuration")
+    }
+}
+
+/// A deterministic (partial) visibly pushdown automaton.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Vpa {
+    tagging: Tagging,
+    n_states: usize,
+    n_stack_syms: usize,
+    initial: StateId,
+    accepting: BTreeSet<StateId>,
+    call_tr: HashMap<(StateId, char), (StateId, StackSymId)>,
+    ret_tr: HashMap<(StateId, char, StackSymId), StateId>,
+    /// Transitions taken when a return symbol is read with an empty stack
+    /// (the paper allows them; well-matched languages never exercise them).
+    ret_bottom_tr: HashMap<(StateId, char), StateId>,
+    plain_tr: HashMap<(StateId, char), StateId>,
+}
+
+impl Vpa {
+    /// The automaton's tagging function.
+    #[must_use]
+    pub fn tagging(&self) -> &Tagging {
+        &self.tagging
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.n_states
+    }
+
+    /// Number of (non-bottom) stack symbols.
+    #[must_use]
+    pub fn stack_symbol_count(&self) -> usize {
+        self.n_stack_syms
+    }
+
+    /// The initial state.
+    #[must_use]
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// The accepting states.
+    #[must_use]
+    pub fn accepting(&self) -> &BTreeSet<StateId> {
+        &self.accepting
+    }
+
+    /// Returns `true` if `state` is accepting.
+    #[must_use]
+    pub fn is_accepting(&self, state: StateId) -> bool {
+        self.accepting.contains(&state)
+    }
+
+    /// Iterates over all call transitions `(from, call) → (to, pushed)`.
+    pub fn call_transitions(
+        &self,
+    ) -> impl Iterator<Item = (StateId, char, StateId, StackSymId)> + '_ {
+        self.call_tr.iter().map(|(&(q, c), &(q2, g))| (q, c, q2, g))
+    }
+
+    /// Iterates over all return transitions `(from, ret, popped) → to`.
+    pub fn return_transitions(
+        &self,
+    ) -> impl Iterator<Item = (StateId, char, StackSymId, StateId)> + '_ {
+        self.ret_tr.iter().map(|(&(q, c, g), &q2)| (q, c, g, q2))
+    }
+
+    /// Iterates over all plain transitions `(from, plain) → to`.
+    pub fn plain_transitions(&self) -> impl Iterator<Item = (StateId, char, StateId)> + '_ {
+        self.plain_tr.iter().map(|(&(q, c), &q2)| (q, c, q2))
+    }
+
+    /// Performs one configuration step (paper §3.3). Returns `None` when the
+    /// required transition is missing.
+    #[must_use]
+    pub fn step(&self, config: &Configuration, sym: TaggedChar) -> Option<Configuration> {
+        match sym.kind {
+            Kind::Call => {
+                let &(q2, g) = self.call_tr.get(&(config.state, sym.ch))?;
+                let mut stack = config.stack.clone();
+                stack.push(g);
+                Some(Configuration { state: q2, stack })
+            }
+            Kind::Return => {
+                if let Some(&top) = config.stack.last() {
+                    let &q2 = self.ret_tr.get(&(config.state, sym.ch, top))?;
+                    let mut stack = config.stack.clone();
+                    stack.pop();
+                    Some(Configuration { state: q2, stack })
+                } else {
+                    let &q2 = self.ret_bottom_tr.get(&(config.state, sym.ch))?;
+                    Some(Configuration { state: q2, stack: Vec::new() })
+                }
+            }
+            Kind::Plain => {
+                let &q2 = self.plain_tr.get(&(config.state, sym.ch))?;
+                Some(Configuration { state: q2, stack: config.stack.clone() })
+            }
+        }
+    }
+
+    /// Runs the automaton over a pre-tagged string and records every configuration.
+    #[must_use]
+    pub fn trace_tagged(&self, input: &[TaggedChar]) -> Trace {
+        let mut configs = vec![Configuration { state: self.initial, stack: Vec::new() }];
+        for (i, &sym) in input.iter().enumerate() {
+            match self.step(configs.last().expect("nonempty"), sym) {
+                Some(next) => configs.push(next),
+                None => return Trace { configs, stuck_at: Some(i) },
+            }
+        }
+        Trace { configs, stuck_at: None }
+    }
+
+    /// Runs the automaton on a raw string, tagging it with the automaton's tagging.
+    #[must_use]
+    pub fn trace(&self, input: &str) -> Trace {
+        self.trace_tagged(&self.tagging.tag(input))
+    }
+
+    /// Returns `true` if the automaton accepts the (pre-tagged) string: the run
+    /// completes and ends in an accepting state with an empty stack.
+    #[must_use]
+    pub fn accepts_tagged(&self, input: &[TaggedChar]) -> bool {
+        let trace = self.trace_tagged(input);
+        if !trace.completed() {
+            return false;
+        }
+        let last = trace.last();
+        last.stack.is_empty() && self.is_accepting(last.state)
+    }
+
+    /// Returns `true` if the automaton accepts the raw string under its own tagging.
+    #[must_use]
+    pub fn accepts(&self, input: &str) -> bool {
+        self.accepts_tagged(&self.tagging.tag(input))
+    }
+}
+
+/// Builder for [`Vpa`] values.
+///
+/// # Example
+///
+/// ```
+/// use vstar_vpl::{Tagging, VpaBuilder};
+///
+/// // The Dyck language over a single pair of brackets with plain 'x' bodies.
+/// let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+/// let mut b = VpaBuilder::new(tagging);
+/// let q0 = b.add_state();
+/// let gamma = b.add_stack_symbol();
+/// b.set_initial(q0);
+/// b.add_accepting(q0);
+/// b.call(q0, '(', q0, gamma).unwrap();
+/// b.ret(q0, ')', gamma, q0).unwrap();
+/// b.plain(q0, 'x', q0).unwrap();
+/// let vpa = b.build().unwrap();
+/// assert!(vpa.accepts("((x)x)"));
+/// assert!(!vpa.accepts("((x)"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct VpaBuilder {
+    tagging: Tagging,
+    n_states: usize,
+    n_stack_syms: usize,
+    initial: Option<StateId>,
+    accepting: BTreeSet<StateId>,
+    call_tr: HashMap<(StateId, char), (StateId, StackSymId)>,
+    ret_tr: HashMap<(StateId, char, StackSymId), StateId>,
+    ret_bottom_tr: HashMap<(StateId, char), StateId>,
+    plain_tr: HashMap<(StateId, char), StateId>,
+}
+
+impl VpaBuilder {
+    /// Creates a builder over the given tagging.
+    #[must_use]
+    pub fn new(tagging: Tagging) -> Self {
+        VpaBuilder {
+            tagging,
+            n_states: 0,
+            n_stack_syms: 0,
+            initial: None,
+            accepting: BTreeSet::new(),
+            call_tr: HashMap::new(),
+            ret_tr: HashMap::new(),
+            ret_bottom_tr: HashMap::new(),
+            plain_tr: HashMap::new(),
+        }
+    }
+
+    /// Adds a fresh state.
+    pub fn add_state(&mut self) -> StateId {
+        let id = StateId(self.n_states);
+        self.n_states += 1;
+        id
+    }
+
+    /// Adds `count` fresh states and returns them.
+    pub fn add_states(&mut self, count: usize) -> Vec<StateId> {
+        (0..count).map(|_| self.add_state()).collect()
+    }
+
+    /// Adds a fresh stack symbol.
+    pub fn add_stack_symbol(&mut self) -> StackSymId {
+        let id = StackSymId(self.n_stack_syms);
+        self.n_stack_syms += 1;
+        id
+    }
+
+    /// Sets the initial state.
+    pub fn set_initial(&mut self, state: StateId) -> &mut Self {
+        self.initial = Some(state);
+        self
+    }
+
+    /// Marks a state as accepting.
+    pub fn add_accepting(&mut self, state: StateId) -> &mut Self {
+        self.accepting.insert(state);
+        self
+    }
+
+    fn check_state(&self, s: StateId) -> Result<(), VplError> {
+        if s.0 >= self.n_states {
+            return Err(VplError::UnknownState { index: s.0 });
+        }
+        Ok(())
+    }
+
+    /// Adds the call transition `(from, ‹call) → (to, push)`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown states, symbols that are not call symbols under the tagging,
+    /// and conflicting (nondeterministic) transitions.
+    pub fn call(
+        &mut self,
+        from: StateId,
+        call: char,
+        to: StateId,
+        push: StackSymId,
+    ) -> Result<&mut Self, VplError> {
+        self.check_state(from)?;
+        self.check_state(to)?;
+        if self.tagging.kind(call) != Kind::Call {
+            return Err(VplError::InvalidTransitionKind { ch: call, table: "call" });
+        }
+        if push.0 >= self.n_stack_syms {
+            return Err(VplError::UnknownState { index: push.0 });
+        }
+        if let Some(&existing) = self.call_tr.get(&(from, call)) {
+            if existing != (to, push) {
+                return Err(VplError::ConflictingTransition {
+                    detail: format!("call transition from {from} on {call:?} already defined"),
+                });
+            }
+        }
+        self.call_tr.insert((from, call), (to, push));
+        Ok(self)
+    }
+
+    /// Adds the return transition `(from, ret›, pop) → to`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown states, symbols that are not return symbols under the
+    /// tagging, and conflicting transitions.
+    pub fn ret(
+        &mut self,
+        from: StateId,
+        ret: char,
+        pop: StackSymId,
+        to: StateId,
+    ) -> Result<&mut Self, VplError> {
+        self.check_state(from)?;
+        self.check_state(to)?;
+        if self.tagging.kind(ret) != Kind::Return {
+            return Err(VplError::InvalidTransitionKind { ch: ret, table: "return" });
+        }
+        if pop.0 >= self.n_stack_syms {
+            return Err(VplError::UnknownState { index: pop.0 });
+        }
+        if let Some(&existing) = self.ret_tr.get(&(from, ret, pop)) {
+            if existing != to {
+                return Err(VplError::ConflictingTransition {
+                    detail: format!("return transition from {from} on {ret:?} already defined"),
+                });
+            }
+        }
+        self.ret_tr.insert((from, ret, pop), to);
+        Ok(self)
+    }
+
+    /// Adds a return transition taken on an empty stack.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown states and symbols that are not return symbols.
+    pub fn ret_on_empty(
+        &mut self,
+        from: StateId,
+        ret: char,
+        to: StateId,
+    ) -> Result<&mut Self, VplError> {
+        self.check_state(from)?;
+        self.check_state(to)?;
+        if self.tagging.kind(ret) != Kind::Return {
+            return Err(VplError::InvalidTransitionKind { ch: ret, table: "return" });
+        }
+        self.ret_bottom_tr.insert((from, ret), to);
+        Ok(self)
+    }
+
+    /// Adds the plain transition `(from, plain) → to`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown states, symbols that are not plain, and conflicts.
+    pub fn plain(&mut self, from: StateId, plain: char, to: StateId) -> Result<&mut Self, VplError> {
+        self.check_state(from)?;
+        self.check_state(to)?;
+        if self.tagging.kind(plain) != Kind::Plain {
+            return Err(VplError::InvalidTransitionKind { ch: plain, table: "plain" });
+        }
+        if let Some(&existing) = self.plain_tr.get(&(from, plain)) {
+            if existing != to {
+                return Err(VplError::ConflictingTransition {
+                    detail: format!("plain transition from {from} on {plain:?} already defined"),
+                });
+            }
+        }
+        self.plain_tr.insert((from, plain), to);
+        Ok(self)
+    }
+
+    /// Finishes the automaton.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no state was declared or the initial state is missing.
+    pub fn build(self) -> Result<Vpa, VplError> {
+        if self.n_states == 0 {
+            return Err(VplError::EmptyGrammar);
+        }
+        let initial = self.initial.ok_or(VplError::UnknownState { index: usize::MAX })?;
+        Ok(Vpa {
+            tagging: self.tagging,
+            n_states: self.n_states,
+            n_stack_syms: self.n_stack_syms,
+            initial,
+            accepting: self.accepting,
+            call_tr: self.call_tr,
+            ret_tr: self.ret_tr,
+            ret_bottom_tr: self.ret_bottom_tr,
+            plain_tr: self.plain_tr,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dyck_vpa() -> Vpa {
+        let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+        let mut b = VpaBuilder::new(tagging);
+        let q0 = b.add_state();
+        let gamma = b.add_stack_symbol();
+        b.set_initial(q0);
+        b.add_accepting(q0);
+        b.call(q0, '(', q0, gamma).unwrap();
+        b.ret(q0, ')', gamma, q0).unwrap();
+        b.plain(q0, 'x', q0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dyck_acceptance() {
+        let vpa = dyck_vpa();
+        assert!(vpa.accepts(""));
+        assert!(vpa.accepts("x"));
+        assert!(vpa.accepts("(x)"));
+        assert!(vpa.accepts("((x)(x))x"));
+        assert!(!vpa.accepts("("));
+        assert!(!vpa.accepts(")"));
+        assert!(!vpa.accepts("(x))"));
+        assert!(!vpa.accepts("y"));
+    }
+
+    #[test]
+    fn trace_records_configurations() {
+        let vpa = dyck_vpa();
+        let t = vpa.trace("(x)");
+        assert!(t.completed());
+        assert_eq!(t.configs.len(), 4);
+        assert_eq!(t.configs[1].stack.len(), 1);
+        assert_eq!(t.configs[3].stack.len(), 0);
+        assert!(t.last().stack.is_empty());
+    }
+
+    #[test]
+    fn trace_reports_stuck_position() {
+        let vpa = dyck_vpa();
+        let t = vpa.trace("(y)");
+        assert_eq!(t.stuck_at, Some(1));
+        assert_eq!(t.configs.len(), 2);
+        assert!(!vpa.accepts("(y)"));
+    }
+
+    #[test]
+    fn counting_vpa_distinguishes_depth() {
+        // Language: { (^k x )^k | k ≥ 0 } with at most depth 2 states distinguishing
+        // acceptance of the inner body.
+        let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+        let mut b = VpaBuilder::new(tagging);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let g = b.add_stack_symbol();
+        b.set_initial(q0);
+        b.add_accepting(q1);
+        b.call(q0, '(', q0, g).unwrap();
+        b.plain(q0, 'x', q1).unwrap();
+        b.ret(q1, ')', g, q1).unwrap();
+        let vpa = b.build().unwrap();
+        assert!(vpa.accepts("x"));
+        assert!(vpa.accepts("(x)"));
+        assert!(vpa.accepts("(((x)))"));
+        assert!(!vpa.accepts("(x"));
+        assert!(!vpa.accepts("(x))"));
+        assert!(!vpa.accepts(""));
+    }
+
+    #[test]
+    fn builder_rejects_wrong_kinds() {
+        let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+        let mut b = VpaBuilder::new(tagging);
+        let q0 = b.add_state();
+        let g = b.add_stack_symbol();
+        assert!(b.call(q0, 'x', q0, g).is_err());
+        assert!(b.ret(q0, '(', g, q0).is_err());
+        assert!(b.plain(q0, ')', q0).is_err());
+    }
+
+    #[test]
+    fn builder_rejects_conflicts_and_unknowns() {
+        let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+        let mut b = VpaBuilder::new(tagging);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let _g = b.add_stack_symbol();
+        b.plain(q0, 'x', q0).unwrap();
+        assert!(b.plain(q0, 'x', q1).is_err());
+        assert!(b.plain(StateId(9), 'x', q0).is_err());
+        assert!(b.call(q0, '(', q0, StackSymId(5)).is_err());
+        // Re-adding the identical transition is fine.
+        assert!(b.plain(q0, 'x', q0).is_ok());
+    }
+
+    #[test]
+    fn build_requires_initial_state() {
+        let tagging = Tagging::new();
+        let mut b = VpaBuilder::new(tagging.clone());
+        b.add_state();
+        assert!(b.build().is_err());
+        let b = VpaBuilder::new(tagging);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn return_on_empty_stack() {
+        let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+        let mut b = VpaBuilder::new(tagging);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(q1);
+        b.ret_on_empty(q0, ')', q1).unwrap();
+        let vpa = b.build().unwrap();
+        // ")" pops on the empty stack and reaches the accepting state with an
+        // empty stack, so it is accepted under the paper's VPA semantics.
+        assert!(vpa.accepts(")"));
+        assert!(!vpa.accepts("))"));
+    }
+
+    #[test]
+    fn transition_iterators() {
+        let vpa = dyck_vpa();
+        assert_eq!(vpa.call_transitions().count(), 1);
+        assert_eq!(vpa.return_transitions().count(), 1);
+        assert_eq!(vpa.plain_transitions().count(), 1);
+        assert_eq!(vpa.state_count(), 1);
+        assert_eq!(vpa.stack_symbol_count(), 1);
+        assert!(vpa.is_accepting(vpa.initial()));
+    }
+}

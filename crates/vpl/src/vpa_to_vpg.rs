@@ -1,0 +1,246 @@
+//! Conversion of a (well-matched) VPA into a well-matched VPG.
+//!
+//! V-Star's learner produces a VPA; the paper converts it into a VPG "using methods
+//! outlined by Alur and Madhusudan [2004]" (§6). The construction used here is the
+//! standard one: a nonterminal `N[p,q]` generates exactly the well-matched strings
+//! that take state `p` to state `q` without inspecting the stack below the starting
+//! height, and the start symbol unions `N[q0, qf]` over accepting `qf`.
+
+use crate::grammar::{NonterminalId, RuleRhs, Vpg, VpgBuilder};
+use crate::vpa::Vpa;
+
+/// Converts a VPA into an equivalent well-matched VPG.
+///
+/// The resulting grammar generates exactly the *well-matched* strings accepted by
+/// `vpa` (acceptance with an empty stack). The output is trimmed: unreachable and
+/// unproductive nonterminals are removed.
+///
+/// # Example
+///
+/// ```
+/// use vstar_vpl::{Tagging, VpaBuilder, vpa_to_vpg};
+///
+/// let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+/// let mut b = VpaBuilder::new(tagging);
+/// let q0 = b.add_state();
+/// let g = b.add_stack_symbol();
+/// b.set_initial(q0);
+/// b.add_accepting(q0);
+/// b.call(q0, '(', q0, g).unwrap();
+/// b.ret(q0, ')', g, q0).unwrap();
+/// b.plain(q0, 'x', q0).unwrap();
+/// let vpa = b.build().unwrap();
+/// let vpg = vpa_to_vpg(&vpa);
+/// assert!(vpg.accepts("(x(x))"));
+/// assert!(!vpg.accepts("(x"));
+/// ```
+#[must_use]
+pub fn vpa_to_vpg(vpa: &Vpa) -> Vpg {
+    let n = vpa.state_count();
+    let mut builder = VpgBuilder::new(vpa.tagging().clone());
+
+    // Start nonterminal first so that it survives trimming as NonterminalId(0).
+    let start = builder.nonterminal("S");
+    let mut pair_nt = vec![vec![NonterminalId(0); n]; n];
+    for p in 0..n {
+        for q in 0..n {
+            pair_nt[p][q] = builder.nonterminal(&format!("N[q{p},q{q}]"));
+        }
+    }
+
+    // N[p,p] → ε
+    for (p, row) in pair_nt.iter().enumerate() {
+        builder.empty_rule(row[p]);
+    }
+
+    // Plain rules: N[p,q] → c N[p',q]
+    let plain: Vec<_> = vpa.plain_transitions().collect();
+    for &(p, c, p2) in &plain {
+        for q in 0..n {
+            builder.linear_rule(pair_nt[p.0][q], c, pair_nt[p2.0][q]);
+        }
+    }
+
+    // Matching rules: for call (p, ‹a) → (p1, γ) and return (q1, b›, γ) → p2:
+    //   N[p,q] → ‹a N[p1,q1] b› N[p2,q]
+    let calls: Vec<_> = vpa.call_transitions().collect();
+    let rets: Vec<_> = vpa.return_transitions().collect();
+    for &(p, a, p1, gamma) in &calls {
+        for &(q1, b, gamma2, p2) in &rets {
+            if gamma != gamma2 {
+                continue;
+            }
+            for q in 0..n {
+                builder.match_rule(pair_nt[p.0][q], a, pair_nt[p1.0][q1.0], b, pair_nt[p2.0][q]);
+            }
+        }
+    }
+
+    // Start symbol: copy the alternatives of N[q0, qf] for every accepting qf. This
+    // keeps the strict rule shapes of Definition 3.1 while expressing the union.
+    let q0 = vpa.initial().0;
+    let mut start_rules: Vec<RuleRhs> = Vec::new();
+    for qf in vpa.accepting() {
+        let source = pair_nt[q0][qf.0];
+        // The alternatives of `source` were all added above; recompute them here to
+        // avoid borrowing issues with the builder.
+        if q0 == qf.0 {
+            start_rules.push(RuleRhs::Empty);
+        }
+        for &(p, c, p2) in &plain {
+            if p.0 == q0 {
+                start_rules.push(RuleRhs::Linear { plain: c, next: pair_nt[p2.0][qf.0] });
+            }
+        }
+        for &(p, a, p1, gamma) in &calls {
+            if p.0 != q0 {
+                continue;
+            }
+            for &(q1, b, gamma2, p2) in &rets {
+                if gamma != gamma2 {
+                    continue;
+                }
+                start_rules.push(RuleRhs::Match {
+                    call: a,
+                    inner: pair_nt[p1.0][q1.0],
+                    ret: b,
+                    next: pair_nt[p2.0][qf.0],
+                });
+            }
+        }
+        let _ = source;
+    }
+    for rhs in start_rules {
+        match rhs {
+            RuleRhs::Empty => {
+                builder.empty_rule(start);
+            }
+            RuleRhs::Linear { plain, next } => {
+                builder.linear_rule(start, plain, next);
+            }
+            RuleRhs::Match { call, inner, ret, next } => {
+                builder.match_rule(start, call, inner, ret, next);
+            }
+        }
+    }
+
+    builder
+        .build(start)
+        .expect("conversion produces a structurally valid grammar")
+        .trimmed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tagging::Tagging;
+    use crate::vpa::VpaBuilder;
+    use crate::words::all_strings;
+
+    fn language_agrees(vpa: &Vpa, vpg: &Vpg, alphabet: &[char], max_len: usize) {
+        for w in all_strings(alphabet, max_len) {
+            assert_eq!(
+                vpa.accepts(&w),
+                vpg.accepts(&w),
+                "VPA and converted VPG disagree on {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dyck_conversion_preserves_language() {
+        let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+        let mut b = VpaBuilder::new(tagging);
+        let q0 = b.add_state();
+        let g = b.add_stack_symbol();
+        b.set_initial(q0);
+        b.add_accepting(q0);
+        b.call(q0, '(', q0, g).unwrap();
+        b.ret(q0, ')', g, q0).unwrap();
+        b.plain(q0, 'x', q0).unwrap();
+        let vpa = b.build().unwrap();
+        let vpg = vpa_to_vpg(&vpa);
+        language_agrees(&vpa, &vpg, &['(', ')', 'x'], 6);
+    }
+
+    #[test]
+    fn two_state_conversion_preserves_language() {
+        // { (^k x )^k | k ≥ 0 }
+        let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+        let mut b = VpaBuilder::new(tagging);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let g = b.add_stack_symbol();
+        b.set_initial(q0);
+        b.add_accepting(q1);
+        b.call(q0, '(', q0, g).unwrap();
+        b.plain(q0, 'x', q1).unwrap();
+        b.ret(q1, ')', g, q1).unwrap();
+        let vpa = b.build().unwrap();
+        let vpg = vpa_to_vpg(&vpa);
+        assert!(vpg.accepts("x"));
+        assert!(vpg.accepts("((x))"));
+        assert!(!vpg.accepts("((x)"));
+        language_agrees(&vpa, &vpg, &['(', ')', 'x'], 7);
+    }
+
+    #[test]
+    fn distinct_stack_symbols_are_respected() {
+        // Two call symbols pushing different stack symbols; returns must match.
+        // Language: { a w b | w in D } ∪ { c w d | w in D } over pairs (a,b),(c,d)
+        // where D is the Dyck-style body containing 'x' only.
+        let tagging = Tagging::from_pairs([('a', 'b'), ('c', 'd')]).unwrap();
+        let mut bld = VpaBuilder::new(tagging);
+        let q0 = bld.add_state();
+        let q1 = bld.add_state(); // inside any bracket
+        let qf = bld.add_state();
+        let ga = bld.add_stack_symbol();
+        let gc = bld.add_stack_symbol();
+        bld.set_initial(q0);
+        bld.add_accepting(qf);
+        bld.call(q0, 'a', q1, ga).unwrap();
+        bld.call(q0, 'c', q1, gc).unwrap();
+        bld.plain(q1, 'x', q1).unwrap();
+        bld.ret(q1, 'b', ga, qf).unwrap();
+        bld.ret(q1, 'd', gc, qf).unwrap();
+        let vpa = bld.build().unwrap();
+        let vpg = vpa_to_vpg(&vpa);
+        assert!(vpg.accepts("axb"));
+        assert!(vpg.accepts("cxd"));
+        assert!(!vpg.accepts("axd"));
+        assert!(!vpg.accepts("cxb"));
+        language_agrees(&vpa, &vpg, &['a', 'b', 'c', 'd', 'x'], 5);
+    }
+
+    #[test]
+    fn empty_language_conversion() {
+        let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+        let mut b = VpaBuilder::new(tagging);
+        let q0 = b.add_state();
+        b.set_initial(q0);
+        // No accepting state: the language is empty.
+        let vpa = b.build().unwrap();
+        let vpg = vpa_to_vpg(&vpa);
+        for w in all_strings(&['(', ')', 'x'], 4) {
+            assert!(!vpg.accepts(&w));
+        }
+    }
+
+    #[test]
+    fn conversion_is_trimmed() {
+        let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+        let mut b = VpaBuilder::new(tagging);
+        let q0 = b.add_state();
+        let _unreachable = b.add_state();
+        let g = b.add_stack_symbol();
+        b.set_initial(q0);
+        b.add_accepting(q0);
+        b.call(q0, '(', q0, g).unwrap();
+        b.ret(q0, ')', g, q0).unwrap();
+        let vpa = b.build().unwrap();
+        let vpg = vpa_to_vpg(&vpa);
+        // 2 states would give 4 pair nonterminals + start = 5; trimming should cut
+        // the ones involving the unreachable state.
+        assert!(vpg.nonterminal_count() <= 3, "got {}", vpg.nonterminal_count());
+    }
+}

@@ -1,0 +1,85 @@
+//! Small word-enumeration helpers used by tests and exhaustive equivalence checks.
+
+/// Enumerates every string over `alphabet` of length at most `max_len`, shortest
+/// first (and in alphabet order within a length).
+///
+/// The number of strings grows as `|alphabet|^max_len`; keep the bound small.
+#[must_use]
+pub fn all_strings(alphabet: &[char], max_len: usize) -> Vec<String> {
+    let mut out = vec![String::new()];
+    let mut frontier = vec![String::new()];
+    for _ in 0..max_len {
+        let mut next = Vec::with_capacity(frontier.len() * alphabet.len());
+        for prefix in &frontier {
+            for &c in alphabet {
+                let mut s = prefix.clone();
+                s.push(c);
+                next.push(s);
+            }
+        }
+        out.extend(next.iter().cloned());
+        frontier = next;
+    }
+    out
+}
+
+/// Enumerates every contiguous substring (including the empty string once) of `s`.
+#[must_use]
+pub fn substrings(s: &str) -> Vec<String> {
+    let chars: Vec<char> = s.chars().collect();
+    let mut out = vec![String::new()];
+    for i in 0..chars.len() {
+        for j in i + 1..=chars.len() {
+            out.push(chars[i..j].iter().collect());
+        }
+    }
+    out
+}
+
+/// All prefixes of `s`, shortest first, including the empty prefix and `s` itself.
+#[must_use]
+pub fn prefixes(s: &str) -> Vec<String> {
+    let chars: Vec<char> = s.chars().collect();
+    (0..=chars.len()).map(|i| chars[..i].iter().collect()).collect()
+}
+
+/// All suffixes of `s`, longest first, including `s` itself and the empty suffix.
+#[must_use]
+pub fn suffixes(s: &str) -> Vec<String> {
+    let chars: Vec<char> = s.chars().collect();
+    (0..=chars.len()).map(|i| chars[i..].iter().collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_strings_counts() {
+        let words = all_strings(&['a', 'b'], 3);
+        assert_eq!(words.len(), 1 + 2 + 4 + 8);
+        assert_eq!(words[0], "");
+        assert!(words.contains(&"aba".to_string()));
+    }
+
+    #[test]
+    fn all_strings_empty_alphabet() {
+        assert_eq!(all_strings(&[], 5), vec![String::new()]);
+    }
+
+    #[test]
+    fn substrings_of_abc() {
+        let subs = substrings("abc");
+        assert!(subs.contains(&String::new()));
+        assert!(subs.contains(&"ab".to_string()));
+        assert!(subs.contains(&"bc".to_string()));
+        assert!(subs.contains(&"abc".to_string()));
+        assert_eq!(subs.len(), 1 + 6);
+    }
+
+    #[test]
+    fn prefix_suffix() {
+        assert_eq!(prefixes("ab"), vec!["", "a", "ab"]);
+        assert_eq!(suffixes("ab"), vec!["ab", "b", ""]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Head-to-head comparison of V-Star against the GLADE-style and ARVADA-style
+//! baselines on one grammar — a single row of the paper's Table 1.
+//!
+//! Run with: `cargo run --example compare_baselines --release [-- grammar]`
+//! (default grammar: lisp; options: json lisp xml while mathexpr)
+
+use vstar_eval::{evaluate_arvada, evaluate_glade, evaluate_vstar, EvalConfig, Table1Report};
+use vstar_oracles::{table1_languages, Language};
+
+fn main() {
+    let grammar = std::env::args().nth(1).unwrap_or_else(|| "lisp".to_string());
+    let Some(lang): Option<Box<dyn Language>> =
+        table1_languages().into_iter().find(|l| l.name() == grammar)
+    else {
+        eprintln!("unknown grammar {grammar:?}; available: json lisp xml while mathexpr");
+        std::process::exit(1);
+    };
+
+    let config = EvalConfig { recall_samples: 120, precision_samples: 120, ..EvalConfig::default() };
+    let mut report = Table1Report::new();
+    println!("evaluating GLADE-style baseline on {grammar} …");
+    report.push(evaluate_glade(lang.as_ref(), &config));
+    println!("evaluating ARVADA-style baseline on {grammar} …");
+    report.push(evaluate_arvada(lang.as_ref(), &config));
+    println!("evaluating V-Star on {grammar} …");
+    report.push(evaluate_vstar(lang.as_ref(), &config));
+    println!();
+    print!("{report}");
+}

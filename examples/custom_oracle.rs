@@ -1,0 +1,75 @@
+//! Bring your own black-box program: any `Fn(&str) -> bool` can serve as the
+//! membership oracle. This example learns the input language of a small
+//! "configuration file" recognizer defined inline (sections with nested blocks),
+//! a language none of the bundled oracles cover.
+//!
+//! Run with: `cargo run --example custom_oracle --release`
+
+use vstar::{Mat, VStar, VStarConfig};
+
+/// cfg   := entry*
+/// entry := [a-z]+ '=' [0-9]+ ';'  |  [a-z]+ '{' cfg '}'
+fn accepts_config(s: &str) -> bool {
+    fn ident(b: &[u8], mut p: usize) -> Option<usize> {
+        let start = p;
+        while p < b.len() && b[p].is_ascii_lowercase() {
+            p += 1;
+        }
+        (p > start).then_some(p)
+    }
+    fn cfg(b: &[u8], mut p: usize) -> Option<usize> {
+        loop {
+            if p >= b.len() || !b[p].is_ascii_lowercase() {
+                return Some(p);
+            }
+            p = ident(b, p)?;
+            match b.get(p) {
+                Some(b'=') => {
+                    p += 1;
+                    let start = p;
+                    while p < b.len() && b[p].is_ascii_digit() {
+                        p += 1;
+                    }
+                    if p == start || b.get(p) != Some(&b';') {
+                        return None;
+                    }
+                    p += 1;
+                }
+                Some(b'{') => {
+                    p = cfg(b, p + 1)?;
+                    if b.get(p) != Some(&b'}') {
+                        return None;
+                    }
+                    p += 1;
+                }
+                _ => return None,
+            }
+        }
+    }
+    s.is_ascii() && cfg(s.as_bytes(), 0) == Some(s.len())
+}
+
+fn main() {
+    let oracle = accepts_config;
+    let mat = Mat::new(&oracle);
+
+    let seeds = vec![
+        "x=1;".to_string(),
+        "srv{port=80;}".to_string(),
+        "a{b{c=2;}}".to_string(),
+        "log=9;net{ttl=3;}".to_string(),
+    ];
+    let mut alphabet: Vec<char> = vec!['=', ';', '{', '}'];
+    alphabet.extend('a'..='z');
+    alphabet.extend('0'..='9');
+
+    let result = VStar::new(VStarConfig::default())
+        .learn(&mat, &alphabet, &seeds)
+        .expect("custom oracle learning succeeds");
+
+    println!("inferred call/return tokens:\n{}", result.tokenizer);
+    println!("learned VPA: {} states, queries: {}", result.vpa.state_count(), result.stats.queries_total);
+    for probe in ["", "a=0;", "outer{inner{deep=7;}}x=1;", "a=;", "a{b=1;", "A=1;"] {
+        println!("  {probe:28} -> oracle={} learned={}", oracle(probe), result.accepts(&mat, probe));
+    }
+}

@@ -1,0 +1,34 @@
+//! The paper's Figure-2 toy XML example (§5): infer the multi-character call/return
+//! tokens `<p>` / `</p>` from the single seed `<p><p>p</p></p>`, convert the
+//! language with `conv_τ`, and learn a VPA over the converted alphabet.
+//!
+//! Run with: `cargo run --example fig2_toy_xml --release`
+
+use vstar::{Mat, VStar, VStarConfig};
+use vstar_oracles::{Language, ToyXml};
+
+fn main() {
+    let lang = ToyXml::new();
+    let oracle = |s: &str| lang.accepts(s);
+    let mat = Mat::new(&oracle);
+
+    let result = VStar::new(VStarConfig::default())
+        .learn(&mat, &lang.alphabet(), &lang.seeds())
+        .expect("fig2 learning succeeds");
+
+    println!("seed strings: {:?}", lang.seeds());
+    println!("inferred call/return tokens:\n{}", result.tokenizer);
+    println!("learned VPA: {} states", result.vpa.state_count());
+    println!("queries: {} ({} test strings)", result.stats.queries_total, result.stats.test_strings);
+
+    // The conversion of the seed mirrors the paper's ⊳<p>⊳<p>p</p>⊲</p>⊲ picture.
+    let converted = result.tokenizer.convert(&mat, "<p><p>p</p></p>");
+    println!("conv(<p><p>p</p></p>) has {} artificial markers", converted
+        .chars()
+        .filter(|&c| vstar::tokenizer::is_marker(c))
+        .count());
+
+    for probe in ["hello", "<p>deep</p>", "<p><p><p>x</p></p></p>", "<p>x", "<p></p>"] {
+        println!("  {probe:24} -> oracle={} learned={}", lang.accepts(probe), result.accepts(&mat, probe));
+    }
+}

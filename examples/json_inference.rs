@@ -1,0 +1,50 @@
+//! Learn the JSON input grammar from the bundled JSON recognizer — the workload of
+//! the paper's Table 1, row "json" — and report Table-1-style metrics.
+//!
+//! Run with: `cargo run --example json_inference --release`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vstar::{Mat, VStar, VStarConfig};
+use vstar_eval::{f1_score, precision, recall};
+use vstar_oracles::{Json, Language};
+
+fn main() {
+    let lang = Json::new();
+    let oracle = |s: &str| lang.accepts(s);
+    let mat = Mat::new(&oracle);
+
+    let result = VStar::new(VStarConfig::default())
+        .learn(&mat, &lang.alphabet(), &lang.seeds())
+        .expect("json learning succeeds");
+
+    println!("inferred call/return tokens:\n{}", result.tokenizer);
+    println!(
+        "queries: {} total ({:.2}% token inference, {:.2}% VPA learning), {} test strings",
+        result.stats.queries_total,
+        result.stats.token_query_percent(),
+        result.stats.vpa_query_percent(),
+        result.stats.test_strings
+    );
+
+    // Recall on 200 random JSON documents, precision on 200 samples from the
+    // learned grammar.
+    let mut rng = StdRng::seed_from_u64(7);
+    let corpus = lang.generate_corpus(&mut rng, 18, 200);
+    let learned = result.as_learned_language();
+    let r = recall(|s| learned.accepts(&mat, s), &corpus);
+
+    let sampler = result.vpg.sampler();
+    let samples: Vec<String> = (0..800)
+        .filter_map(|_| sampler.sample(&mut rng, 18))
+        .map(|s| vstar::tokenizer::strip_markers(&s))
+        .take(200)
+        .collect();
+    let p = precision(|s| lang.accepts(s), &samples);
+
+    println!("recall = {r:.3}, precision = {p:.3}, F1 = {:.3}", f1_score(r, p));
+    for probe in ["{\"deep\":[{\"x\":[1,2,3]}]}", "{\"{\":true}", "[1,2,", "{\"a\" :1}"] {
+        println!("  {probe:28} -> oracle={} learned={}", lang.accepts(probe), result.accepts(&mat, probe));
+    }
+}

@@ -1,0 +1,44 @@
+//! Quickstart: learn a visibly pushdown grammar for a tiny bracket language from a
+//! black-box membership oracle and two seed strings.
+//!
+//! Run with: `cargo run --example quickstart --release`
+
+use vstar::{Mat, VStar, VStarConfig};
+
+fn main() {
+    // The "black-box program": accepts balanced parentheses with 'x' bodies.
+    let oracle = |s: &str| {
+        let mut depth = 0i64;
+        for c in s.chars() {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return false;
+                    }
+                }
+                'x' => {}
+                _ => return false,
+            }
+        }
+        depth == 0
+    };
+
+    let mat = Mat::new(&oracle);
+    let seeds = vec!["(x(x))x".to_string(), "()".to_string()];
+    let alphabet = vec!['(', ')', 'x'];
+
+    let result = VStar::new(VStarConfig::default())
+        .learn(&mat, &alphabet, &seeds)
+        .expect("learning succeeds");
+
+    println!("inferred call/return tokens:\n{}", result.tokenizer);
+    println!("learned VPA: {} states", result.vpa.state_count());
+    println!("learned VPG:\n{}", result.vpg);
+    println!("statistics: {:?}", result.stats);
+
+    for probe in ["((x)x)", "(((x)))", "((x)", "xx", ")("] {
+        println!("  {probe:10} -> oracle={} learned={}", oracle(probe), result.accepts(&mat, probe));
+    }
+}

@@ -1,0 +1,4 @@
+//! Helper library for the runnable examples of the V-Star reproduction.
+//!
+//! The real functionality lives in the workspace crates; this package only hosts
+//! the `examples/` binaries listed in the root `Cargo.toml`.
