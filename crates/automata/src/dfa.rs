@@ -278,10 +278,8 @@ impl Dfa {
             }
         }
         // Initial partition: accepting vs non-accepting.
-        let mut class: HashMap<usize, usize> = reachable
-            .iter()
-            .map(|&s| (s, usize::from(complete.accepting.contains(&s))))
-            .collect();
+        let mut class: HashMap<usize, usize> =
+            reachable.iter().map(|&s| (s, usize::from(complete.accepting.contains(&s)))).collect();
         loop {
             let mut signature: HashMap<usize, Vec<usize>> = HashMap::new();
             for &s in &reachable {
@@ -336,11 +334,11 @@ impl Dfa {
         let init = n;
         let fin = n + 1;
         let mut edge: HashMap<(usize, usize), String> = HashMap::new();
-        let add_edge = |edges: &mut HashMap<(usize, usize), String>, a: usize, b: usize, re: String| {
-            edges
-                .entry((a, b))
-                .and_modify(|existing| *existing = alt(existing, &re))
-                .or_insert(re);
+        let add_edge = |edges: &mut HashMap<(usize, usize), String>,
+                        a: usize,
+                        b: usize,
+                        re: String| {
+            edges.entry((a, b)).and_modify(|existing| *existing = alt(existing, &re)).or_insert(re);
         };
         add_edge(&mut edge, init, self.initial, String::new());
         for &f in &self.accepting {
@@ -419,7 +417,11 @@ fn alt(a: &str, b: &str) -> String {
 
 impl fmt::Display for Dfa {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "DFA: {} states, initial q{}, accepting {:?}", self.n_states, self.initial, self.accepting)?;
+        writeln!(
+            f,
+            "DFA: {} states, initial q{}, accepting {:?}",
+            self.n_states, self.initial, self.accepting
+        )?;
         for (&(s, c), &t) in &self.transitions {
             writeln!(f, "  q{s} --{c}--> q{t}")?;
         }

@@ -146,11 +146,14 @@ impl<'a> LStar<'a> {
                         continue;
                     }
                     for &a in &self.alphabet.clone() {
-                        let (ra, rb) =
-                            (self.row(&format!("{}{a}", s_list[i])), self.row(&format!("{}{a}", s_list[j])));
+                        let (ra, rb) = (
+                            self.row(&format!("{}{a}", s_list[i])),
+                            self.row(&format!("{}{a}", s_list[j])),
+                        );
                         if ra != rb {
                             // Find the distinguishing suffix and add `a`+suffix to E.
-                            let k = ra.iter().zip(&rb).position(|(x, y)| x != y).expect("rows differ");
+                            let k =
+                                ra.iter().zip(&rb).position(|(x, y)| x != y).expect("rows differ");
                             let new_e = format!("{a}{}", self.e[k]);
                             if !self.e.contains(&new_e) {
                                 self.e.push(new_e);
@@ -270,7 +273,12 @@ mod tests {
     use super::*;
     use crate::regex::Regex;
 
-    fn exhaustive_agreement(target: &dyn Fn(&str) -> bool, dfa: &Dfa, alphabet: &[char], max_len: usize) {
+    fn exhaustive_agreement(
+        target: &dyn Fn(&str) -> bool,
+        dfa: &Dfa,
+        alphabet: &[char],
+        max_len: usize,
+    ) {
         let mut frontier = vec![String::new()];
         for _ in 0..=max_len {
             for w in &frontier {
@@ -310,10 +318,11 @@ mod tests {
         let re = Regex::parse("<[a-z]+>").unwrap();
         let alphabet: Vec<char> = vec!['<', '>', 'a', 'b'];
         let oracle = move |s: &str| re.is_match(s);
-        let tests: Vec<String> = ["", "<", ">", "<>", "<a>", "<ab>", "<aab>", "a", "<a", "a>", "<a>>", "<<a>"]
-            .iter()
-            .map(ToString::to_string)
-            .collect();
+        let tests: Vec<String> =
+            ["", "<", ">", "<>", "<a>", "<ab>", "<aab>", "a", "<a", "a>", "<a>>", "<<a>"]
+                .iter()
+                .map(ToString::to_string)
+                .collect();
         let dfa = learn_dfa(&alphabet, &oracle, &LStarConfig::with_test_strings(tests));
         assert!(dfa.accepts("<a>"));
         assert!(dfa.accepts("<ab>"));
@@ -376,7 +385,8 @@ mod tests {
             let target = Dfa::new(alphabet.to_vec(), n, 0, accepting, transitions);
             let t2 = target.clone();
             let oracle = move |s: &str| t2.accepts(s);
-            let learned = learn_dfa(&alphabet, &oracle, &LStarConfig::bounded_equivalence(2 * n + 2));
+            let learned =
+                learn_dfa(&alphabet, &oracle, &LStarConfig::bounded_equivalence(2 * n + 2));
             exhaustive_agreement(&|s| target.accepts(s), &learned, &alphabet, 2 * n + 2);
             assert!(learned.state_count() <= target.minimized().state_count());
         }

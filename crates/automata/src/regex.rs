@@ -167,15 +167,31 @@ pub fn render(ast: &Ast) -> String {
             Ast::Empty => String::new(),
             Ast::Class(c) => class_to_string(c),
             Ast::Concat(parts) => {
-                let body: String = parts.iter().map(|p| go(p, false)).map(|s| {
-                    // Alternations inside a concatenation need grouping.
-                    if s.contains('|') { format!("({s})") } else { s }
-                }).collect();
-                if parent_is_postfix { format!("({body})") } else { body }
+                let body: String = parts
+                    .iter()
+                    .map(|p| go(p, false))
+                    .map(|s| {
+                        // Alternations inside a concatenation need grouping.
+                        if s.contains('|') {
+                            format!("({s})")
+                        } else {
+                            s
+                        }
+                    })
+                    .collect();
+                if parent_is_postfix {
+                    format!("({body})")
+                } else {
+                    body
+                }
             }
             Ast::Alt(parts) => {
                 let body = parts.iter().map(|p| go(p, false)).collect::<Vec<_>>().join("|");
-                if parent_is_postfix { format!("({body})") } else { body }
+                if parent_is_postfix {
+                    format!("({body})")
+                } else {
+                    body
+                }
             }
             Ast::Star(inner) => format!("{}*", group_atom(inner)),
             Ast::Plus(inner) => format!("{}+", group_atom(inner)),
@@ -354,7 +370,7 @@ impl<'a> Parser<'a> {
             Some(c) if c == '*' || c == '+' || c == '?' => {
                 Err(self.error(format!("dangling operator {c:?}")))
             }
-            Some(c) if c == ')' => Err(self.error("unexpected ')'")),
+            Some(')') => Err(self.error("unexpected ')'")),
             Some(c) => Ok(Ast::Class(CharClass::single(c))),
         }
     }
@@ -377,7 +393,9 @@ impl<'a> Parser<'a> {
             if self.peek() == Some('-') && self.chars.get(self.pos + 1).is_some_and(|&n| n != ']') {
                 self.bump(); // '-'
                 let hi = match self.bump() {
-                    Some('\\') => self.bump().ok_or_else(|| self.error("dangling escape in class"))?,
+                    Some('\\') => {
+                        self.bump().ok_or_else(|| self.error("dangling escape in class"))?
+                    }
                     Some(h) => h,
                     None => return Err(self.error("unterminated range")),
                 };
@@ -488,7 +506,11 @@ mod tests {
             let re2 = Regex::parse(&rendered)
                 .unwrap_or_else(|e| panic!("re-render of {p:?} -> {rendered:?} failed: {e}"));
             for input in ["", "a", "ab", "abc", "abcd", "xyz", "xz", "e", "cde", "a*b", "y"] {
-                assert_eq!(re.is_match(input), re2.is_match(input), "{p:?} vs {rendered:?} on {input:?}");
+                assert_eq!(
+                    re.is_match(input),
+                    re2.is_match(input),
+                    "{p:?} vs {rendered:?} on {input:?}"
+                );
             }
         }
     }

@@ -119,11 +119,7 @@ impl Learner {
             Sym::T(c) => c.to_string(),
             Sym::N(i) if depth < 8 => {
                 let alts = &self.classes[i];
-                let alt = alts
-                    .iter()
-                    .min_by_key(|a| a.len())
-                    .cloned()
-                    .unwrap_or_default();
+                let alt = alts.iter().min_by_key(|a| a.len()).cloned().unwrap_or_default();
                 alt.iter().map(|&s| self.yield_of(s, depth + 1)).collect()
             }
             Sym::N(_) => String::new(),
@@ -305,10 +301,8 @@ impl Learner {
         for class in &mut self.classes {
             for alt in class.iter_mut() {
                 // Avoid trivially self-recursive single-symbol alternatives.
-                if alt.len() == span.len() || n_classes == 0 {
-                    if alt.as_slice() == span {
-                        continue;
-                    }
+                if (alt.len() == span.len() || n_classes == 0) && alt.as_slice() == span {
+                    continue;
                 }
                 replace(alt);
             }

@@ -160,7 +160,7 @@ impl Cfg {
                         };
                     }
                     if let Some(t) = total {
-                        if min[nt].map_or(true, |cur| t < cur) {
+                        if min[nt].is_none_or(|cur| t < cur) {
                             min[nt] = Some(t);
                             changed = true;
                         }
@@ -202,10 +202,8 @@ impl Cfg {
                 })
                 .try_fold(0usize, |acc, x| x.map(|v| acc + v))
         };
-        let alts: Vec<(&Vec<SymbolRef>, usize)> = self.rules[nt]
-            .iter()
-            .filter_map(|a| alt_min(a).map(|m| (a, m)))
-            .collect();
+        let alts: Vec<(&Vec<SymbolRef>, usize)> =
+            self.rules[nt].iter().filter_map(|a| alt_min(a).map(|m| (a, m))).collect();
         if alts.is_empty() {
             return None;
         }
@@ -275,7 +273,10 @@ mod tests {
         let mut g = Cfg::new();
         let e = g.add_nonterminal("E");
         g.set_start(e);
-        g.add_rule(e, vec![SymbolRef::Nonterminal(e), SymbolRef::Terminal('+'), SymbolRef::Terminal('a')]);
+        g.add_rule(
+            e,
+            vec![SymbolRef::Nonterminal(e), SymbolRef::Terminal('+'), SymbolRef::Terminal('a')],
+        );
         g.add_rule(e, vec![SymbolRef::Terminal('a')]);
         assert!(g.accepts("a"));
         assert!(g.accepts("a+a"));

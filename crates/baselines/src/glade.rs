@@ -104,7 +104,11 @@ fn pieces_to_ast(pieces: &[Piece]) -> Ast {
     }
 }
 
-fn render_with_replacement(seed_chars: &[char], range: (usize, usize), replacement: &str) -> String {
+fn render_with_replacement(
+    seed_chars: &[char],
+    range: (usize, usize),
+    replacement: &str,
+) -> String {
     let mut out: String = seed_chars[..range.0].iter().collect();
     out.push_str(replacement);
     out.extend(seed_chars[range.1..].iter());
@@ -143,9 +147,10 @@ fn generalize_seed(check: &dyn Fn(&str) -> bool, seed: &str, config: &GladeConfi
             while j < n && class.matches(chars[j]) {
                 j += 1;
             }
-            let ok = samples.iter().take(config.class_check_samples).all(|rep| {
-                check(&render_with_replacement(&chars, (i, j), rep))
-            });
+            let ok = samples
+                .iter()
+                .take(config.class_check_samples)
+                .all(|rep| check(&render_with_replacement(&chars, (i, j), rep)));
             if ok {
                 pieces.push((Piece::General(Ast::Plus(Box::new(Ast::Class(class)))), (i, j)));
             } else {
@@ -223,7 +228,7 @@ fn sample_ast(ast: &Ast, rng: &mut dyn rand::RngCore, budget: usize) -> String {
             (0..reps).map(|_| sample_ast(inner, rng, budget / 2)).collect()
         }
         Ast::Plus(inner) => {
-            let reps = rng.gen_range(1..=2.max(1));
+            let reps = rng.gen_range(1..=2.min(budget.max(1)));
             (0..reps).map(|_| sample_ast(inner, rng, budget / 2)).collect()
         }
         Ast::Opt(inner) => {
@@ -351,5 +356,20 @@ mod tests {
         assert!(glade.accepts("aaaab"));
         // Repetition blocks are one-or-more, so the invalid "b" stays rejected.
         assert!(!glade.accepts("b"));
+    }
+
+    #[test]
+    fn plus_sampling_respects_budget() {
+        // Regression: `Ast::Plus` sampling used `2.max(1)` (a constant 2) instead
+        // of capping the repetition count by the remaining budget like `Ast::Star`
+        // does, so exhausted budgets could still double the output.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let plus = Ast::Plus(Box::new(Ast::literal("a")));
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..200 {
+            let s = sample_ast(&plus, &mut rng, 1);
+            assert_eq!(s, "a", "budget 1 admits exactly one repetition");
+        }
     }
 }

@@ -17,9 +17,13 @@ fn bench_ablation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, &budget| {
             b.iter(|| {
                 let mat = Mat::new(&oracle);
-                let mut config = VStarConfig::default();
-                config.test_pool =
-                    TestPoolConfig { max_test_strings: budget, ..TestPoolConfig::default() };
+                let config = VStarConfig {
+                    test_pool: TestPoolConfig {
+                        max_test_strings: budget,
+                        ..TestPoolConfig::default()
+                    },
+                    ..VStarConfig::default()
+                };
                 let result = VStar::new(config)
                     .learn(&mat, &lang.alphabet(), &lang.seeds())
                     .expect("learning succeeds");

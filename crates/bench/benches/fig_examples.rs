@@ -24,8 +24,9 @@ fn bench_figures(c: &mut Criterion) {
                 token_discovery: TokenDiscovery::Characters,
                 ..VStarConfig::default()
             };
-            let result =
-                VStar::new(config).learn(&mat, &lang.alphabet(), &lang.seeds()).expect("fig1 learns");
+            let result = VStar::new(config)
+                .learn(&mat, &lang.alphabet(), &lang.seeds())
+                .expect("fig1 learns");
             black_box(result.stats.queries_total)
         });
     });

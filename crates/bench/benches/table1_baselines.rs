@@ -10,7 +10,9 @@ use vstar_oracles::{Json, Language, Lisp};
 fn bench_baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_baselines");
     group.sample_size(10);
-    for (name, lang) in [("json", Box::new(Json::new()) as Box<dyn Language>), ("lisp", Box::new(Lisp::new()))] {
+    for (name, lang) in
+        [("json", Box::new(Json::new()) as Box<dyn Language>), ("lisp", Box::new(Lisp::new()))]
+    {
         let seeds = lang.seeds();
         let oracle = |s: &str| lang.accepts(s);
         group.bench_function(format!("glade_{name}"), |b| {

@@ -6,7 +6,7 @@
 //! * **Ablation B — nesting bound K**: `candidateNesting` checks pumping up to a
 //!   bound `K`; this sweep varies `K` and reports query counts and success.
 //!
-//! Usage: `cargo run -p vstar-bench --bin ablation --release [-- grammar]`
+//! Usage: `cargo run -p vstar_bench --bin ablation --release [-- grammar]`
 //! (default grammar: lisp).
 
 use vstar::equivalence::TestPoolConfig;
@@ -20,13 +20,16 @@ fn main() {
         eprintln!("unknown grammar {grammar:?}; available: json lisp xml while mathexpr");
         std::process::exit(1);
     };
-    let eval_config = EvalConfig { recall_samples: 120, precision_samples: 120, ..EvalConfig::default() };
+    let eval_config =
+        EvalConfig { recall_samples: 120, precision_samples: 120, ..EvalConfig::default() };
 
     println!("== Ablation A: simulated-equivalence test-string budget ({grammar}) ==");
     println!("budget\t#TS\tRecall\tPrecision\tF1\t#Queries");
     for budget in [50usize, 200, 1000, 6000] {
-        let mut config = VStarConfig::default();
-        config.test_pool = TestPoolConfig { max_test_strings: budget, ..TestPoolConfig::default() };
+        let config = VStarConfig {
+            test_pool: TestPoolConfig { max_test_strings: budget, ..TestPoolConfig::default() },
+            ..VStarConfig::default()
+        };
         report_run(lang.as_ref(), &config, &eval_config, &budget.to_string());
     }
 
@@ -48,8 +51,11 @@ fn report_run(lang: &dyn Language, config: &VStarConfig, eval_config: &EvalConfi
     match VStar::new(config.clone()).learn(&mat, &lang.alphabet(), &lang.seeds()) {
         Ok(result) => {
             let mut rng = StdRng::seed_from_u64(eval_config.rng_seed);
-            let corpus =
-                lang.generate_corpus(&mut rng, eval_config.generation_budget, eval_config.recall_samples);
+            let corpus = lang.generate_corpus(
+                &mut rng,
+                eval_config.generation_budget,
+                eval_config.recall_samples,
+            );
             let learned = result.as_learned_language();
             let r = recall(|s| learned.accepts(&mat, s), &corpus);
             let sampler = result.vpg.sampler();

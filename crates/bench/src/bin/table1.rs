@@ -3,7 +3,7 @@
 //! Precision, F1, #Queries, %Q(Token), %Q(VPA), #TS and learning time.
 //!
 //! Usage:
-//!   cargo run -p vstar-bench --bin table1 --release [-- tool ...]
+//!   cargo run -p vstar_bench --bin table1 --release [-- tool ...]
 //! where each optional `tool` is one of `glade`, `arvada`, `vstar` (default: all).
 //! Pass `--json` to additionally print the report as JSON.
 
@@ -12,8 +12,11 @@ use vstar_bench::{default_eval_config, run_table1};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want_json = args.iter().any(|a| a == "--json");
-    let tools: Vec<&str> =
-        args.iter().filter(|a| ["glade", "arvada", "vstar"].contains(&a.as_str())).map(String::as_str).collect();
+    let tools: Vec<&str> = args
+        .iter()
+        .filter(|a| ["glade", "arvada", "vstar"].contains(&a.as_str()))
+        .map(String::as_str)
+        .collect();
     let config = default_eval_config();
     let report = run_table1(&config, &tools);
     println!("Table 1 — evaluation on datasets where the oracle grammars are VPGs");

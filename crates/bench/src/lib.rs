@@ -1,7 +1,7 @@
 //! Shared helpers for the benchmark harness and the table-regeneration binaries.
 //!
 //! The paper's evaluation (§6) has a single table (Table 1) plus two illustrative
-//! figures (Figure 1 and Figure 2). `cargo run -p vstar-bench --bin table1
+//! figures (Figure 1 and Figure 2). `cargo run -p vstar_bench --bin table1
 //! --release` regenerates the table against the bundled oracles; the Criterion
 //! benches in `benches/` time the individual components and the figure examples;
 //! `--bin ablation` runs the two design-choice ablations documented in DESIGN.md.
@@ -68,7 +68,12 @@ pub fn run_single(tool: &str, grammar: &str, config: &EvalConfig) -> Table1Repor
 /// A small-budget configuration for quick runs (tests and micro benches).
 #[must_use]
 pub fn quick_eval_config() -> EvalConfig {
-    EvalConfig { recall_samples: 40, precision_samples: 40, generation_budget: 14, ..EvalConfig::default() }
+    EvalConfig {
+        recall_samples: 40,
+        precision_samples: 40,
+        generation_budget: 14,
+        ..EvalConfig::default()
+    }
 }
 
 #[cfg(test)]

@@ -105,9 +105,7 @@ impl TestPool {
         let prefixes: Vec<String> = prefixes.into_iter().collect();
         let infixes: Vec<String> = infixes.into_iter().collect();
         let suffixes: Vec<String> = suffixes.into_iter().collect();
-        let within_length = |s: &str| {
-            !config.max_length.is_some_and(|max| s.chars().count() > max)
-        };
+        let within_length = |s: &str| config.max_length.is_none_or(|max| s.chars().count() <= max);
         // Always include every prefix, infix and suffix on its own (they are the
         // highest-value probes: e.g. the infix "true" of a seed is itself a valid
         // JSON document) …
@@ -127,10 +125,8 @@ impl TestPool {
                 }
             }
         }
-        let total_combinations = prefixes
-            .len()
-            .saturating_mul(infixes.len())
-            .saturating_mul(suffixes.len());
+        let total_combinations =
+            prefixes.len().saturating_mul(infixes.len()).saturating_mul(suffixes.len());
         if total_combinations <= config.max_test_strings.saturating_mul(4) {
             // Small combination space: enumerate it exhaustively.
             for p in &prefixes {
@@ -309,9 +305,7 @@ mod tests {
         let member_ref: &dyn Fn(&str) -> bool = &member;
         let alphabet = TaggedAlphabet::new(tokenizer.marker_tagging(), vec!['(', ')', 'x']);
         let mut learner = SevpaLearner::new(member_ref, alphabet, SevpaLearnerConfig::default());
-        let hyp = learner
-            .learn(|h| pool.find_counterexample(&mat, h))
-            .expect("learning succeeds");
+        let hyp = learner.learn(|h| pool.find_counterexample(&mat, h)).expect("learning succeeds");
         // After convergence the hypothesis agrees with the oracle on every pool string.
         assert!(pool.find_counterexample(&mat, &hyp).is_none());
     }

@@ -57,8 +57,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod error;
 pub mod equivalence;
+mod error;
 pub mod mat;
 pub mod nesting;
 pub mod pipeline;

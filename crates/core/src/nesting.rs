@@ -32,7 +32,10 @@ impl NestingPattern {
     #[must_use]
     pub fn new(s: &str, x: (usize, usize), y: (usize, usize)) -> Self {
         let chars: Vec<char> = s.chars().collect();
-        assert!(x.0 < x.1 && x.1 <= y.0 && y.0 < y.1 && y.1 <= chars.len(), "invalid pattern ranges");
+        assert!(
+            x.0 < x.1 && x.1 <= y.0 && y.0 < y.1 && y.1 <= chars.len(),
+            "invalid pattern ranges"
+        );
         NestingPattern { chars, x_start: x.0, x_end: x.1, y_start: y.0, y_end: y.1 }
     }
 
@@ -148,8 +151,7 @@ pub fn candidate_nesting(
                         if config.max_part_len.is_some_and(|m| y_end - y_start > m) {
                             break;
                         }
-                        let pattern =
-                            NestingPattern::new(seed, (x_start, x_end), (y_start, y_end));
+                        let pattern = NestingPattern::new(seed, (x_start, x_end), (y_start, y_end));
                         if is_nesting_pattern(mat, &pattern, big_k) {
                             per_seed.push(pattern);
                         }
@@ -312,8 +314,7 @@ mod tests {
         let oracle = fig1_oracle;
         let mat = Mat::new(&oracle);
         let seeds = vec!["agcdcdhbcd".to_string()];
-        let config =
-            NestingConfig { max_part_len: Some(2), max_patterns_per_seed: Some(3) };
+        let config = NestingConfig { max_part_len: Some(2), max_patterns_per_seed: Some(3) };
         let patterns = candidate_nesting(&mat, &seeds, 2, &config);
         assert!(patterns.len() <= 3);
         for p in &patterns {

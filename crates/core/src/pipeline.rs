@@ -205,8 +205,9 @@ impl VStar {
         // Phase 1: structure inference (tagging or tokenizer).
         let (tokenizer, tagged_alphabet, char_mode_tagging) = match self.config.token_discovery {
             TokenDiscovery::Characters => {
-                let tagging = tag_infer(mat, seeds, &self.config.tag_config)
-                    .ok_or(VStarError::NoCompatibleTagging { max_k: self.config.tag_config.max_k })?;
+                let tagging = tag_infer(mat, seeds, &self.config.tag_config).ok_or(
+                    VStarError::NoCompatibleTagging { max_k: self.config.tag_config.max_k },
+                )?;
                 let tokenizer = PartialTokenizer::from_tagging(&tagging);
                 let alpha = TaggedAlphabet::new(tagging.clone(), alphabet.to_vec());
                 (tokenizer, alpha, Some(tagging))
@@ -242,8 +243,7 @@ impl VStar {
         };
         let mut learner =
             SevpaLearner::new(&membership, tagged_alphabet, self.config.learner.clone());
-        let hypothesis: Hypothesis =
-            learner.learn(|hyp| pool.find_counterexample(mat, hyp))?;
+        let hypothesis: Hypothesis = learner.learn(|hyp| pool.find_counterexample(mat, hyp))?;
         let learner_stats = learner.stats();
         let queries_total = mat.unique_queries();
 
@@ -354,8 +354,10 @@ mod tests {
         assert_eq!(result.stats.token_pairs, 1);
         assert!(result.stats.queries_total > 0);
         assert!(result.stats.test_strings > 0);
-        assert!(result.stats.queries_token_inference + result.stats.queries_vpa_learning
-            == result.stats.queries_total);
+        assert!(
+            result.stats.queries_token_inference + result.stats.queries_vpa_learning
+                == result.stats.queries_total
+        );
         // The extracted grammar agrees with the VPA on the converted strings of the
         // test-language sample.
         assert!(result.vpg.rule_count() > 0);
@@ -365,15 +367,12 @@ mod tests {
     fn learns_fig1_in_character_mode() {
         let oracle = fig1;
         let mat = Mat::new(&oracle);
-        let config = VStarConfig {
-            token_discovery: TokenDiscovery::Characters,
-            ..VStarConfig::default()
-        };
+        let config =
+            VStarConfig { token_discovery: TokenDiscovery::Characters, ..VStarConfig::default() };
         let vstar = VStar::new(config);
         let seeds = vec!["agcdcdhbcd".to_string()];
-        let result = vstar
-            .learn(&mat, &['a', 'b', 'c', 'd', 'g', 'h'], &seeds)
-            .expect("learning succeeds");
+        let result =
+            vstar.learn(&mat, &['a', 'b', 'c', 'd', 'g', 'h'], &seeds).expect("learning succeeds");
         assert_eq!(result.mode, TokenDiscovery::Characters);
         // The learned recognizer agrees with the oracle on all short strings.
         for w in vstar_vpl::words::all_strings(&['a', 'b', 'c', 'd', 'g', 'h'], 5) {

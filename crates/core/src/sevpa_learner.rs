@@ -156,9 +156,10 @@ impl<'a> SevpaLearner<'a> {
             } else {
                 // C_i initialised with (‹a_i, b›) for every return character b›.
                 for &b in &ret_chars {
-                    module
-                        .tests
-                        .push(Test { prefix: call_chars[i - 1].to_string(), suffix: b.to_string() });
+                    module.tests.push(Test {
+                        prefix: call_chars[i - 1].to_string(),
+                        suffix: b.to_string(),
+                    });
                 }
             }
         }
@@ -284,9 +285,9 @@ impl<'a> SevpaLearner<'a> {
         // One stack symbol per (source state, call character).
         let mut stack_syms: Vec<(StateId, char)> = Vec::new();
         let stack_sym_id = |builder: &mut VpaBuilder,
-                                stack_syms: &mut Vec<(StateId, char)>,
-                                state: StateId,
-                                call: char|
+                            stack_syms: &mut Vec<(StateId, char)>,
+                            state: StateId,
+                            call: char|
          -> StackSymId {
             if let Some(pos) = stack_syms.iter().position(|&(s, c)| s == state && c == call) {
                 StackSymId(pos)
@@ -352,7 +353,12 @@ impl<'a> SevpaLearner<'a> {
 
     /// The context `(w, w')` of the configuration after reading `idx` symbols of the
     /// counterexample (proof of Proposition 4.3).
-    fn context_of(&self, hyp: &Hypothesis, trace_cfg: &vstar_vpl::vpa::Configuration, rest: &str) -> (String, String) {
+    fn context_of(
+        &self,
+        hyp: &Hypothesis,
+        trace_cfg: &vstar_vpl::vpa::Configuration,
+        rest: &str,
+    ) -> (String, String) {
         let mut prefix = String::new();
         for gamma in &trace_cfg.stack {
             let (push_state, call) = hyp.stack_syms[gamma.0];
@@ -373,7 +379,9 @@ impl<'a> SevpaLearner<'a> {
         let ce_member = self.member(ce);
         if !self.alphabet.tagging().is_well_matched(ce) {
             if ce_member {
-                return Err(VStarError::IncompatibleCounterexample { counterexample: ce.to_string() });
+                return Err(VStarError::IncompatibleCounterexample {
+                    counterexample: ce.to_string(),
+                });
             }
             // The hypothesis accepted an ill-matched string: impossible by
             // construction (acceptance needs an empty stack), so treat as spurious.
@@ -428,7 +436,9 @@ impl<'a> SevpaLearner<'a> {
                 // Proposition 4.3 proves s[i+1] cannot be a call symbol; if the
                 // approximate tests put us here anyway, report no progress.
                 if std::env::var_os("VSTAR_DEBUG_LEARNER").is_some() {
-                    eprintln!("[learner] counterexample analysis landed on a call symbol in {ce:?}");
+                    eprintln!(
+                        "[learner] counterexample analysis landed on a call symbol in {ce:?}"
+                    );
                 }
                 Ok(false)
             }
@@ -591,10 +601,7 @@ mod tests {
     }
 
     fn dyck_alphabet() -> TaggedAlphabet {
-        TaggedAlphabet::new(
-            Tagging::from_pairs([('(', ')')]).unwrap(),
-            vec!['(', ')', 'x'],
-        )
+        TaggedAlphabet::new(Tagging::from_pairs([('(', ')')]).unwrap(), vec!['(', ')', 'x'])
     }
 
     #[test]
@@ -609,7 +616,8 @@ mod tests {
     fn learns_dyck_exactly_with_bounded_equivalence() {
         let member: &dyn Fn(&str) -> bool = &dyck;
         let alphabet = dyck_alphabet();
-        let mut learner = SevpaLearner::new(member, alphabet.clone(), SevpaLearnerConfig::default());
+        let mut learner =
+            SevpaLearner::new(member, alphabet.clone(), SevpaLearnerConfig::default());
         let hyp = learner
             .learn(|hyp| exhaustive_disagreement(&dyck, hyp, &alphabet, 6))
             .expect("learning succeeds");
@@ -633,7 +641,8 @@ mod tests {
         }
         let member: &dyn Fn(&str) -> bool = &lang;
         let alphabet = dyck_alphabet();
-        let mut learner = SevpaLearner::new(member, alphabet.clone(), SevpaLearnerConfig::default());
+        let mut learner =
+            SevpaLearner::new(member, alphabet.clone(), SevpaLearnerConfig::default());
         let hyp = learner
             .learn(|hyp| exhaustive_disagreement(&lang, hyp, &alphabet, 7))
             .expect("learning succeeds");
@@ -647,11 +656,13 @@ mod tests {
     fn learns_regular_language_with_empty_tagging() {
         // No call/return pairs at all: the learner degenerates to L* for module 0.
         fn lang(s: &str) -> bool {
-            s.chars().all(|c| c == 'a' || c == 'b') && s.chars().filter(|&c| c == 'a').count() % 2 == 0
+            s.chars().all(|c| c == 'a' || c == 'b')
+                && s.chars().filter(|&c| c == 'a').count() % 2 == 0
         }
         let member: &dyn Fn(&str) -> bool = &lang;
         let alphabet = TaggedAlphabet::new(Tagging::new(), vec!['a', 'b']);
-        let mut learner = SevpaLearner::new(member, alphabet.clone(), SevpaLearnerConfig::default());
+        let mut learner =
+            SevpaLearner::new(member, alphabet.clone(), SevpaLearnerConfig::default());
         let hyp = learner
             .learn(|hyp| exhaustive_disagreement(&lang, hyp, &alphabet, 6))
             .expect("learning succeeds");
@@ -680,11 +691,10 @@ mod tests {
             expr(s.as_bytes(), 0) == Some(s.len())
         }
         let member: &dyn Fn(&str) -> bool = &lang;
-        let alphabet = TaggedAlphabet::new(
-            Tagging::from_pairs([('a', 'b'), ('c', 'd')]).unwrap(),
-            vec!['x'],
-        );
-        let mut learner = SevpaLearner::new(member, alphabet.clone(), SevpaLearnerConfig::default());
+        let alphabet =
+            TaggedAlphabet::new(Tagging::from_pairs([('a', 'b'), ('c', 'd')]).unwrap(), vec!['x']);
+        let mut learner =
+            SevpaLearner::new(member, alphabet.clone(), SevpaLearnerConfig::default());
         let hyp = learner
             .learn(|hyp| exhaustive_disagreement(&lang, hyp, &alphabet, 6))
             .expect("learning succeeds");
@@ -734,7 +744,8 @@ mod tests {
             Tagging::from_pairs([('a', 'b')]).unwrap(),
             vec!['c', 'd', 'g', 'h'],
         );
-        let mut learner = SevpaLearner::new(member, alphabet.clone(), SevpaLearnerConfig::default());
+        let mut learner =
+            SevpaLearner::new(member, alphabet.clone(), SevpaLearnerConfig::default());
         let hyp = learner
             .learn(|hyp| exhaustive_disagreement(&fig1, hyp, &alphabet, 6))
             .expect("learning succeeds");
@@ -761,7 +772,8 @@ mod tests {
     fn stats_and_debug() {
         let member: &dyn Fn(&str) -> bool = &dyck;
         let alphabet = dyck_alphabet();
-        let mut learner = SevpaLearner::new(member, alphabet.clone(), SevpaLearnerConfig::default());
+        let mut learner =
+            SevpaLearner::new(member, alphabet.clone(), SevpaLearnerConfig::default());
         let _ = learner.learn(|hyp| exhaustive_disagreement(&dyck, hyp, &alphabet, 5)).unwrap();
         assert!(learner.stats().equivalence_queries >= 1);
         assert!(format!("{learner:?}").contains("SevpaLearner"));

@@ -47,7 +47,11 @@ pub fn tagging_compatible_with_pattern(tagging: &Tagging, pattern: &NestingPatte
 /// Is the tagging compatible with the seed strings and all their nesting patterns
 /// (Definition 4.5, second part)?
 #[must_use]
-pub fn tagging_compatible(tagging: &Tagging, seeds: &[String], patterns: &[NestingPattern]) -> bool {
+pub fn tagging_compatible(
+    tagging: &Tagging,
+    seeds: &[String],
+    patterns: &[NestingPattern],
+) -> bool {
     seeds.iter().all(|s| tagging.is_well_matched(s))
         && patterns.iter().all(|p| tagging_compatible_with_pattern(tagging, p))
 }

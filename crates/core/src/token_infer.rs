@@ -15,11 +15,11 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use vstar_automata::lstar::{learn_dfa, LStarConfig};
-use vstar_automata::Dfa;
 use crate::mat::Mat;
 use crate::nesting::{candidate_nesting, NestingConfig, NestingPattern};
 use crate::tokenizer::{PartialTokenizer, TokenMatcher, TokenPair};
+use vstar_automata::lstar::{learn_dfa, LStarConfig};
+use vstar_automata::Dfa;
 
 /// Configuration for [`token_infer`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -82,7 +82,8 @@ pub fn tokenizer_compatible_with_pattern(
     let matches = tokenizer.tokenize(mat, &seed);
     let (xs, xe) = pattern.x_range();
     let (ys, ye) = pattern.y_range();
-    let overlaps = |m: &crate::tokenizer::TokenMatch, lo: usize, hi: usize| m.start < hi && m.end > lo;
+    let overlaps =
+        |m: &crate::tokenizer::TokenMatch, lo: usize, hi: usize| m.start < hi && m.end > lo;
 
     // Pair up call and return occurrences structurally (stack discipline).
     let mut stack: Vec<usize> = Vec::new();
@@ -113,9 +114,15 @@ pub fn tokenizer_compatible_with_pattern(
     // pair-i call occurrence overlapping x is not closed inside x, and some pair-i
     // return occurrence overlapping y is not opened inside y.
     let partner_of = |idx: usize| -> Option<usize> {
-        partners
-            .iter()
-            .find_map(|&(c, r)| if c == idx { Some(r) } else if r == idx { Some(c) } else { None })
+        partners.iter().find_map(|&(c, r)| {
+            if c == idx {
+                Some(r)
+            } else if r == idx {
+                Some(c)
+            } else {
+                None
+            }
+        })
     };
     let region_unmatched = (0..tokenizer.pair_count()).any(|pair| {
         let call_witness = matches.iter().enumerate().any(|(idx, m)| {
@@ -391,8 +398,7 @@ fn learn_token_dfa(
         tests.push(del.iter().collect());
         // prefix/suffix combinations q..i + j..g
         for j in i..occurrence.len() {
-            let combined: String =
-                occurrence[..i].iter().chain(occurrence[j..].iter()).collect();
+            let combined: String = occurrence[..i].iter().chain(occurrence[j..].iter()).collect();
             tests.push(combined);
         }
     }
@@ -447,10 +453,8 @@ fn sample_dfa_members(dfa: &Dfa, rng: &mut StdRng, count: usize, max_len: usize)
             if dfa.accepting().contains(&state) && rng.gen_bool(0.3) {
                 break;
             }
-            let choices: Vec<(char, usize)> = alphabet
-                .iter()
-                .filter_map(|&c| dfa.delta(state, c).map(|t| (c, t)))
-                .collect();
+            let choices: Vec<(char, usize)> =
+                alphabet.iter().filter_map(|&c| dfa.delta(state, c).map(|t| (c, t))).collect();
             if choices.is_empty() {
                 break;
             }

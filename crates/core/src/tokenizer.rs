@@ -241,9 +241,7 @@ impl PartialTokenizer {
     fn first_match_at(&self, rest: &str) -> Option<(usize, TokenKind, usize)> {
         let mut best: Option<(usize, TokenKind, usize)> = None;
         for (idx, pair) in self.pairs.iter().enumerate() {
-            for (kind, matcher) in
-                [(TokenKind::Call, &pair.call), (TokenKind::Return, &pair.ret)]
-            {
+            for (kind, matcher) in [(TokenKind::Call, &pair.call), (TokenKind::Return, &pair.ret)] {
                 if let Some(&len) = matcher.prefix_match_lengths(rest).first() {
                     if best.is_none_or(|(_, _, blen)| len < blen) {
                         best = Some((idx, kind, len));
@@ -323,7 +321,12 @@ impl fmt::Display for PartialTokenizer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "partial tokenizer with {} pair(s):", self.pairs.len())?;
         for (i, pair) in self.pairs.iter().enumerate() {
-            writeln!(f, "  #{i}: call = {}, return = {}", pair.call.describe(), pair.ret.describe())?;
+            writeln!(
+                f,
+                "  #{i}: call = {}, return = {}",
+                pair.call.describe(),
+                pair.ret.describe()
+            )?;
         }
         Ok(())
     }

@@ -106,7 +106,7 @@ fn debug_xml_full() {
 #[test]
 #[ignore]
 fn debug_xml_blocking_pattern() {
-    use vstar::nesting::{candidate_nesting, NestingConfig};
+    use vstar::nesting::candidate_nesting;
     use vstar::token_infer::{tokenizer_compatible_with_pattern, TokenInferConfig};
     use vstar::{PartialTokenizer, TokenMatcher, TokenPair};
     use vstar_automata::lstar::{learn_dfa, LStarConfig};
@@ -127,16 +127,37 @@ fn debug_xml_blocking_pattern() {
     };
     let close_oracle = |w: &str| {
         let wc: Vec<char> = w.chars().collect();
-        wc.len() >= 4 && wc[0] == '<' && wc[1] == '/' && *wc.last().unwrap() == '>'
+        wc.len() >= 4
+            && wc[0] == '<'
+            && wc[1] == '/'
+            && *wc.last().unwrap() == '>'
             && wc[2..wc.len() - 1].iter().all(|&c| c.is_ascii_lowercase())
     };
-    let open = learn_dfa(&alphabet, &open_oracle, &LStarConfig::with_test_strings(vec![
-        "<a>".into(), "<ab>".into(), "<>".into(), "</a>".into(), "<a".into(), "a>".into(),
-        "<a k=\"v\">".into(), "<a b>".into(),
-    ]));
-    let close = learn_dfa(&alphabet, &close_oracle, &LStarConfig::with_test_strings(vec![
-        "</a>".into(), "</ab>".into(), "<a>".into(), "</>".into(), "</a".into(),
-    ]));
+    let open = learn_dfa(
+        &alphabet,
+        &open_oracle,
+        &LStarConfig::with_test_strings(vec![
+            "<a>".into(),
+            "<ab>".into(),
+            "<>".into(),
+            "</a>".into(),
+            "<a".into(),
+            "a>".into(),
+            "<a k=\"v\">".into(),
+            "<a b>".into(),
+        ]),
+    );
+    let close = learn_dfa(
+        &alphabet,
+        &close_oracle,
+        &LStarConfig::with_test_strings(vec![
+            "</a>".into(),
+            "</ab>".into(),
+            "<a>".into(),
+            "</>".into(),
+            "</a".into(),
+        ]),
+    );
     let mut t = PartialTokenizer::new();
     t.push_pair(TokenPair { call: TokenMatcher::Dfa(open), ret: TokenMatcher::Dfa(close) });
     println!("tokenizer: {t}");
@@ -157,7 +178,6 @@ fn debug_xml_blocking_pattern() {
     }
     println!("incompatible patterns: {bad}/{}", patterns.len());
 }
-
 
 #[test]
 #[ignore]

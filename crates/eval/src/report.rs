@@ -97,8 +97,16 @@ impl Table1Report {
 impl fmt::Display for Table1Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let header = [
-            "grammar", "#Seeds", "Recall", "Precision", "F1", "#Queries", "%Q(Token)", "%Q(VPA)",
-            "#TS", "Time",
+            "grammar",
+            "#Seeds",
+            "Recall",
+            "Precision",
+            "F1",
+            "#Queries",
+            "%Q(Token)",
+            "%Q(VPA)",
+            "#TS",
+            "Time",
         ];
         let mut tools: Vec<String> = Vec::new();
         for row in &self.rows {

@@ -85,11 +85,8 @@ pub fn evaluate_vstar(lang: &dyn Language, config: &EvalConfig) -> ToolRow {
         })
         .take(config.precision_samples)
         .collect();
-    let precision_value = if samples.is_empty() {
-        0.0
-    } else {
-        precision(|s| lang.accepts(s), &samples)
-    };
+    let precision_value =
+        if samples.is_empty() { 0.0 } else { precision(|s| lang.accepts(s), &samples) };
 
     ToolRow {
         tool: "vstar".into(),

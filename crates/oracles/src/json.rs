@@ -256,11 +256,7 @@ fn gen_string(rng: &mut dyn RngCore, max_len: usize) -> String {
     let mut s = String::from("\"");
     for _ in 0..len {
         // Occasionally place a '{' inside the string to exercise k-Repetition.
-        let c = if rng.gen_ratio(1, 12) {
-            '{'
-        } else {
-            char::from(b'a' + rng.gen_range(0..26u8))
-        };
+        let c = if rng.gen_ratio(1, 12) { '{' } else { char::from(b'a' + rng.gen_range(0..26u8)) };
         s.push(c);
     }
     s.push('"');

@@ -161,7 +161,9 @@ mod tests {
     #[test]
     fn accepts_atoms_and_lists() {
         let l = Lisp::new();
-        for ok in ["x", "abc", "42", "()", "(x)", "(add 1 2)", "(f (g x) y)", "((()))", "(a (b (c)))"] {
+        for ok in
+            ["x", "abc", "42", "()", "(x)", "(add 1 2)", "(f (g x) y)", "((()))", "(a (b (c)))"]
+        {
             assert!(l.accepts(ok), "{ok}");
         }
     }
@@ -170,18 +172,7 @@ mod tests {
     fn rejects_malformed_expressions() {
         let l = Lisp::new();
         for bad in [
-            "",
-            "(",
-            ")",
-            "(x",
-            "x)",
-            "( x)",
-            "(x )",
-            "(x  y)",
-            "(x y) ",
-            "a b",
-            "(a,b)",
-            "(A)",
+            "", "(", ")", "(x", "x)", "( x)", "(x )", "(x  y)", "(x y) ", "a b", "(a,b)", "(A)",
             "()()",
         ] {
             assert!(!l.accepts(bad), "{bad}");

@@ -241,19 +241,8 @@ mod tests {
     fn rejects_invalid_expressions() {
         let m = MathExpr::new();
         for bad in [
-            "",
-            "+1",
-            "1+",
-            "1**2",
-            "(1+2",
-            "1+2)",
-            "sin",
-            "sin()",
-            "sin 4",
-            "foo(1)",
-            "1 + 2",
-            "sin(4)x",
-            "-1",
+            "", "+1", "1+", "1**2", "(1+2", "1+2)", "sin", "sin()", "sin 4", "foo(1)", "1 + 2",
+            "sin(4)x", "-1",
         ] {
             assert!(!m.accepts(bad), "{bad}");
         }

@@ -122,7 +122,8 @@ impl Language for ToyXml {
     fn generate(&self, rng: &mut dyn RngCore, budget: usize) -> String {
         let depth = rng.gen_range(0..=(budget / 7).min(4));
         let text_len = rng.gen_range(1..=3);
-        let text: String = (0..text_len).map(|_| char::from(b'a' + rng.gen_range(0..26u8))).collect();
+        let text: String =
+            (0..text_len).map(|_| char::from(b'a' + rng.gen_range(0..26u8))).collect();
         format!("{}{}{}", "<p>".repeat(depth), text, "</p>".repeat(depth))
     }
 }

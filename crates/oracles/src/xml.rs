@@ -198,7 +198,11 @@ fn gen_name(rng: &mut dyn RngCore, max_len: usize) -> String {
 fn gen_element(rng: &mut dyn RngCore, budget: usize, config: &XmlConfig) -> String {
     let name = gen_name(rng, config.max_name_len);
     let attr = if config.allow_attributes && rng.gen_bool(0.3) {
-        format!(" {}=\"{}\"", gen_name(rng, config.max_name_len), gen_name(rng, config.max_name_len))
+        format!(
+            " {}=\"{}\"",
+            gen_name(rng, config.max_name_len),
+            gen_name(rng, config.max_name_len)
+        )
     } else {
         String::new()
     };

@@ -101,7 +101,12 @@ impl VpgBuilder {
     }
 
     /// Adds the linear rule `lhs → plain next`.
-    pub fn linear_rule(&mut self, lhs: NonterminalId, plain: char, next: NonterminalId) -> &mut Self {
+    pub fn linear_rule(
+        &mut self,
+        lhs: NonterminalId,
+        plain: char,
+        next: NonterminalId,
+    ) -> &mut Self {
         self.push(lhs, RuleRhs::Linear { plain, next });
         self
     }
@@ -319,7 +324,7 @@ impl Vpg {
                         },
                     };
                     if let Some(c) = candidate {
-                        if min[i].map_or(true, |cur| c < cur) {
+                        if min[i].is_none_or(|cur| c < cur) {
                             min[i] = Some(c);
                             changed = true;
                         }
@@ -347,7 +352,7 @@ impl Vpg {
                         RuleRhs::Empty => additions.push(String::new()),
                         RuleRhs::Linear { plain, next } => {
                             for t in &langs[next.0] {
-                                if t.chars().count() + 1 <= max_len {
+                                if t.chars().count() < max_len {
                                     additions.push(format!("{plain}{t}"));
                                 }
                             }
@@ -470,7 +475,12 @@ impl fmt::Display for Vpg {
             if alts.is_empty() {
                 continue;
             }
-            write!(f, "{}{} →", self.names[i], if NonterminalId(i) == self.start { "*" } else { "" })?;
+            write!(
+                f,
+                "{}{} →",
+                self.names[i],
+                if NonterminalId(i) == self.start { "*" } else { "" }
+            )?;
             for (k, rhs) in alts.iter().enumerate() {
                 if k > 0 {
                     write!(f, " |")?;
@@ -481,7 +491,11 @@ impl fmt::Display for Vpg {
                         write!(f, " {plain} {}", self.names[next.0])?;
                     }
                     RuleRhs::Match { call, inner, ret, next } => {
-                        write!(f, " ‹{call} {} {ret}› {}", self.names[inner.0], self.names[next.0])?;
+                        write!(
+                            f,
+                            " ‹{call} {} {ret}› {}",
+                            self.names[inner.0], self.names[next.0]
+                        )?;
                     }
                 }
             }
@@ -540,10 +554,8 @@ impl<'g> VpgSampler<'g> {
         budget: usize,
         out: &mut String,
     ) -> Option<usize> {
-        let alts: Vec<(RuleRhs, usize)> = self.vpg.rules[nt.0]
-            .iter()
-            .filter_map(|&r| self.rhs_min(r).map(|m| (r, m)))
-            .collect();
+        let alts: Vec<(RuleRhs, usize)> =
+            self.vpg.rules[nt.0].iter().filter_map(|&r| self.rhs_min(r).map(|m| (r, m))).collect();
         if alts.is_empty() {
             return None;
         }

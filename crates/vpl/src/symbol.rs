@@ -137,7 +137,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![TaggedChar::ret('b'), TaggedChar::call('a'), TaggedChar::plain('a')];
+        let mut v = [TaggedChar::ret('b'), TaggedChar::call('a'), TaggedChar::plain('a')];
         v.sort();
         assert_eq!(v[0].ch, 'a');
     }

@@ -382,7 +382,12 @@ impl VpaBuilder {
     /// # Errors
     ///
     /// Rejects unknown states, symbols that are not plain, and conflicts.
-    pub fn plain(&mut self, from: StateId, plain: char, to: StateId) -> Result<&mut Self, VplError> {
+    pub fn plain(
+        &mut self,
+        from: StateId,
+        plain: char,
+        to: StateId,
+    ) -> Result<&mut Self, VplError> {
         self.check_state(from)?;
         self.check_state(to)?;
         if self.tagging.kind(plain) != Kind::Plain {

@@ -42,9 +42,9 @@ pub fn vpa_to_vpg(vpa: &Vpa) -> Vpg {
     // Start nonterminal first so that it survives trimming as NonterminalId(0).
     let start = builder.nonterminal("S");
     let mut pair_nt = vec![vec![NonterminalId(0); n]; n];
-    for p in 0..n {
-        for q in 0..n {
-            pair_nt[p][q] = builder.nonterminal(&format!("N[q{p},q{q}]"));
+    for (p, row) in pair_nt.iter_mut().enumerate() {
+        for (q, nt) in row.iter_mut().enumerate() {
+            *nt = builder.nonterminal(&format!("N[q{p},q{q}]"));
         }
     }
 
@@ -56,8 +56,8 @@ pub fn vpa_to_vpg(vpa: &Vpa) -> Vpg {
     // Plain rules: N[p,q] → c N[p',q]
     let plain: Vec<_> = vpa.plain_transitions().collect();
     for &(p, c, p2) in &plain {
-        for q in 0..n {
-            builder.linear_rule(pair_nt[p.0][q], c, pair_nt[p2.0][q]);
+        for (&nt_pq, &nt_p2q) in pair_nt[p.0].iter().zip(&pair_nt[p2.0]) {
+            builder.linear_rule(nt_pq, c, nt_p2q);
         }
     }
 
@@ -124,10 +124,7 @@ pub fn vpa_to_vpg(vpa: &Vpa) -> Vpg {
         }
     }
 
-    builder
-        .build(start)
-        .expect("conversion produces a structurally valid grammar")
-        .trimmed()
+    builder.build(start).expect("conversion produces a structurally valid grammar").trimmed()
 }
 
 #[cfg(test)]
@@ -139,11 +136,7 @@ mod tests {
 
     fn language_agrees(vpa: &Vpa, vpg: &Vpg, alphabet: &[char], max_len: usize) {
         for w in all_strings(alphabet, max_len) {
-            assert_eq!(
-                vpa.accepts(&w),
-                vpg.accepts(&w),
-                "VPA and converted VPG disagree on {w:?}"
-            );
+            assert_eq!(vpa.accepts(&w), vpg.accepts(&w), "VPA and converted VPG disagree on {w:?}");
         }
     }
 

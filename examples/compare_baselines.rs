@@ -16,7 +16,8 @@ fn main() {
         std::process::exit(1);
     };
 
-    let config = EvalConfig { recall_samples: 120, precision_samples: 120, ..EvalConfig::default() };
+    let config =
+        EvalConfig { recall_samples: 120, precision_samples: 120, ..EvalConfig::default() };
     let mut report = Table1Report::new();
     println!("evaluating GLADE-style baseline on {grammar} …");
     report.push(evaluate_glade(lang.as_ref(), &config));

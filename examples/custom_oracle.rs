@@ -68,8 +68,16 @@ fn main() {
         .expect("custom oracle learning succeeds");
 
     println!("inferred call/return tokens:\n{}", result.tokenizer);
-    println!("learned VPA: {} states, queries: {}", result.vpa.state_count(), result.stats.queries_total);
+    println!(
+        "learned VPA: {} states, queries: {}",
+        result.vpa.state_count(),
+        result.stats.queries_total
+    );
     for probe in ["", "a=0;", "outer{inner{deep=7;}}x=1;", "a=;", "a{b=1;", "A=1;"] {
-        println!("  {probe:28} -> oracle={} learned={}", oracle(probe), result.accepts(&mat, probe));
+        println!(
+            "  {probe:28} -> oracle={} learned={}",
+            oracle(probe),
+            result.accepts(&mat, probe)
+        );
     }
 }

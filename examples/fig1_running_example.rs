@@ -31,6 +31,10 @@ fn main() {
         println!("  {s:30} -> oracle={} learned={}", lang.accepts(&s), result.accepts(&mat, &s));
     }
     for bad in ["agcd", "ab", "agaghbcd"] {
-        println!("  {bad:30} -> oracle={} learned={}", lang.accepts(bad), result.accepts(&mat, bad));
+        println!(
+            "  {bad:30} -> oracle={} learned={}",
+            lang.accepts(bad),
+            result.accepts(&mat, bad)
+        );
     }
 }

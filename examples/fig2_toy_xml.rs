@@ -19,16 +19,23 @@ fn main() {
     println!("seed strings: {:?}", lang.seeds());
     println!("inferred call/return tokens:\n{}", result.tokenizer);
     println!("learned VPA: {} states", result.vpa.state_count());
-    println!("queries: {} ({} test strings)", result.stats.queries_total, result.stats.test_strings);
+    println!(
+        "queries: {} ({} test strings)",
+        result.stats.queries_total, result.stats.test_strings
+    );
 
     // The conversion of the seed mirrors the paper's ⊳<p>⊳<p>p</p>⊲</p>⊲ picture.
     let converted = result.tokenizer.convert(&mat, "<p><p>p</p></p>");
-    println!("conv(<p><p>p</p></p>) has {} artificial markers", converted
-        .chars()
-        .filter(|&c| vstar::tokenizer::is_marker(c))
-        .count());
+    println!(
+        "conv(<p><p>p</p></p>) has {} artificial markers",
+        converted.chars().filter(|&c| vstar::tokenizer::is_marker(c)).count()
+    );
 
     for probe in ["hello", "<p>deep</p>", "<p><p><p>x</p></p></p>", "<p>x", "<p></p>"] {
-        println!("  {probe:24} -> oracle={} learned={}", lang.accepts(probe), result.accepts(&mat, probe));
+        println!(
+            "  {probe:24} -> oracle={} learned={}",
+            lang.accepts(probe),
+            result.accepts(&mat, probe)
+        );
     }
 }

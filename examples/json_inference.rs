@@ -45,6 +45,10 @@ fn main() {
 
     println!("recall = {r:.3}, precision = {p:.3}, F1 = {:.3}", f1_score(r, p));
     for probe in ["{\"deep\":[{\"x\":[1,2,3]}]}", "{\"{\":true}", "[1,2,", "{\"a\" :1}"] {
-        println!("  {probe:28} -> oracle={} learned={}", lang.accepts(probe), result.accepts(&mat, probe));
+        println!(
+            "  {probe:28} -> oracle={} learned={}",
+            lang.accepts(probe),
+            result.accepts(&mat, probe)
+        );
     }
 }

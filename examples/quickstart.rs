@@ -39,6 +39,10 @@ fn main() {
     println!("statistics: {:?}", result.stats);
 
     for probe in ["((x)x)", "(((x)))", "((x)", "xx", ")("] {
-        println!("  {probe:10} -> oracle={} learned={}", oracle(probe), result.accepts(&mat, probe));
+        println!(
+            "  {probe:10} -> oracle={} learned={}",
+            oracle(probe),
+            result.accepts(&mat, probe)
+        );
     }
 }

@@ -1,0 +1,56 @@
+//! Smoke test for the workspace surface: every example under `examples/` must
+//! build and run to completion, so drift between the examples and the library
+//! APIs fails `cargo test` loudly instead of rotting silently.
+//!
+//! Each example is executed through `cargo run --example` using the same cargo
+//! binary that is running this test; examples are already compiled as part of
+//! `cargo test`, so each invocation only pays process startup plus the
+//! example's own runtime.
+
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let output = Command::new(cargo)
+        .args(["run", "--quiet", "--example", name])
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "example `{name}` exited with {status:?}\n--- stdout ---\n{stdout}\n--- stderr ---\n{stderr}",
+        status = output.status.code(),
+    );
+    assert!(!stdout.trim().is_empty(), "example `{name}` printed nothing to stdout");
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn fig1_running_example_runs() {
+    run_example("fig1_running_example");
+}
+
+#[test]
+fn fig2_toy_xml_runs() {
+    run_example("fig2_toy_xml");
+}
+
+#[test]
+fn json_inference_runs() {
+    run_example("json_inference");
+}
+
+#[test]
+fn custom_oracle_runs() {
+    run_example("custom_oracle");
+}
+
+#[test]
+fn compare_baselines_runs() {
+    run_example("compare_baselines");
+}

@@ -43,9 +43,8 @@ fn toy_xml_token_mode_end_to_end() {
     let lang = ToyXml::new();
     let oracle = |s: &str| lang.accepts(s);
     let mat = Mat::new(&oracle);
-    let result = VStar::new(VStarConfig::default())
-        .learn(&mat, &lang.alphabet(), &lang.seeds())
-        .unwrap();
+    let result =
+        VStar::new(VStarConfig::default()).learn(&mat, &lang.alphabet(), &lang.seeds()).unwrap();
     assert_eq!(result.stats.token_pairs, 1);
     let mut rng = StdRng::seed_from_u64(3);
     for s in lang.generate_corpus(&mut rng, 25, 60) {

@@ -1,0 +1,248 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, implementing the subset the workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId::from_parameter`],
+//! [`Bencher::iter`] and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical analysis it runs a short warm-up, then a
+//! fixed batch of timed iterations, and prints mean wall-clock time per
+//! iteration. Benches therefore still *run* (`cargo bench`) and still
+//! *compile-check* (`cargo bench --no-run`) in this offline environment; for
+//! publication-grade numbers swap in the real crate.
+//!
+//! Honors the standard libtest-style arguments cargo passes through: a filter
+//! substring selects benchmark IDs, and `--test` (used by `cargo test
+//! --benches`) runs each body once without timing. Unknown flags are ignored.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Number of timed iterations per benchmark (after one warm-up iteration).
+const MEASURED_ITERS: u32 = 10;
+
+/// The benchmark manager: entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Cargo and libtest pass a handful of flags benches must
+                // tolerate; everything starting with '-' is not a filter.
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    fn should_run(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// A named benchmark identifier, optionally derived from an input parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an ID `"<function>/<parameter>"`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", function.into()) }
+    }
+
+    /// Creates an ID from just the input parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count (accepted for API compatibility;
+    /// the stand-in's iteration count is fixed).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        if self.criterion.should_run(&id) {
+            run_one(&id, self.criterion.test_mode, &mut f);
+        }
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        if self.criterion.should_run(&id) {
+            run_one(&id, self.criterion.test_mode, &mut |b| f(b, input));
+        }
+        self
+    }
+
+    /// Finishes the group (printing nothing extra; present for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one(id: &str, test_mode: bool, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher =
+        Bencher { iters: if test_mode { 1 } else { MEASURED_ITERS }, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    if test_mode {
+        println!("test {id} ... ok");
+    } else {
+        let per_iter = bencher.elapsed.checked_div(bencher.iters).unwrap_or_default();
+        println!("bench {id:<50} {:>12.3?}/iter ({} iters)", per_iter, bencher.iters);
+    }
+}
+
+/// Passed to benchmark closures; times the routine under test.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u32,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`: one untimed warm-up call, then a fixed batch of timed
+    /// iterations. Return values are passed through [`black_box`] so the
+    /// optimizer cannot delete the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// An opaque identity function that prevents the optimizer from removing the
+/// computation of its argument (re-export of [`std::hint::black_box`]).
+pub use std::hint::black_box;
+
+/// Collects benchmark functions into a runner function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion { filter: None, test_mode: false };
+        let mut calls = 0u32;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(10).measurement_time(Duration::from_millis(1));
+            group.bench_function("count", |b| b.iter(|| calls += 1));
+            group.finish();
+        }
+        // One warm-up plus MEASURED_ITERS timed iterations.
+        assert_eq!(calls, MEASURED_ITERS + 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_ids() {
+        let mut c = Criterion { filter: Some("nomatch".into()), test_mode: false };
+        let mut calls = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { filter: None, test_mode: true };
+        let mut calls = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(7usize), &7usize, |b, &n| {
+            b.iter(|| calls += n as u32)
+        });
+        group.finish();
+        assert_eq!(calls, 14, "warm-up + one timed iteration");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

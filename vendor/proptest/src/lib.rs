@@ -1,0 +1,346 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, implementing the subset the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with [`Strategy::prop_map`],
+//! * integer-range strategies (`0u64..5000`, `4usize..24`, …),
+//! * [`collection::vec`] and [`sample::select`],
+//! * the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//!   header), and the [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Each property runs `ProptestConfig::cases` times on a deterministic
+//! per-case seed; a failing case reports the generated inputs and its case
+//! index. Unlike the real proptest there is **no shrinking** — the first
+//! failing input is reported as-is — which keeps this stand-in dependency-free
+//! while preserving the bug-finding power the test-suite relies on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Re-exports intended for glob import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Configuration for a [`proptest!`] block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property case (carries the assertion message).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    /// Human-readable failure description.
+    pub message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+/// The result type property bodies produce (`Ok` = case passed).
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of random test inputs.
+///
+/// The stand-in generates directly from an RNG with no intermediate value
+/// tree, so there is no shrinking.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategies over collections.
+pub mod collection {
+    use super::{Range, StdRng, Strategy};
+    use rand::Rng;
+    use std::fmt::Debug;
+
+    /// Strategy returned by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `len` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.len.is_empty() { 0 } else { rng.gen_range(self.len.clone()) };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies that sample from explicit value sets.
+pub mod sample {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::fmt::Debug;
+
+    /// Strategy returned by [`select`].
+    #[derive(Clone, Debug)]
+    pub struct Select<T> {
+        choices: Vec<T>,
+    }
+
+    /// Picks uniformly from `choices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics at generation time if `choices` is empty.
+    pub fn select<T: Clone + Debug>(choices: Vec<T>) -> Select<T> {
+        Select { choices }
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            assert!(!self.choices.is_empty(), "sample::select needs at least one choice");
+            self.choices[rng.gen_range(0..self.choices.len())].clone()
+        }
+    }
+}
+
+#[doc(hidden)]
+pub mod runner {
+    use super::{ProptestConfig, SeedableRng, StdRng, TestCaseResult};
+    use std::fmt::Debug;
+
+    /// Drives one property: `cases` deterministic cases, reporting the inputs
+    /// of the first failure. Called by the [`proptest!`](crate::proptest)
+    /// expansion; not public API.
+    pub fn run_property<I: Debug>(
+        name: &str,
+        config: &ProptestConfig,
+        mut gen_inputs: impl FnMut(&mut StdRng) -> I,
+        mut body: impl FnMut(I) -> TestCaseResult,
+    ) {
+        // Deterministic base seed per property so failures reproduce; FNV-1a
+        // over the property name keeps seeds distinct between properties.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        for case in 0..config.cases {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(u64::from(case)));
+            let inputs = gen_inputs(&mut rng);
+            let repr = format!("{inputs:?}");
+            if let Err(e) = body(inputs) {
+                panic!(
+                    "property `{name}` failed at case {case}/{cases} with inputs {repr}: {msg}",
+                    cases = config.cases,
+                    msg = e.message,
+                );
+            }
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config); $($rest)*);
+    };
+    (@run ($config:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused_parens)]
+                $crate::runner::run_property(
+                    stringify!($name),
+                    &$config,
+                    |rng| {
+                        ($({
+                            let value = $crate::Strategy::generate(&($strategy), rng);
+                            value
+                        }),+)
+                    },
+                    |($($arg),+)| {
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Like `assert!`, but inside [`proptest!`] bodies: fails the current case with
+/// the generated inputs attached.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!("assertion failed: ", stringify!($cond))));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Like `assert_eq!` inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// Like `assert_ne!` inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range strategies stay in bounds.
+        #[test]
+        fn ranges_stay_in_bounds(a in 0u64..5000, b in 4usize..24) {
+            prop_assert!(a < 5000);
+            prop_assert!((4..24).contains(&b));
+        }
+
+        /// `collection::vec` + `sample::select` + `prop_map` compose.
+        #[test]
+        fn vec_select_and_map_compose(s in crate::collection::vec(
+            crate::sample::select(vec!['x', 'y']), 0..10).prop_map(|v| v.into_iter().collect::<String>())) {
+            prop_assert!(s.len() < 10);
+            prop_assert!(s.chars().all(|c| c == 'x' || c == 'y'), "unexpected char in {:?}", s);
+        }
+    }
+
+    proptest! {
+        /// The no-config form defaults to 256 cases.
+        #[test]
+        fn default_config_form_works(x in 0u8..10) {
+            prop_assert_ne!(x, 10);
+            prop_assert_eq!(x, x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `failing` failed at case")]
+    fn failing_property_reports_inputs() {
+        crate::runner::run_property(
+            "failing",
+            &ProptestConfig::with_cases(8),
+            |rng| {
+                use rand::Rng;
+                rng.gen_range(0u32..100)
+            },
+            |n| {
+                prop_assert!(n > 1000, "n was {}", n);
+                Ok(())
+            },
+        );
+    }
+}

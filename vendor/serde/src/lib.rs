@@ -1,0 +1,191 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The build environment has no network access to crates.io, so this vendored
+//! crate provides the minimal serialization surface the workspace uses: a
+//! [`Serialize`] trait rendered through a self-describing [`Value`] tree, plus
+//! a struct-only `#[derive(Serialize)]` re-exported from the companion
+//! `serde_derive` stand-in. `serde_json` (also vendored) formats the tree.
+//!
+//! The real serde streams through a `Serializer` visitor; building an
+//! intermediate [`Value`] is simpler and plenty for report-sized data. Code
+//! written against this subset (`#[derive(Serialize)]` on field structs,
+//! `serde_json::to_string_pretty`) compiles unchanged against the real crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// Lets the `::serde::` paths the derive macro generates resolve inside this
+// crate's own unit tests as well.
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+use std::collections::BTreeMap;
+
+/// A self-describing serialized value tree (the stand-in's data model).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null` (from `Option::None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (covers all primitive integer widths in use).
+    Int(i128),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// A key–value map preserving field declaration order.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can render themselves into a [`Value`] tree.
+///
+/// Derivable for structs with named fields via `#[derive(Serialize)]`.
+pub trait Serialize {
+    /// Converts `self` into the serialization data model.
+    fn to_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(5usize.to_value(), Value::Int(5));
+        assert_eq!((-3i64).to_value(), Value::Int(-3));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!(1.5f64.to_value(), Value::Float(1.5));
+        assert_eq!("hi".to_value(), Value::Str("hi".into()));
+        assert_eq!(Option::<usize>::None.to_value(), Value::Null);
+        assert_eq!(Some(2u32).to_value(), Value::Int(2));
+        assert_eq!(vec![1u8, 2].to_value(), Value::Array(vec![Value::Int(1), Value::Int(2)]));
+    }
+
+    #[test]
+    fn derive_produces_ordered_object() {
+        #[derive(Serialize)]
+        struct Point {
+            x: usize,
+            y: Option<f64>,
+            label: String,
+        }
+
+        let p = Point { x: 3, y: None, label: "origin-ish".into() };
+        let Value::Object(fields) = p.to_value() else {
+            panic!("derive should produce an object");
+        };
+        assert_eq!(fields[0], ("x".to_string(), Value::Int(3)));
+        assert_eq!(fields[1], ("y".to_string(), Value::Null));
+        assert_eq!(fields[2], ("label".to_string(), Value::Str("origin-ish".into())));
+    }
+
+    #[test]
+    fn derive_handles_generic_argument_types() {
+        // Regression: commas/colons inside angle brackets are part of the field
+        // TYPE, not new fields — `BTreeMap<String, std::string::String>` must
+        // not make the derive invent a field named "std".
+        #[derive(Serialize)]
+        struct Nested {
+            map: BTreeMap<String, std::string::String>,
+            items: Vec<Option<usize>>,
+        }
+
+        let n = Nested {
+            map: BTreeMap::from([("k".to_string(), "v".to_string())]),
+            items: vec![Some(1), None],
+        };
+        let Value::Object(fields) = n.to_value() else {
+            panic!("derive should produce an object");
+        };
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields[0].0, "map");
+        assert_eq!(fields[0].1, Value::Object(vec![("k".into(), Value::Str("v".into()))]));
+        assert_eq!(fields[1].0, "items");
+        assert_eq!(fields[1].1, Value::Array(vec![Value::Int(1), Value::Null]));
+    }
+}

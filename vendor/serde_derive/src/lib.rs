@@ -1,0 +1,131 @@
+//! Offline stand-in for `serde_derive`: a struct-only `#[derive(Serialize)]`.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`, which
+//! are unreachable in this offline environment). Supports the shapes the
+//! workspace actually derives on: non-generic structs with named fields, any
+//! field visibility, attributes and doc comments on fields. Anything else
+//! (enums, tuple structs, generics) produces a compile error naming the
+//! limitation rather than silently misbehaving.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the vendored stand-in trait) for a struct with
+/// named fields, mapping each field to a key in declaration order.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error tokens parse"),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    // Locate `struct <Name> { ... }`, skipping attributes and visibility.
+    let mut struct_kw = None;
+    for (i, t) in tokens.iter().enumerate() {
+        if let TokenTree::Ident(id) = t {
+            match id.to_string().as_str() {
+                "struct" => {
+                    struct_kw = Some(i);
+                    break;
+                }
+                "enum" | "union" => {
+                    return Err(format!(
+                        "the vendored #[derive(Serialize)] only supports structs, found `{id}`"
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+    let struct_kw = struct_kw.ok_or("expected a `struct` item")?;
+    let name = match tokens.get(struct_kw + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected a struct name after `struct`".to_string()),
+    };
+    let body = match tokens.get(struct_kw + 2) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "the vendored #[derive(Serialize)] does not support generics on `{name}`"
+            ));
+        }
+        _ => {
+            return Err(format!(
+                "the vendored #[derive(Serialize)] requires named fields on `{name}`"
+            ));
+        }
+    };
+
+    let fields = named_fields(body)?;
+    if fields.is_empty() {
+        return Ok(impl_for(&name, "::std::vec::Vec::new()"));
+    }
+
+    let mut entries = String::new();
+    for field in &fields {
+        entries.push_str(&format!(
+            "(\"{field}\".to_string(), ::serde::Serialize::to_value(&self.{field})),"
+        ));
+    }
+    Ok(impl_for(&name, &format!("vec![{entries}]")))
+}
+
+/// Extracts field names from the brace body of a struct: for each top-level
+/// comma-separated segment, the identifier immediately before the first
+/// top-level `:` (this skips attributes, doc comments and visibility).
+///
+/// Angle-bracket depth is tracked because generic arguments are bare token
+/// sequences, not groups: without it, the `,` and `:` inside a type like
+/// `BTreeMap<String, std::string::String>` would be misread as a new field.
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut last_ident: Option<String> = None;
+    let mut field_taken = false;
+    let mut angle_depth = 0u32;
+    let mut prev_joint_minus = false;
+    for t in body {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                // The `>` of a fn-pointer `->` is not a closing bracket.
+                '>' if !prev_joint_minus => angle_depth = angle_depth.saturating_sub(1),
+                ':' if angle_depth == 0 && !field_taken => {
+                    let id = last_ident.take().ok_or(
+                        "expected a field name before `:` (tuple structs are unsupported)",
+                    )?;
+                    fields.push(id);
+                    field_taken = true;
+                }
+                ',' if angle_depth == 0 => {
+                    field_taken = false;
+                    last_ident = None;
+                }
+                _ => {}
+            }
+            prev_joint_minus = p.as_char() == '-' && p.spacing() == Spacing::Joint;
+        } else {
+            prev_joint_minus = false;
+            if let TokenTree::Ident(id) = t {
+                last_ident = Some(id.to_string());
+            }
+        }
+    }
+    Ok(fields)
+}
+
+fn impl_for(name: &str, object: &str) -> TokenStream {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object({object})\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}

@@ -1,0 +1,193 @@
+//! Offline stand-in for the [`serde_json`](https://crates.io/crates/serde_json)
+//! crate: formats the vendored `serde` [`Value`](serde::Value) tree as JSON.
+//!
+//! Provides [`to_string`] and [`to_string_pretty`] (2-space indent, `": "` key
+//! separator — the same layout the real crate emits), which is the entire
+//! surface the workspace uses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Serialize, Value};
+use std::fmt::Write as _;
+
+/// Errors from JSON serialization.
+///
+/// The value-tree data model is always representable, except for the
+/// non-finite floats JSON cannot express.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string.
+///
+/// # Errors
+///
+/// Fails if the value contains a NaN or infinite float.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (2-space indent).
+///
+/// # Errors
+///
+/// Fails if the value contains a NaN or infinite float.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0)?;
+    Ok(out)
+}
+
+fn write_value(
+    out: &mut String,
+    value: &Value,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Float(x) => {
+            if !x.is_finite() {
+                return Err(Error { message: format!("JSON cannot represent float {x}") });
+            }
+            if x.trunc() == *x && x.abs() < 1e16 {
+                let _ = write!(out, "{x:.1}");
+            } else {
+                let _ = write!(out, "{x}");
+            }
+        }
+        Value::Str(s) => write_json_string(out, s),
+        Value::Array(items) => {
+            write_sequence(out, items.len(), indent, depth, '[', ']', |out, i| {
+                write_value(out, &items[i], indent, depth + 1)
+            })?;
+        }
+        Value::Object(fields) => {
+            write_sequence(out, fields.len(), indent, depth, '{', '}', |out, i| {
+                let (key, val) = &fields[i];
+                write_json_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1)
+            })?;
+        }
+    }
+    Ok(())
+}
+
+fn write_sequence(
+    out: &mut String,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    mut write_item: impl FnMut(&mut String, usize) -> Result<(), Error>,
+) -> Result<(), Error> {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return Ok(());
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (depth + 1)));
+        }
+        write_item(out, i)?;
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+    out.push(close);
+    Ok(())
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Row {
+        name: String,
+        score: f64,
+        queries: usize,
+        note: Option<String>,
+    }
+
+    fn row() -> Row {
+        Row { name: "vstar".into(), score: 0.75, queries: 1200, note: None }
+    }
+
+    #[test]
+    fn compact_layout() {
+        assert_eq!(
+            to_string(&row()).unwrap(),
+            r#"{"name":"vstar","score":0.75,"queries":1200,"note":null}"#
+        );
+    }
+
+    #[test]
+    fn pretty_layout_matches_real_serde_json() {
+        let pretty = to_string_pretty(&row()).unwrap();
+        let expected = "{\n  \"name\": \"vstar\",\n  \"score\": 0.75,\n  \"queries\": 1200,\n  \"note\": null\n}";
+        assert_eq!(pretty, expected);
+    }
+
+    #[test]
+    fn nested_arrays_and_escapes() {
+        let v = Value::Array(vec![
+            Value::Str("a\"b\\c\n".into()),
+            Value::Array(vec![]),
+            Value::Object(vec![]),
+            Value::Float(2.0),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"["a\"b\\c\n",[],{},2.0]"#);
+    }
+
+    #[test]
+    fn non_finite_floats_error() {
+        assert!(to_string(&f64::NAN).is_err());
+        assert!(to_string(&f64::INFINITY).is_err());
+    }
+}
