@@ -1,0 +1,136 @@
+//! Shared membership-query cache with unique/total counters.
+//!
+//! Three components of the reproduction answer membership queries through a
+//! cache that counts *unique* queries (the paper's "#Queries" metric, §6:
+//! "Since a particular string might be queried multiple times, we cache the
+//! result after the first query, and only count unique queries"): the MAT
+//! wrapper in `vstar::mat`, the L\* observation table in [`crate::lstar`], and
+//! the black-box oracle wrapper in `vstar_oracles`. [`QueryCache`] is the one
+//! implementation behind all three; each call site keeps its own instance, so
+//! per-site unique/total counters stay intact.
+
+use std::collections::HashMap;
+
+/// A caching membership-query store counting unique and total queries.
+///
+/// [`QueryCache::query`] is the single lookup/record path shared by every
+/// call site: the caller takes one borrow, the hot hit path is one
+/// allocation-free hash probe, and only the miss path — whose cost is
+/// dominated by the oracle invocation itself — touches the table a second
+/// time to record the fresh answer.
+#[derive(Default)]
+pub struct QueryCache {
+    cache: HashMap<String, bool>,
+    unique_queries: usize,
+    total_queries: usize,
+}
+
+impl QueryCache {
+    /// An empty cache with zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        QueryCache::default()
+    }
+
+    /// Answers a membership query: counts a total query, returns the cached
+    /// answer on a hit, and otherwise computes the answer with `oracle`,
+    /// records it, and counts a unique query.
+    ///
+    /// The oracle runs while the cache is borrowed, so it must not
+    /// (transitively) query the same cache.
+    pub fn query(&mut self, input: &str, oracle: impl FnOnce(&str) -> bool) -> bool {
+        self.total_queries += 1;
+        // Hits (the overwhelmingly common case — that is why the cache exists)
+        // stay allocation-free; the owned key is only built on a miss.
+        if let Some(&v) = self.cache.get(input) {
+            return v;
+        }
+        let v = oracle(input);
+        self.unique_queries += 1;
+        self.cache.insert(input.to_owned(), v);
+        v
+    }
+
+    /// Number of unique (cache-missing) membership queries so far.
+    #[must_use]
+    pub fn unique_queries(&self) -> usize {
+        self.unique_queries
+    }
+
+    /// Number of membership queries including cache hits.
+    #[must_use]
+    pub fn total_queries(&self) -> usize {
+        self.total_queries
+    }
+
+    /// Number of cached answers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Returns `true` if nothing has been cached yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// Clears the cache and both counters.
+    pub fn reset(&mut self) {
+        self.cache.clear();
+        self.unique_queries = 0;
+        self.total_queries = 0;
+    }
+}
+
+impl std::fmt::Debug for QueryCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryCache")
+            .field("unique_queries", &self.unique_queries)
+            .field("total_queries", &self.total_queries)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_unique_and_total() {
+        let calls = std::cell::Cell::new(0usize);
+        let mut cache = QueryCache::new();
+        let oracle = |s: &str| {
+            calls.set(calls.get() + 1);
+            s.len() < 3
+        };
+        assert!(cache.query("ab", oracle));
+        assert!(cache.query("ab", oracle));
+        assert!(!cache.query("abcd", oracle));
+        assert_eq!(cache.unique_queries(), 2);
+        assert_eq!(cache.total_queries(), 3);
+        assert_eq!(calls.get(), 2, "hits must not call the oracle");
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut cache = QueryCache::new();
+        let _ = cache.query("x", |_| true);
+        cache.reset();
+        assert_eq!(cache.unique_queries(), 0);
+        assert_eq!(cache.total_queries(), 0);
+        assert!(cache.is_empty());
+        // A re-queried string is a fresh unique query after reset.
+        let _ = cache.query("x", |_| false);
+        assert_eq!(cache.unique_queries(), 1);
+        assert!(!cache.query("x", |_| true), "cached answer wins after reset");
+    }
+
+    #[test]
+    fn debug_shows_counters() {
+        let cache = QueryCache::new();
+        assert!(format!("{cache:?}").contains("unique_queries"));
+    }
+}

@@ -33,11 +33,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod dfa;
 pub mod lstar;
 pub mod nfa;
 pub mod regex;
 
+pub use cache::QueryCache;
 pub use dfa::Dfa;
 pub use lstar::{learn_dfa, LStar, LStarConfig, LStarStats};
 pub use nfa::Nfa;

@@ -11,8 +11,9 @@
 //! a caller-supplied pool of test strings (paper §5.2 uses prefix/suffix
 //! combinations of nesting patterns for token learning).
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
+use crate::cache::QueryCache;
 use crate::dfa::Dfa;
 
 /// How the learner simulates equivalence queries.
@@ -66,7 +67,7 @@ pub struct LStar<'a> {
     config: LStarConfig,
     s: Vec<String>,
     e: Vec<String>,
-    cache: HashMap<String, bool>,
+    cache: QueryCache,
     stats: LStarStats,
 }
 
@@ -76,7 +77,7 @@ impl<'a> std::fmt::Debug for LStar<'a> {
             .field("alphabet", &self.alphabet)
             .field("s", &self.s)
             .field("e", &self.e)
-            .field("stats", &self.stats)
+            .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
 }
@@ -91,7 +92,7 @@ impl<'a> LStar<'a> {
             config,
             s: vec![String::new()],
             e: vec![String::new()],
-            cache: HashMap::new(),
+            cache: QueryCache::new(),
             stats: LStarStats::default(),
         }
     }
@@ -99,17 +100,12 @@ impl<'a> LStar<'a> {
     /// Statistics of the run so far.
     #[must_use]
     pub fn stats(&self) -> LStarStats {
-        self.stats
+        LStarStats { membership_queries: self.cache.unique_queries(), ..self.stats }
     }
 
     fn member(&mut self, s: &str) -> bool {
-        if let Some(&v) = self.cache.get(s) {
-            return v;
-        }
-        let v = (self.oracle)(s);
-        self.cache.insert(s.to_owned(), v);
-        self.stats.membership_queries += 1;
-        v
+        let oracle = self.oracle;
+        self.cache.query(s, oracle)
     }
 
     fn row(&mut self, prefix: &str) -> Vec<bool> {

@@ -1,0 +1,81 @@
+//! Throughput of the derivative-based VPG recognizer/parser (`vstar_parser`)
+//! on progressively longer inputs, plus the grammar sampler. The recognizer is
+//! the hot path of precision evaluation and of every future fuzzing/serving
+//! workload, so its per-character cost is tracked here; comparing the
+//! `recognize` series across input sizes also sanity-checks the linear-time
+//! claim (time should scale with length, not blow up).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vstar_parser::{GrammarSampler, VpgParser};
+use vstar_vpl::grammar::figure1_grammar;
+use vstar_vpl::{vpa_to_vpg, Tagging, VpaBuilder, Vpg};
+
+/// The Dyck VPG (via the VPA → VPG conversion, like learned grammars).
+fn dyck_vpg() -> Vpg {
+    let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+    let mut b = VpaBuilder::new(tagging);
+    let q0 = b.add_state();
+    let g = b.add_stack_symbol();
+    b.set_initial(q0);
+    b.add_accepting(q0);
+    b.call(q0, '(', q0, g).unwrap();
+    b.ret(q0, ')', g, q0).unwrap();
+    b.plain(q0, 'x', q0).unwrap();
+    vpa_to_vpg(&b.build().unwrap())
+}
+
+/// A pumped member of the Figure-1 language with roughly `target` characters.
+fn pumped_fig1(target: usize) -> String {
+    let k = (target / 4).max(1);
+    format!("{}cdcd{}cd", "ag".repeat(k), "hb".repeat(k))
+}
+
+fn bench_parser_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parser_throughput");
+
+    let fig1 = figure1_grammar();
+    let fig1_parser = VpgParser::new(&fig1);
+    for size in [64usize, 1024, 16 * 1024] {
+        let input = pumped_fig1(size);
+        group.bench_with_input(
+            BenchmarkId::new("recognize_fig1_chars", input.len()),
+            &input,
+            |b, input| b.iter(|| black_box(fig1_parser.recognize(input))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parse_fig1_chars", input.len()),
+            &input,
+            |b, input| b.iter(|| black_box(fig1_parser.parse(input).unwrap().len())),
+        );
+    }
+
+    // A conversion-produced grammar (the shape learned grammars have).
+    let dyck = dyck_vpg();
+    let dyck_parser = VpgParser::new(&dyck);
+    let dyck_input = "((x)(x(x)))x".repeat(512);
+    group.bench_with_input(
+        BenchmarkId::new("recognize_dyck_converted_chars", dyck_input.len()),
+        &dyck_input,
+        |b, input| b.iter(|| black_box(dyck_parser.recognize(input))),
+    );
+
+    let sampler = GrammarSampler::new(&fig1);
+    group.bench_function("sample_fig1_budget64", |b| {
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        b.iter(|| black_box(sampler.sample(&mut rng, 64)))
+    });
+    group.bench_function("sample_tree_fig1_budget64", |b| {
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        b.iter(|| black_box(sampler.sample_tree(&mut rng, 64).map(|t| t.len())))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_parser_throughput);
+criterion_main!(benches);

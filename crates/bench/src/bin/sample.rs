@@ -1,0 +1,78 @@
+//! Samples strings from a learned grammar: learns one of the bundled oracle
+//! languages with V-Star, then draws sentences from the extracted VPG with the
+//! `vstar_parser` grammar sampler. Every printed string is round-tripped
+//! through the derivative parser (sample → parse → accept) before printing, so
+//! the output is a ready-to-use precision/fuzzing corpus of raw oracle inputs.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p vstar_bench --bin sample --release -- <grammar> [count] [budget] [seed]
+//! ```
+//!
+//! where `<grammar>` is one of json, lisp, xml, while, mathexpr (defaults:
+//! count = 20, budget = 24, seed = 1).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vstar::{tokenizer::strip_markers, Mat, VStar, VStarConfig};
+use vstar_oracles::table1_languages;
+use vstar_parser::{GrammarSampler, VpgParser};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(name) = args.first() else {
+        eprintln!("usage: sample <grammar> [count] [budget] [seed]");
+        eprintln!("grammars: json lisp xml while mathexpr");
+        std::process::exit(2);
+    };
+    let count: usize = args.get(1).map_or(20, |a| a.parse().expect("count must be a number"));
+    let budget: usize = args.get(2).map_or(24, |a| a.parse().expect("budget must be a number"));
+    let seed: u64 = args.get(3).map_or(1, |a| a.parse().expect("seed must be a number"));
+
+    let languages = table1_languages();
+    let Some(lang) = languages.iter().find(|l| l.name() == name.as_str()) else {
+        eprintln!("unknown grammar {name:?}; grammars: json lisp xml while mathexpr");
+        std::process::exit(2);
+    };
+
+    let oracle = |s: &str| lang.accepts(s);
+    let mat = Mat::new(&oracle);
+    let result = VStar::new(VStarConfig::default())
+        .learn(&mat, &lang.alphabet(), &lang.seeds())
+        .expect("learning the bundled grammars succeeds");
+    eprintln!(
+        "learned {} ({} states, {} nonterminals, {} unique queries)",
+        lang.name(),
+        result.vpa.state_count(),
+        result.vpg.nonterminal_count(),
+        result.stats.queries_total,
+    );
+
+    let sampler = GrammarSampler::new(&result.vpg);
+    let parser = VpgParser::new(&result.vpg);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut printed = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = count.saturating_mul(50).max(1000);
+    let mut seen = std::collections::BTreeSet::new();
+    while printed < count && attempts < max_attempts {
+        attempts += 1;
+        let Some(word) = sampler.sample(&mut rng, budget) else {
+            break;
+        };
+        // Round-trip: the sampled word must parse back to itself.
+        let tree = parser.parse(&word).expect("sampled word parses");
+        assert_eq!(tree.yielded(), word, "parse tree must yield the sample");
+        // Keep only words that correspond to raw strings of the learned
+        // language (fixed points of conv ∘ strip), then print the raw form.
+        let raw = strip_markers(&word);
+        if result.tokenizer.convert(&mat, &raw) != word || !seen.insert(raw.clone()) {
+            continue;
+        }
+        println!("{raw}");
+        printed += 1;
+    }
+    eprintln!("{printed} distinct samples in {attempts} draws (budget {budget}, seed {seed})");
+}

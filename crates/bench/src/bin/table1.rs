@@ -6,8 +6,15 @@
 //!   cargo run -p vstar_bench --bin table1 --release [-- tool ...]
 //! where each optional `tool` is one of `glade`, `arvada`, `vstar` (default: all).
 //! Pass `--json` to additionally print the report as JSON.
+//!
+//! Besides the human-readable table on stdout, the run always writes the report
+//! as machine-readable JSON to `BENCH_table1.json` in the current directory, so
+//! the performance/accuracy trajectory can be tracked across commits.
 
 use vstar_bench::{default_eval_config, run_table1};
+
+/// File the machine-readable report is written to (current directory).
+const JSON_REPORT_PATH: &str = "BENCH_table1.json";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,6 +33,15 @@ fn main() {
     );
     println!();
     print!("{report}");
+    if tools.is_empty() {
+        match std::fs::write(JSON_REPORT_PATH, report.to_json()) {
+            Ok(()) => println!("wrote {JSON_REPORT_PATH}"),
+            Err(e) => eprintln!("could not write {JSON_REPORT_PATH}: {e}"),
+        }
+    } else {
+        // Partial runs must not clobber the committed full-trajectory report.
+        println!("partial tool selection: {JSON_REPORT_PATH} left untouched");
+    }
     if want_json {
         println!("{}", report.to_json());
     }

@@ -10,8 +10,8 @@
 //! 1. **Nesting-pattern discovery** ([`nesting`], paper Definition 4.4): partitions
 //!    `u·x·z·y·v` of seed strings such that `u xᵏ z yᵏ v` is valid for all `k` but
 //!    unbalanced pumpings are not. These witness the call/return structure.
-//! 2. **Tagging / tokenizer inference** ([`tag_infer`] for character-level tags,
-//!    Algorithm 3; [`token_infer`] for multi-character call/return tokens,
+//! 2. **Tagging / tokenizer inference** ([`mod@tag_infer`] for character-level tags,
+//!    Algorithm 3; [`mod@token_infer`] for multi-character call/return tokens,
 //!    Algorithm 4). Token lexical rules are generalised with Angluin's L\*.
 //! 3. **Conversion** ([`tokenizer`], paper §5.1): `conv_τ` inserts artificial call
 //!    and return markers around inferred tokens, turning the oracle language into a
@@ -23,7 +23,7 @@
 //!    assembled from prefixes/infixes/suffixes of the seed strings stand in for
 //!    equivalence queries.
 //! 6. **Grammar extraction**: the learned VPA is converted to a well-matched VPG
-//!    via [`vstar_vpl::vpa_to_vpg`].
+//!    via [`vstar_vpl::vpa_to_vpg()`].
 //!
 //! The one-call entry point is [`VStar::learn`]; see `examples/` at the workspace
 //! root for end-to-end usage on JSON, XML and the paper's running examples.

@@ -8,60 +8,50 @@
 //! strings (see [`crate::equivalence`]).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+
+use vstar_automata::QueryCache;
 
 /// A membership-query teacher with caching and unique-query counting.
+///
+/// The cache/counter policy is the shared [`QueryCache`]; `Mat` adds interior
+/// mutability so learners can hold `&Mat` while issuing queries.
 pub struct Mat<'a> {
     oracle: &'a dyn Fn(&str) -> bool,
-    state: RefCell<MatState>,
-}
-
-#[derive(Default)]
-struct MatState {
-    cache: HashMap<String, bool>,
-    unique_queries: usize,
-    total_queries: usize,
+    state: RefCell<QueryCache>,
 }
 
 impl<'a> Mat<'a> {
     /// Wraps a membership function (typically a parser or recognizer).
+    ///
+    /// The oracle is treated as a black box; it must not (transitively) query
+    /// this `Mat` itself, as the cache is borrowed while it runs.
     #[must_use]
     pub fn new(oracle: &'a dyn Fn(&str) -> bool) -> Self {
-        Mat { oracle, state: RefCell::new(MatState::default()) }
+        Mat { oracle, state: RefCell::new(QueryCache::new()) }
     }
 
-    /// The membership query `χ_L(s)`.
+    /// The membership query `χ_L(s)`: a single entry-style cache lookup that
+    /// falls through to the oracle on the first occurrence of `s`.
     #[must_use]
     pub fn member(&self, s: &str) -> bool {
-        {
-            let mut state = self.state.borrow_mut();
-            state.total_queries += 1;
-            if let Some(&v) = state.cache.get(s) {
-                return v;
-            }
-        }
-        let v = (self.oracle)(s);
-        let mut state = self.state.borrow_mut();
-        state.unique_queries += 1;
-        state.cache.insert(s.to_owned(), v);
-        v
+        self.state.borrow_mut().query(s, self.oracle)
     }
 
     /// Number of unique membership queries issued so far (cache misses).
     #[must_use]
     pub fn unique_queries(&self) -> usize {
-        self.state.borrow().unique_queries
+        self.state.borrow().unique_queries()
     }
 
     /// Number of membership calls including cache hits.
     #[must_use]
     pub fn total_queries(&self) -> usize {
-        self.state.borrow().total_queries
+        self.state.borrow().total_queries()
     }
 
     /// Clears the cache and the counters.
     pub fn reset(&self) {
-        *self.state.borrow_mut() = MatState::default();
+        self.state.borrow_mut().reset();
     }
 }
 
@@ -69,8 +59,8 @@ impl std::fmt::Debug for Mat<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let state = self.state.borrow();
         f.debug_struct("Mat")
-            .field("unique_queries", &state.unique_queries)
-            .field("total_queries", &state.total_queries)
+            .field("unique_queries", &state.unique_queries())
+            .field("total_queries", &state.total_queries())
             .finish_non_exhaustive()
     }
 }
@@ -93,6 +83,31 @@ mod tests {
         assert_eq!(mat.unique_queries(), 2);
         assert_eq!(mat.total_queries(), 3);
         assert_eq!(raw_calls.get(), 2);
+    }
+
+    #[test]
+    fn entry_path_preserves_counter_semantics() {
+        // Regression test for the single entry-style lookup: the counters must
+        // behave exactly like the old get-then-insert path — `total` counts
+        // every call (hits included), `unique` counts first occurrences only,
+        // and the oracle runs once per unique string, in any interleaving.
+        let raw_calls = std::cell::Cell::new(0usize);
+        let oracle = |s: &str| {
+            raw_calls.set(raw_calls.get() + 1);
+            s.contains('a')
+        };
+        let mat = Mat::new(&oracle);
+        let sequence = ["a", "b", "a", "a", "c", "b", "abc"];
+        for s in sequence {
+            assert_eq!(mat.member(s), s.contains('a'), "answer for {s:?}");
+        }
+        assert_eq!(mat.total_queries(), sequence.len());
+        assert_eq!(mat.unique_queries(), 4); // a, b, c, abc
+        assert_eq!(raw_calls.get(), 4, "oracle must run once per unique string");
+        // Answers stay stable on re-query.
+        assert!(mat.member("a"));
+        assert_eq!(mat.unique_queries(), 4);
+        assert_eq!(mat.total_queries(), sequence.len() + 1);
     }
 
     #[test]

@@ -108,14 +108,17 @@ pub struct VStarResult {
     pub stats: VStarStats,
 }
 
-/// A learned recogniser detached from the learning-time [`Mat`]: decides membership
-/// of raw strings using the learned tokenizer + VPA (`χ_{(H,τ)}` in the paper).
+/// A learned language handle detached from the learning-time [`Mat`]: the learned
+/// grammar, automaton and tokenizer bundled so that downstream consumers (parsers,
+/// samplers, fuzzers) can execute the learned artifacts on raw strings
+/// (`χ_{(H,τ)}` in the paper).
 ///
 /// Tokenization needs k-Repetition membership checks, so a membership function must
 /// still be supplied; queries made here are not attributed to learning.
 #[derive(Clone, Debug)]
 pub struct LearnedLanguage {
     vpa: Vpa,
+    vpg: Vpg,
     tokenizer: PartialTokenizer,
     mode: TokenDiscovery,
 }
@@ -130,6 +133,44 @@ impl LearnedLanguage {
                 let converted = self.tokenizer.convert(mat, s);
                 self.vpa.accepts(&converted)
             }
+        }
+    }
+
+    /// The learned VPA (over Σ in character mode, over Σ̃ in token mode).
+    #[must_use]
+    pub fn vpa(&self) -> &Vpa {
+        &self.vpa
+    }
+
+    /// The well-matched VPG extracted from the learned VPA. Its tagging is the
+    /// word alphabet of [`LearnedLanguage::convert`], so grammar-level tools
+    /// (recognizers, parsers, samplers) run directly on converted words.
+    #[must_use]
+    pub fn vpg(&self) -> &Vpg {
+        &self.vpg
+    }
+
+    /// The inferred partial tokenizer.
+    #[must_use]
+    pub fn tokenizer(&self) -> &PartialTokenizer {
+        &self.tokenizer
+    }
+
+    /// The discovery mode the language was learned in.
+    #[must_use]
+    pub fn mode(&self) -> TokenDiscovery {
+        self.mode
+    }
+
+    /// Converts a raw string into the word the learned grammar and VPA read: the
+    /// identity in character mode, `conv_τ(s)` (artificial markers inserted
+    /// around token occurrences) in token mode. The k-Repetition checks of
+    /// tokenization issue membership queries through `mat`.
+    #[must_use]
+    pub fn convert(&self, mat: &Mat<'_>, s: &str) -> String {
+        match self.mode {
+            TokenDiscovery::Characters => s.to_owned(),
+            TokenDiscovery::Tokens => self.tokenizer.convert(mat, s),
         }
     }
 }
@@ -148,6 +189,7 @@ impl VStarResult {
     pub fn as_learned_language(&self) -> LearnedLanguage {
         LearnedLanguage {
             vpa: self.vpa.clone(),
+            vpg: self.vpg.clone(),
             tokenizer: self.tokenizer.clone(),
             mode: self.mode,
         }
@@ -412,6 +454,31 @@ mod tests {
         let learned = result.as_learned_language();
         assert!(learned.accepts(&mat, "(())"));
         assert!(!learned.accepts(&mat, "(()"));
+        // The handle exposes every learned artifact.
+        assert_eq!(learned.mode(), TokenDiscovery::Tokens);
+        assert_eq!(learned.vpa().state_count(), result.vpa.state_count());
+        assert_eq!(learned.vpg(), &result.vpg);
+        assert_eq!(learned.tokenizer().pair_count(), result.tokenizer.pair_count());
+        // convert() produces the word the grammar reads: stripping its markers
+        // recovers the raw string, and the grammar's tagging covers the word.
+        let converted = learned.convert(&mat, "(())");
+        assert_eq!(crate::tokenizer::strip_markers(&converted), "(())");
+        assert!(learned.vpg().tagging().is_well_matched(&converted));
+        assert!(learned.vpg().accepts(&converted));
+    }
+
+    #[test]
+    fn convert_is_identity_in_character_mode() {
+        let oracle = fig1;
+        let mat = Mat::new(&oracle);
+        let config =
+            VStarConfig { token_discovery: TokenDiscovery::Characters, ..VStarConfig::default() };
+        let result = VStar::new(config)
+            .learn(&mat, &['a', 'b', 'c', 'd', 'g', 'h'], &["agcdcdhbcd".to_string()])
+            .unwrap();
+        let learned = result.as_learned_language();
+        assert_eq!(learned.convert(&mat, "agcdhb"), "agcdhb");
+        assert_eq!(learned.mode(), TokenDiscovery::Characters);
     }
 
     #[test]

@@ -7,65 +7,47 @@
 //! V-Star pipeline can attribute queries to its phases (%Q(Token) vs %Q(VPA)).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+
+use vstar_automata::QueryCache;
 
 /// A caching, counting membership oracle.
 ///
-/// Cloning is intentionally not provided: all users of a learning run should share
-/// one `CountingOracle` (by reference) so that the query count is global.
+/// The cache/counter policy is the shared [`QueryCache`]. Cloning is
+/// intentionally not provided: all users of a learning run should share one
+/// `CountingOracle` (by reference) so that the query count is global.
 pub struct CountingOracle<'a> {
     inner: Box<dyn Fn(&str) -> bool + 'a>,
-    state: RefCell<CountingState>,
-}
-
-#[derive(Default)]
-struct CountingState {
-    cache: HashMap<String, bool>,
-    unique_queries: usize,
-    total_queries: usize,
+    state: RefCell<QueryCache>,
 }
 
 impl<'a> CountingOracle<'a> {
-    /// Wraps a membership function.
+    /// Wraps a membership function. The function must not (transitively) query
+    /// this `CountingOracle` itself, as the cache is borrowed while it runs.
     pub fn new(f: impl Fn(&str) -> bool + 'a) -> Self {
-        CountingOracle { inner: Box::new(f), state: RefCell::new(CountingState::default()) }
+        CountingOracle { inner: Box::new(f), state: RefCell::new(QueryCache::new()) }
     }
 
     /// Answers a membership query, consulting the cache first.
     #[must_use]
     pub fn member(&self, input: &str) -> bool {
-        {
-            let mut state = self.state.borrow_mut();
-            state.total_queries += 1;
-            if let Some(&v) = state.cache.get(input) {
-                return v;
-            }
-        }
-        let v = (self.inner)(input);
-        let mut state = self.state.borrow_mut();
-        state.unique_queries += 1;
-        state.cache.insert(input.to_owned(), v);
-        v
+        self.state.borrow_mut().query(input, &self.inner)
     }
 
     /// Number of unique (cache-missing) membership queries so far.
     #[must_use]
     pub fn unique_queries(&self) -> usize {
-        self.state.borrow().unique_queries
+        self.state.borrow().unique_queries()
     }
 
     /// Number of membership calls including cache hits.
     #[must_use]
     pub fn total_queries(&self) -> usize {
-        self.state.borrow().total_queries
+        self.state.borrow().total_queries()
     }
 
     /// Clears counters and the cache (the wrapped function is kept).
     pub fn reset(&self) {
-        let mut state = self.state.borrow_mut();
-        state.cache.clear();
-        state.unique_queries = 0;
-        state.total_queries = 0;
+        self.state.borrow_mut().reset();
     }
 }
 
@@ -73,8 +55,8 @@ impl std::fmt::Debug for CountingOracle<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let state = self.state.borrow();
         f.debug_struct("CountingOracle")
-            .field("unique_queries", &state.unique_queries)
-            .field("total_queries", &state.total_queries)
+            .field("unique_queries", &state.unique_queries())
+            .field("total_queries", &state.total_queries())
             .finish_non_exhaustive()
     }
 }

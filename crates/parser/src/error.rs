@@ -1,0 +1,77 @@
+//! Parse failures, with the input position that caused them.
+
+use std::fmt;
+
+/// Why an input is not derivable by the grammar.
+///
+/// Positions are 0-based indices into the tagged input (character positions for
+/// raw-string parsing).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// No derivation of the prefix can consume the symbol at `position`.
+    Stuck {
+        /// Index of the unconsumable symbol.
+        position: usize,
+    },
+    /// The return symbol at `position` has no open call.
+    UnmatchedReturn {
+        /// Index of the unmatched return symbol.
+        position: usize,
+    },
+    /// The input ended while the call at `position` was still open.
+    UnmatchedCall {
+        /// Index of the innermost unclosed call symbol.
+        position: usize,
+    },
+    /// Every symbol was consumed, but no derivation is complete (the input is a
+    /// proper prefix of one or more members).
+    Incomplete,
+}
+
+impl ParseError {
+    /// The input position the error points at, if it has one.
+    #[must_use]
+    pub fn position(&self) -> Option<usize> {
+        match *self {
+            ParseError::Stuck { position }
+            | ParseError::UnmatchedReturn { position }
+            | ParseError::UnmatchedCall { position } => Some(position),
+            ParseError::Incomplete => None,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ParseError::Stuck { position } => {
+                write!(f, "no derivation can consume the symbol at position {position}")
+            }
+            ParseError::UnmatchedReturn { position } => {
+                write!(f, "return symbol at position {position} has no open call")
+            }
+            ParseError::UnmatchedCall { position } => {
+                write!(f, "input ended with the call at position {position} still open")
+            }
+            ParseError::Incomplete => {
+                write!(f, "input ended before any derivation was complete")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_position() {
+        assert_eq!(ParseError::Stuck { position: 3 }.position(), Some(3));
+        assert_eq!(ParseError::Incomplete.position(), None);
+        assert!(ParseError::UnmatchedReturn { position: 0 }.to_string().contains("position 0"));
+        assert!(ParseError::UnmatchedCall { position: 2 }.to_string().contains("still open"));
+        assert!(ParseError::Incomplete.to_string().contains("before any derivation"));
+    }
+}

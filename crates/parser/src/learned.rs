@@ -1,0 +1,141 @@
+//! Parsing raw strings with a learned language.
+//!
+//! [`crate::VpgParser`] works on words over the grammar's own alphabet — in
+//! token mode that is the converted alphabet Σ̃ with artificial call/return
+//! markers. [`LearnedParser`] closes the loop for end users: it converts a raw
+//! input with the learned tokenizer (`conv_τ`) and then recognizes/parses the
+//! converted word with the learned grammar, so a grammar learned by
+//! [`vstar::VStar::learn`] becomes a usable parser for plain `&str` inputs.
+//!
+//! Tokenization performs k-Repetition membership checks, so a [`Mat`] must be
+//! supplied; in character mode the conversion is the identity and no queries
+//! are issued.
+
+use vstar::{LearnedLanguage, Mat};
+
+use crate::error::ParseError;
+use crate::recognizer::VpgParser;
+use crate::tree::ParseTree;
+
+/// A parser for raw strings of a [`LearnedLanguage`].
+///
+/// Parse trees are over the learned grammar, i.e. over the *converted* word in
+/// token mode: the artificial marker characters appear as the call/return
+/// terminals of [`crate::tree::ParseStep::Nest`] steps, making the inferred
+/// nesting structure of the raw input explicit.
+#[derive(Clone, Debug)]
+pub struct LearnedParser<'l> {
+    learned: &'l LearnedLanguage,
+    parser: VpgParser<'l>,
+}
+
+impl<'l> LearnedParser<'l> {
+    /// Compiles a parser for the learned grammar.
+    #[must_use]
+    pub fn new(learned: &'l LearnedLanguage) -> Self {
+        LearnedParser { learned, parser: VpgParser::new(learned.vpg()) }
+    }
+
+    /// The underlying grammar-level parser.
+    #[must_use]
+    pub fn parser(&self) -> &VpgParser<'l> {
+        &self.parser
+    }
+
+    /// The learned-language handle this parser runs.
+    #[must_use]
+    pub fn learned(&self) -> &'l LearnedLanguage {
+        self.learned
+    }
+
+    /// Converts a raw string into the word the grammar reads (see
+    /// [`LearnedLanguage::convert`]).
+    #[must_use]
+    pub fn convert(&self, mat: &Mat<'_>, s: &str) -> String {
+        self.learned.convert(mat, s)
+    }
+
+    /// Decides membership of a raw string with the learned *grammar* (the
+    /// derivative recognizer on the converted word). Agrees with
+    /// [`LearnedLanguage::accepts`] on the well-matched languages the V-Star
+    /// pipeline produces.
+    #[must_use]
+    pub fn accepts(&self, mat: &Mat<'_>, s: &str) -> bool {
+        self.parser.recognize(&self.convert(mat, s))
+    }
+
+    /// Parses a raw string into a derivation of the learned grammar.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] over the *converted* word when the input is not
+    /// a member ([`ParseError::position`] indexes the converted word).
+    pub fn parse(&self, mat: &Mat<'_>, s: &str) -> Result<ParseTree, ParseError> {
+        self.parser.parse(&self.convert(mat, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstar::{VStar, VStarConfig};
+    use vstar_vpl::words::all_strings;
+
+    fn dyck(s: &str) -> bool {
+        let mut depth = 0i64;
+        for c in s.chars() {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return false;
+                    }
+                }
+                'x' => {}
+                _ => return false,
+            }
+        }
+        depth == 0
+    }
+
+    #[test]
+    fn raw_string_round_trip_on_learned_dyck() {
+        let oracle = dyck;
+        let mat = Mat::new(&oracle);
+        let result = VStar::new(VStarConfig::default())
+            .learn(&mat, &['(', ')', 'x'], &["(x(x))x".to_string(), "()".to_string()])
+            .expect("learning succeeds");
+        let learned = result.as_learned_language();
+        let parser = LearnedParser::new(&learned);
+
+        for w in all_strings(&['(', ')', 'x'], 6) {
+            let expected = dyck(&w);
+            assert_eq!(parser.accepts(&mat, &w), expected, "accepts mismatch on {w:?}");
+            assert_eq!(learned.accepts(&mat, &w), expected, "vpa reference on {w:?}");
+            match parser.parse(&mat, &w) {
+                Ok(tree) => {
+                    assert!(expected, "parsed a non-member {w:?}");
+                    assert!(tree.validate(learned.vpg()));
+                    assert_eq!(tree.yielded(), parser.convert(&mat, &w));
+                }
+                Err(_) => assert!(!expected, "failed to parse member {w:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_trees_expose_inferred_nesting() {
+        let oracle = dyck;
+        let mat = Mat::new(&oracle);
+        let result = VStar::new(VStarConfig::default())
+            .learn(&mat, &['(', ')', 'x'], &["(x(x))x".to_string(), "()".to_string()])
+            .unwrap();
+        let learned = result.as_learned_language();
+        let parser = LearnedParser::new(&learned);
+        let tree = parser.parse(&mat, "((x)x)").unwrap();
+        // One token pair was inferred, so the converted word nests two levels.
+        assert_eq!(tree.depth(), 2);
+        assert!(!tree.is_empty());
+    }
+}

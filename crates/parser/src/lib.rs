@@ -1,0 +1,59 @@
+//! Executing learned visibly pushdown grammars: recognition, parsing, sampling.
+//!
+//! The V-Star pipeline ([`vstar::VStar::learn`]) ends with an extracted
+//! [`vstar_vpl::Vpg`]. This crate makes that artifact *usable* the way the
+//! paper intends its output to be used, following the same authors'
+//! derivative-based parsing line of work ("A Derivative-based Parser Generator
+//! for Visibly Pushdown Grammars", Jia, Kumar & Tan, OOPSLA 2021):
+//!
+//! * [`VpgParser`] — a derivative-style recognizer and parser. Recognition and
+//!   parsing are linear in the input length (grammar fixed), with no
+//!   backtracking; parsing produces a [`ParseTree`] whose call/return nesting
+//!   is explicit ([`ParseStep::Nest`]).
+//! * [`GrammarSampler`] — a budget-aware, seeded random sentence generator.
+//!   Every sample carries a derivation ([`GrammarSampler::sample_tree`]), so
+//!   samples are members by construction; the evaluation harness builds its
+//!   precision datasets with it, and it is the substrate for grammar-directed
+//!   fuzzing.
+//! * [`LearnedParser`] — raw-`&str` parsing for a learned language: converts
+//!   input with the learned tokenizer (`conv_τ`) and parses the converted word
+//!   with the learned grammar.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use vstar_parser::{GrammarSampler, VpgParser};
+//! use vstar_vpl::grammar::figure1_grammar;
+//!
+//! let grammar = figure1_grammar();
+//! let parser = VpgParser::new(&grammar);
+//!
+//! // Parse the paper's seed string; the tree yields it back.
+//! let tree = parser.parse("agcdcdhbcd").unwrap();
+//! assert_eq!(tree.yielded(), "agcdcdhbcd");
+//! assert_eq!(tree.depth(), 2);
+//! assert!(tree.validate(&grammar));
+//!
+//! // Sample → parse → accept: sampler output is always recognizable.
+//! let sampler = GrammarSampler::new(&grammar);
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let sentence = sampler.sample(&mut rng, 24).unwrap();
+//! assert!(parser.recognize(&sentence));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod learned;
+pub mod recognizer;
+pub mod sampler;
+pub mod tree;
+
+pub use error::ParseError;
+pub use learned::LearnedParser;
+pub use recognizer::VpgParser;
+pub use sampler::GrammarSampler;
+pub use tree::{ParseStep, ParseTree};

@@ -1,0 +1,503 @@
+//! Derivative-style recognition and parsing of well-matched VPGs.
+//!
+//! The recognizer follows the derivative-based recipe of Jia, Kumar & Tan ("A
+//! Derivative-based Parser Generator for Visibly Pushdown Grammars", OOPSLA
+//! 2021): the parser state after a prefix is the *derivative* of the grammar —
+//! here represented as a set of items per nesting level plus a stack of
+//! suspended levels. An item is a pair `(origin, cur)` of nonterminals meaning
+//! "the current level started at `origin` and some derivation of the level's
+//! content so far still needs `cur`". Reading a symbol rewrites the whole set:
+//!
+//! * a plain `c` applies every rule `cur → c next`,
+//! * a call `‹a` suspends the level on the stack and opens a fresh level seeded
+//!   with `(L₁, L₁)` for every rule `cur → ‹a L₁ b› L₂`,
+//! * a return `b›` closes the level — an item `(L₁, M)` with `M → ε` proves the
+//!   body derivable from `L₁` — and resumes the suspended level through every
+//!   rule `cur → ‹a L₁ b› L₂` whose call, body and return all check out.
+//!
+//! Tracking the *origin* in each item is what makes the set exact rather than
+//! an over-approximation: two matching rules can open the same level with
+//! different body nonterminals, and only the origins that actually reach an
+//! ε-closing item may complete their rule at the return.
+//!
+//! Every step touches each grammar rule at most once per live item, so
+//! recognition runs in `O(|s| · |G| · |items|)` — linear in the input with the
+//! grammar fixed, with no backtracking and no grammar-size blowup. Parsing
+//! ([`VpgParser::parse_tagged`]) runs the same forward pass, records the item
+//! sets with back-pointers, and extracts one derivation in a linear backward
+//! walk.
+
+use std::collections::{HashMap, HashSet};
+
+use vstar_vpl::{Kind, NonterminalId, RuleRhs, TaggedChar, Vpg};
+
+use crate::error::ParseError;
+use crate::tree::{ParseStep, ParseTree};
+
+/// A compiled recognizer/parser for one [`Vpg`].
+///
+/// Construction indexes the grammar's rules by left-hand side and shape;
+/// recognition and parsing borrow the grammar, so the parser is cheap to build
+/// and free to clone.
+///
+/// # Example
+///
+/// ```
+/// use vstar_parser::VpgParser;
+/// use vstar_vpl::grammar::figure1_grammar;
+///
+/// let grammar = figure1_grammar();
+/// let parser = VpgParser::new(&grammar);
+/// assert!(parser.recognize("agcdcdhbcd"));
+/// let tree = parser.parse("agcdcdhbcd").unwrap();
+/// assert_eq!(tree.yielded(), "agcdcdhbcd");
+/// assert!(tree.validate(&grammar));
+/// ```
+#[derive(Clone, Debug)]
+pub struct VpgParser<'g> {
+    vpg: &'g Vpg,
+    nullable: Vec<bool>,
+    /// Linear alternatives `(plain, next)` per nonterminal.
+    linear: Vec<Vec<(char, NonterminalId)>>,
+    /// Matching alternatives `(call, inner, ret, next)` per nonterminal.
+    matching: Vec<Vec<(char, NonterminalId, char, NonterminalId)>>,
+}
+
+/// One element of a level's item set: some derivation of the level's content
+/// read so far starts at `origin` and currently needs `cur`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+struct Item {
+    origin: NonterminalId,
+    cur: NonterminalId,
+    back: Back,
+}
+
+/// Back-pointer of an [`Item`] for derivation extraction. Indices refer to the
+/// recorded per-position item sets of the forward pass.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+enum Back {
+    /// A level-opening item (`cur == origin`): position 0 or just after a call.
+    Open,
+    /// Produced by `lhs → plain cur`; `prev` indexes the `lhs` item one
+    /// position earlier.
+    Plain { prev: u32 },
+    /// Produced at a return by the `alt`-th matching alternative of the item at
+    /// index `outer` in the set recorded at `call_state` (the position of the
+    /// matching call); `inner` indexes the ε-closing item of the nested level
+    /// one position earlier.
+    Close { outer: u32, inner: u32, alt: u32, call_state: u32 },
+}
+
+impl<'g> VpgParser<'g> {
+    /// Compiles a parser for `vpg`.
+    #[must_use]
+    pub fn new(vpg: &'g Vpg) -> Self {
+        let n = vpg.nonterminal_count();
+        let mut linear = vec![Vec::new(); n];
+        let mut matching = vec![Vec::new(); n];
+        for (lhs, rhs) in vpg.rules() {
+            match rhs {
+                RuleRhs::Empty => {}
+                RuleRhs::Linear { plain, next } => linear[lhs.0].push((plain, next)),
+                RuleRhs::Match { call, inner, ret, next } => {
+                    matching[lhs.0].push((call, inner, ret, next));
+                }
+            }
+        }
+        VpgParser { vpg, nullable: vpg.nullables(), linear, matching }
+    }
+
+    /// The grammar this parser was compiled from.
+    #[must_use]
+    pub fn vpg(&self) -> &'g Vpg {
+        self.vpg
+    }
+
+    /// Returns `true` if the grammar derives `s` (tagged with the grammar's own
+    /// tagging).
+    #[must_use]
+    pub fn recognize(&self, s: &str) -> bool {
+        self.recognize_tagged(&self.vpg.tagging().tag(s))
+    }
+
+    /// Returns `true` if the grammar derives the tagged word.
+    #[must_use]
+    pub fn recognize_tagged(&self, input: &[TaggedChar]) -> bool {
+        let start = self.vpg.start();
+        let mut cur: Vec<(NonterminalId, NonterminalId)> = vec![(start, start)];
+        let mut stack: Vec<(Vec<(NonterminalId, NonterminalId)>, char)> = Vec::new();
+        let mut seen: HashSet<(NonterminalId, NonterminalId)> = HashSet::new();
+        for &sym in input {
+            seen.clear();
+            let next = match sym.kind {
+                Kind::Plain => {
+                    let mut next = Vec::new();
+                    for &(o, l) in &cur {
+                        for &(c, n) in &self.linear[l.0] {
+                            if c == sym.ch && seen.insert((o, n)) {
+                                next.push((o, n));
+                            }
+                        }
+                    }
+                    next
+                }
+                Kind::Call => {
+                    let mut next = Vec::new();
+                    for &(_, l) in &cur {
+                        for &(c, inner, _, _) in &self.matching[l.0] {
+                            if c == sym.ch && seen.insert((inner, inner)) {
+                                next.push((inner, inner));
+                            }
+                        }
+                    }
+                    stack.push((std::mem::take(&mut cur), sym.ch));
+                    next
+                }
+                Kind::Return => {
+                    let Some((outer, call_ch)) = stack.pop() else {
+                        return false;
+                    };
+                    let completed: HashSet<NonterminalId> =
+                        cur.iter().filter(|&&(_, m)| self.nullable[m.0]).map(|&(o, _)| o).collect();
+                    let mut next = Vec::new();
+                    for &(o, l) in &outer {
+                        for &(c, inner, r, n) in &self.matching[l.0] {
+                            if c == call_ch
+                                && r == sym.ch
+                                && completed.contains(&inner)
+                                && seen.insert((o, n))
+                            {
+                                next.push((o, n));
+                            }
+                        }
+                    }
+                    next
+                }
+            };
+            if next.is_empty() {
+                return false;
+            }
+            cur = next;
+        }
+        stack.is_empty() && cur.iter().any(|&(_, m)| self.nullable[m.0])
+    }
+
+    /// Parses `s` (tagged with the grammar's own tagging) into a derivation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] locating the failure when `s` is not derivable.
+    pub fn parse(&self, s: &str) -> Result<ParseTree, ParseError> {
+        self.parse_tagged(&self.vpg.tagging().tag(s))
+    }
+
+    /// Parses a tagged word into a derivation of the grammar.
+    ///
+    /// The forward pass is the same derivative computation as
+    /// [`VpgParser::recognize_tagged`] with per-position item sets retained;
+    /// the returned tree is extracted backward from an accepting item and
+    /// always satisfies `tree.validate(self.vpg())` and
+    /// `tree.yielded() == untag(input)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] locating the failure when the word is not
+    /// derivable.
+    pub fn parse_tagged(&self, input: &[TaggedChar]) -> Result<ParseTree, ParseError> {
+        let start = self.vpg.start();
+        // states[i] is the item set after consuming i symbols.
+        let mut states: Vec<Vec<Item>> =
+            vec![vec![Item { origin: start, cur: start, back: Back::Open }]];
+        // Suspended levels: (index into `states` of the set saved at the call,
+        // position of the call symbol itself is the same index).
+        let mut stack: Vec<u32> = Vec::new();
+        let mut seen: HashSet<(NonterminalId, NonterminalId)> = HashSet::new();
+
+        for (t, &sym) in input.iter().enumerate() {
+            seen.clear();
+            let mut next: Vec<Item> = Vec::new();
+            match sym.kind {
+                Kind::Plain => {
+                    let cur = &states[t];
+                    for (idx, item) in cur.iter().enumerate() {
+                        for &(c, n) in &self.linear[item.cur.0] {
+                            if c == sym.ch && seen.insert((item.origin, n)) {
+                                next.push(Item {
+                                    origin: item.origin,
+                                    cur: n,
+                                    back: Back::Plain { prev: idx as u32 },
+                                });
+                            }
+                        }
+                    }
+                }
+                Kind::Call => {
+                    let cur = &states[t];
+                    for item in cur {
+                        for &(c, inner, _, _) in &self.matching[item.cur.0] {
+                            if c == sym.ch && seen.insert((inner, inner)) {
+                                next.push(Item { origin: inner, cur: inner, back: Back::Open });
+                            }
+                        }
+                    }
+                    stack.push(t as u32);
+                }
+                Kind::Return => {
+                    let Some(call_state) = stack.pop() else {
+                        return Err(ParseError::UnmatchedReturn { position: t });
+                    };
+                    let call_ch = input[call_state as usize].ch;
+                    // First ε-closing item per body origin.
+                    let mut completed: HashMap<NonterminalId, u32> = HashMap::new();
+                    for (idx, item) in states[t].iter().enumerate() {
+                        if self.nullable[item.cur.0] {
+                            completed.entry(item.origin).or_insert(idx as u32);
+                        }
+                    }
+                    let outer = &states[call_state as usize];
+                    for (oi, item) in outer.iter().enumerate() {
+                        for (alt, &(c, inner, r, n)) in self.matching[item.cur.0].iter().enumerate()
+                        {
+                            if c != call_ch || r != sym.ch {
+                                continue;
+                            }
+                            let Some(&ii) = completed.get(&inner) else {
+                                continue;
+                            };
+                            if seen.insert((item.origin, n)) {
+                                next.push(Item {
+                                    origin: item.origin,
+                                    cur: n,
+                                    back: Back::Close {
+                                        outer: oi as u32,
+                                        inner: ii,
+                                        alt: alt as u32,
+                                        call_state,
+                                    },
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            if next.is_empty() {
+                return Err(ParseError::Stuck { position: t });
+            }
+            states.push(next);
+        }
+
+        if let Some(&call_state) = stack.last() {
+            return Err(ParseError::UnmatchedCall { position: call_state as usize });
+        }
+        let accepting = states[input.len()]
+            .iter()
+            .position(|item| self.nullable[item.cur.0])
+            .ok_or(ParseError::Incomplete)?;
+        Ok(self.extract(input, &states, input.len(), accepting as u32))
+    }
+
+    /// Extracts the derivation of the level that ends at `states[pos][idx]`
+    /// (whose `cur` closes with its ε-rule), walking back-pointers to the
+    /// level-opening item. Nested levels are handled with an explicit frame
+    /// stack, so extraction never recurses and survives adversarially deep
+    /// nesting.
+    fn extract(
+        &self,
+        input: &[TaggedChar],
+        states: &[Vec<Item>],
+        pos: usize,
+        idx: u32,
+    ) -> ParseTree {
+        /// A nesting level whose backward walk is in progress. `pending` holds
+        /// the matching-rule pieces of the `Close` step that suspended the
+        /// walk, to be completed once the nested level's tree is built.
+        struct Frame {
+            closer: NonterminalId,
+            rev_steps: Vec<ParseStep>,
+            pos: usize,
+            idx: usize,
+            pending: Option<(NonterminalId, char, char, usize, usize)>,
+        }
+        let new_frame = |pos: usize, idx: usize| Frame {
+            closer: states[pos][idx].cur,
+            rev_steps: Vec::new(),
+            pos,
+            idx,
+            pending: None,
+        };
+        let mut frames: Vec<Frame> = vec![new_frame(pos, idx as usize)];
+        loop {
+            let frame = frames.last_mut().expect("frame stack never drains mid-walk");
+            let item = states[frame.pos][frame.idx];
+            match item.back {
+                Back::Open => {
+                    debug_assert_eq!(item.cur, item.origin);
+                    let done = frames.pop().expect("current frame exists");
+                    let mut rev_steps = done.rev_steps;
+                    rev_steps.reverse();
+                    let tree = ParseTree::new(item.origin, rev_steps, done.closer);
+                    let Some(parent) = frames.last_mut() else {
+                        return tree;
+                    };
+                    let (lhs, call, ret, resume_pos, resume_idx) =
+                        parent.pending.take().expect("parent suspended on a Close step");
+                    parent.rev_steps.push(ParseStep::Nest { lhs, call, inner: tree, ret });
+                    parent.pos = resume_pos;
+                    parent.idx = resume_idx;
+                }
+                Back::Plain { prev } => {
+                    let lhs = states[frame.pos - 1][prev as usize].cur;
+                    frame.rev_steps.push(ParseStep::Plain { lhs, plain: input[frame.pos - 1].ch });
+                    frame.pos -= 1;
+                    frame.idx = prev as usize;
+                }
+                Back::Close { outer, inner, alt, call_state } => {
+                    let lhs = states[call_state as usize][outer as usize].cur;
+                    let (call, _, ret, _) = self.matching[lhs.0][alt as usize];
+                    frame.pending = Some((lhs, call, ret, call_state as usize, outer as usize));
+                    let inner_pos = frame.pos - 1;
+                    frames.push(new_frame(inner_pos, inner as usize));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstar_vpl::grammar::figure1_grammar;
+    use vstar_vpl::{Tagging, VpgBuilder};
+
+    #[test]
+    fn figure1_recognition_agrees_with_vpl() {
+        let g = figure1_grammar();
+        let p = VpgParser::new(&g);
+        let terminals: Vec<char> = g.terminals().into_iter().collect();
+        for w in vstar_vpl::words::all_strings(&terminals, 6) {
+            assert_eq!(p.recognize(&w), g.accepts(&w), "mismatch on {w:?}");
+        }
+    }
+
+    #[test]
+    fn figure1_parses_pumped_seeds() {
+        let g = figure1_grammar();
+        let p = VpgParser::new(&g);
+        for k in 1..6 {
+            let s = format!("{}cdcd{}cd", "ag".repeat(k), "hb".repeat(k));
+            let tree = p.parse(&s).unwrap_or_else(|e| panic!("k={k}: {e}"));
+            assert_eq!(tree.yielded(), s);
+            assert!(tree.validate(&g));
+            assert_eq!(tree.depth(), 2 * k);
+        }
+    }
+
+    #[test]
+    fn parse_errors_locate_failures() {
+        let g = figure1_grammar();
+        let p = VpgParser::new(&g);
+        // 'x' is not derivable anywhere.
+        assert_eq!(p.parse("cx"), Err(ParseError::Stuck { position: 1 }));
+        // A bare return symbol.
+        assert_eq!(p.parse("b"), Err(ParseError::UnmatchedReturn { position: 0 }));
+        assert_eq!(p.parse("cdb"), Err(ParseError::UnmatchedReturn { position: 2 }));
+        // An unclosed call.
+        assert_eq!(p.parse("ag"), Err(ParseError::UnmatchedCall { position: 1 }));
+        // "c" must continue with 'd': every symbol consumed, nothing accepting.
+        assert_eq!(p.parse("c"), Err(ParseError::Incomplete));
+        // ‹a with a body that cannot start: A requires ‹g.
+        assert_eq!(p.parse("ab"), Err(ParseError::Stuck { position: 1 }));
+    }
+
+    #[test]
+    fn origin_tracking_is_exact() {
+        // Two matching rules share the call/return pair but pair different body
+        // and continuation nonterminals:
+        //   S → ‹( X )› P | ‹( Y )› Q,  X → x E,  Y → y E,
+        //   P → p E,  Q → q E,  E → ε.
+        // A set-based recognizer without origins would accept "(x)q".
+        let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+        let mut b = VpgBuilder::new(tagging);
+        let s = b.nonterminal("S");
+        let x = b.nonterminal("X");
+        let y = b.nonterminal("Y");
+        let p = b.nonterminal("P");
+        let q = b.nonterminal("Q");
+        let e = b.nonterminal("E");
+        b.match_rule(s, '(', x, ')', p);
+        b.match_rule(s, '(', y, ')', q);
+        b.linear_rule(x, 'x', e);
+        b.linear_rule(y, 'y', e);
+        b.linear_rule(p, 'p', e);
+        b.linear_rule(q, 'q', e);
+        b.empty_rule(e);
+        let g = b.build(s).unwrap();
+        let parser = VpgParser::new(&g);
+        for (w, member) in
+            [("(x)p", true), ("(y)q", true), ("(x)q", false), ("(y)p", false), ("(x)", false)]
+        {
+            assert_eq!(parser.recognize(w), member, "mismatch on {w:?}");
+            assert_eq!(g.accepts(w), member, "vpl reference disagrees on {w:?}");
+            assert_eq!(parser.parse(w).is_ok(), member);
+        }
+        let tree = parser.parse("(y)q").unwrap();
+        assert!(tree.validate(&g));
+        assert_eq!(tree.yielded(), "(y)q");
+    }
+
+    #[test]
+    fn empty_input_needs_nullable_start() {
+        let g = figure1_grammar();
+        let p = VpgParser::new(&g);
+        assert!(p.recognize(""));
+        let t = p.parse("").unwrap();
+        assert!(t.is_empty());
+        assert!(t.validate(&g));
+
+        let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+        let mut b = VpgBuilder::new(tagging);
+        let s = b.nonterminal("S");
+        let e = b.nonterminal("E");
+        b.match_rule(s, '(', e, ')', e);
+        b.empty_rule(e);
+        let g = b.build(s).unwrap();
+        let p = VpgParser::new(&g);
+        assert!(!p.recognize(""));
+        assert_eq!(p.parse(""), Err(ParseError::Incomplete));
+        assert!(p.recognize("()"));
+    }
+
+    #[test]
+    fn deep_nesting_is_stack_safe() {
+        // 100k nesting levels: recognition, parsing (frame-stack extraction),
+        // every tree traversal and the tree's drop must all run iteratively —
+        // this is exactly the adversarial input shape a fuzzing or serving
+        // workload feeds the parser.
+        let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+        let mut b = VpgBuilder::new(tagging);
+        let s = b.nonterminal("S");
+        b.match_rule(s, '(', s, ')', s);
+        b.empty_rule(s);
+        b.linear_rule(s, 'x', s);
+        let g = b.build(s).unwrap();
+        let p = VpgParser::new(&g);
+        let deep = 100_000usize;
+        let w = format!("{}x{}", "(".repeat(deep), ")".repeat(deep));
+        assert!(p.recognize(&w));
+        let tree = p.parse(&w).unwrap();
+        assert_eq!(tree.len(), w.chars().count());
+        assert_eq!(tree.depth(), deep);
+        assert_eq!(tree.rule_applications(), 2 * deep + 2);
+        assert!(tree.validate(&g));
+        assert_eq!(tree.yielded(), w);
+        drop(tree); // iterative drop must not overflow either
+
+        // Long flat strings exercise the non-recursive spine.
+        let flat = "()".repeat(50_000);
+        assert!(p.recognize(&flat));
+        let tree = p.parse(&flat).unwrap();
+        assert_eq!(tree.len(), flat.len());
+        assert_eq!(tree.depth(), 1);
+        assert!(tree.validate(&g));
+    }
+}

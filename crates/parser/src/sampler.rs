@@ -1,0 +1,280 @@
+//! Budget-aware random sentence generation from a [`Vpg`].
+//!
+//! This is the generator the evaluation harness uses to build precision
+//! datasets (GLADE/ARVADA-style evaluations sample from the *learned* grammar
+//! and ask the oracle), and the substrate for grammar-directed fuzzing: every
+//! sample comes with its derivation ([`GrammarSampler::sample_tree`]), so the
+//! sampled string is a member of the grammar's language *by construction*.
+//!
+//! Sampling walks the grammar top-down. While the remaining budget fits at
+//! least one alternative's shortest completion, an alternative is drawn
+//! uniformly among the fitting ones; once the budget is exhausted the sampler
+//! greedily takes the cheapest completion, which guarantees termination for
+//! every productive start nonterminal.
+
+use rand::Rng;
+
+use vstar_vpl::{NonterminalId, RuleRhs, Vpg};
+
+use crate::tree::{ParseStep, ParseTree};
+
+/// A random sentence/derivation generator for one [`Vpg`].
+///
+/// # Example
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use vstar_parser::{GrammarSampler, VpgParser};
+/// use vstar_vpl::grammar::figure1_grammar;
+///
+/// let grammar = figure1_grammar();
+/// let sampler = GrammarSampler::new(&grammar);
+/// let parser = VpgParser::new(&grammar);
+/// let mut rng = StdRng::seed_from_u64(42);
+/// let s = sampler.sample(&mut rng, 24).unwrap();
+/// assert!(parser.recognize(&s));
+/// ```
+#[derive(Clone, Debug)]
+pub struct GrammarSampler<'g> {
+    vpg: &'g Vpg,
+    /// Shortest derivable length per nonterminal (`None` = unproductive).
+    min: Vec<Option<usize>>,
+    /// Shortest yield per alternative, aligned with `Vpg::alternatives`.
+    alt_min: Vec<Vec<Option<usize>>>,
+}
+
+impl<'g> GrammarSampler<'g> {
+    /// Builds a sampler over `vpg`, precomputing shortest completions.
+    #[must_use]
+    pub fn new(vpg: &'g Vpg) -> Self {
+        let min = vpg.min_lengths();
+        let alt_min = (0..vpg.nonterminal_count())
+            .map(|i| {
+                vpg.alternatives(NonterminalId(i))
+                    .iter()
+                    .map(|&rhs| match rhs {
+                        RuleRhs::Empty => Some(0),
+                        RuleRhs::Linear { next, .. } => min[next.0].map(|m| m + 1),
+                        RuleRhs::Match { inner, next, .. } => match (min[inner.0], min[next.0]) {
+                            (Some(a), Some(b)) => Some(a + b + 2),
+                            _ => None,
+                        },
+                    })
+                    .collect()
+            })
+            .collect();
+        GrammarSampler { vpg, min, alt_min }
+    }
+
+    /// The grammar this sampler draws from.
+    #[must_use]
+    pub fn vpg(&self) -> &'g Vpg {
+        self.vpg
+    }
+
+    /// Returns `true` if the start nonterminal derives at least one string.
+    #[must_use]
+    pub fn is_productive(&self) -> bool {
+        self.min[self.vpg.start().0].is_some()
+    }
+
+    /// Samples one sentence. `budget` loosely bounds the sentence length: the
+    /// expansion stops fitting new material once the budget is spent and
+    /// finishes with shortest completions.
+    ///
+    /// Returns `None` if the start nonterminal is unproductive.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, budget: usize) -> Option<String> {
+        self.sample_tree(rng, budget).map(|t| t.yielded())
+    }
+
+    /// Samples one derivation tree (the sampled sentence is its yield, which is
+    /// a member of the language by construction).
+    ///
+    /// Returns `None` if the start nonterminal is unproductive.
+    pub fn sample_tree<R: Rng + ?Sized>(&self, rng: &mut R, budget: usize) -> Option<ParseTree> {
+        self.min[self.vpg.start().0]?;
+        Some(self.expand(self.vpg.start(), rng, budget).0)
+    }
+
+    /// Samples `count` sentences (duplicates possible); unproductive grammars
+    /// yield an empty vector.
+    pub fn sample_many<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        budget: usize,
+        count: usize,
+    ) -> Vec<String> {
+        (0..count).filter_map(|_| self.sample(rng, budget)).collect()
+    }
+
+    /// Samples up to `count` *distinct* sentences, drawing at most
+    /// `max_attempts` times. Useful for precision datasets over small languages
+    /// where plain sampling would be dominated by duplicates.
+    pub fn sample_unique<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        budget: usize,
+        count: usize,
+        max_attempts: usize,
+    ) -> Vec<String> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..max_attempts {
+            if out.len() >= count {
+                break;
+            }
+            let Some(s) = self.sample(rng, budget) else {
+                break;
+            };
+            if seen.insert(s.clone()) {
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    /// Expands `nt`, returning the level's derivation and the leftover budget.
+    fn expand<R: Rng + ?Sized>(
+        &self,
+        nt: NonterminalId,
+        rng: &mut R,
+        mut budget: usize,
+    ) -> (ParseTree, usize) {
+        let mut steps: Vec<ParseStep> = Vec::new();
+        let mut cur = nt;
+        loop {
+            let rhs = self.choose(cur, rng, budget);
+            match rhs {
+                RuleRhs::Empty => {
+                    return (ParseTree::new(nt, steps, cur), budget);
+                }
+                RuleRhs::Linear { plain, next } => {
+                    steps.push(ParseStep::Plain { lhs: cur, plain });
+                    budget = budget.saturating_sub(1);
+                    cur = next;
+                }
+                RuleRhs::Match { call, inner, ret, next } => {
+                    let (inner_tree, rest) = self.expand(inner, rng, budget.saturating_sub(2));
+                    steps.push(ParseStep::Nest { lhs: cur, call, inner: inner_tree, ret });
+                    budget = rest;
+                    cur = next;
+                }
+            }
+        }
+    }
+
+    /// Chooses an alternative of `cur`: uniform among the productive
+    /// alternatives whose shortest completion fits the budget, or the overall
+    /// cheapest when nothing fits (which shrinks the remaining work and thus
+    /// terminates).
+    fn choose<R: Rng + ?Sized>(&self, cur: NonterminalId, rng: &mut R, budget: usize) -> RuleRhs {
+        let alts = self.vpg.alternatives(cur);
+        let costs = &self.alt_min[cur.0];
+        let fitting: Vec<usize> =
+            (0..alts.len()).filter(|&i| costs[i].is_some_and(|m| m <= budget)).collect();
+        if fitting.is_empty() {
+            let cheapest = (0..alts.len())
+                .filter(|&i| costs[i].is_some())
+                .min_by_key(|&i| costs[i])
+                .expect("expand only reaches productive nonterminals");
+            alts[cheapest]
+        } else {
+            alts[fitting[rng.gen_range(0..fitting.len())]]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recognizer::VpgParser;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vstar_vpl::grammar::figure1_grammar;
+    use vstar_vpl::{Tagging, VpgBuilder};
+
+    #[test]
+    fn samples_are_members_with_valid_trees() {
+        let g = figure1_grammar();
+        let sampler = GrammarSampler::new(&g);
+        let parser = VpgParser::new(&g);
+        assert!(sampler.is_productive());
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..300 {
+            let tree = sampler.sample_tree(&mut rng, 30).unwrap();
+            assert!(tree.validate(&g));
+            let s = tree.yielded();
+            assert!(parser.recognize(&s), "sample {s:?} must be a member");
+            assert!(g.accepts(&s), "vpl reference agrees on {s:?}");
+        }
+    }
+
+    #[test]
+    fn budget_bounds_are_soft_but_effective() {
+        let g = figure1_grammar();
+        let sampler = GrammarSampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(11);
+        // Minimum completions may overshoot a tiny budget, but not by much: the
+        // deepest overshoot for figure 1 is bounded by the largest alternative
+        // minimum (4 for `L → ‹a A b› L`).
+        for budget in [0usize, 4, 12, 40] {
+            for _ in 0..50 {
+                let s = sampler.sample(&mut rng, budget).unwrap();
+                assert!(
+                    s.chars().count() <= budget + 6,
+                    "budget {budget} produced {} chars: {s:?}",
+                    s.chars().count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sample_many_and_unique() {
+        let g = figure1_grammar();
+        let sampler = GrammarSampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(sampler.sample_many(&mut rng, 20, 25).len(), 25);
+        let unique = sampler.sample_unique(&mut rng, 20, 10, 500);
+        let set: std::collections::BTreeSet<_> = unique.iter().collect();
+        assert_eq!(set.len(), unique.len(), "sample_unique must not repeat");
+        assert!(!unique.is_empty());
+    }
+
+    #[test]
+    fn unproductive_start_yields_nothing() {
+        let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+        let mut b = VpgBuilder::new(tagging);
+        let s = b.nonterminal("S");
+        // S only refers to itself through a linear rule: unproductive.
+        b.linear_rule(s, 'x', s);
+        let g = b.build(s).unwrap();
+        let sampler = GrammarSampler::new(&g);
+        assert!(!sampler.is_productive());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(sampler.sample(&mut rng, 10), None);
+        assert!(sampler.sample_many(&mut rng, 10, 5).is_empty());
+        assert!(sampler.sample_unique(&mut rng, 10, 5, 50).is_empty());
+    }
+
+    #[test]
+    fn small_budget_support_is_the_short_members() {
+        // On a small budget every sample is a short member, and repeated draws
+        // cover the very likely short strings (a smoke check that the sampler
+        // explores alternatives instead of collapsing to one completion).
+        let g = figure1_grammar();
+        let sampler = GrammarSampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(99);
+        let support: std::collections::BTreeSet<String> =
+            sampler.sample_many(&mut rng, 6, 400).into_iter().collect();
+        let members: std::collections::BTreeSet<String> = g.enumerate(12).into_iter().collect();
+        for s in &support {
+            assert!(members.contains(s), "sample {s:?} is not a short member");
+        }
+        for expected in ["", "cd", "aghb"] {
+            assert!(support.contains(expected), "missing very likely member {expected:?}");
+        }
+        assert!(support.len() >= 4, "sampler collapsed to {support:?}");
+    }
+}

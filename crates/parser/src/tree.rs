@@ -1,0 +1,349 @@
+//! Parse trees for well-matched VPG derivations.
+//!
+//! A derivation of a well-matched VPG (Definition 3.1) decomposes into *nesting
+//! levels*: within one level the rules `L → c L₁` and `L → ‹a L₁ b› L₂` chain
+//! left to right until an ε-rule closes the level, and every matching rule opens
+//! one nested level for its `‹a … b›` body. [`ParseTree`] stores exactly this
+//! shape — one `Vec` of [`ParseStep`]s per level with nested levels inside
+//! [`ParseStep::Nest`] — so tree depth equals the *nesting depth* of the input,
+//! not its length. A thousand plain characters are a thousand vector entries,
+//! not a thousand boxed tree nodes, and the provided traversals
+//! ([`ParseTree::write_yield`], [`ParseTree::len`], [`ParseTree::depth`],
+//! [`ParseTree::rule_applications`], [`ParseTree::validate`]) as well as drop
+//! use explicit worklists, so they are linear and stack-safe even on
+//! adversarially deep nesting. (The *derived* `Clone`/`PartialEq`/`Debug`
+//! impls still recurse once per nesting level.)
+
+use std::fmt;
+
+use vstar_vpl::{NonterminalId, RuleRhs, Vpg};
+
+/// One rule application inside a nesting level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseStep {
+    /// `lhs → plain next`, where `next` is the `lhs` of the following step (or
+    /// the level's closer).
+    Plain {
+        /// The nonterminal the linear rule was applied to.
+        lhs: NonterminalId,
+        /// The plain terminal consumed.
+        plain: char,
+    },
+    /// `lhs → ‹call inner.root() ret› next`, with the nested level made explicit.
+    Nest {
+        /// The nonterminal the matching rule was applied to.
+        lhs: NonterminalId,
+        /// The call terminal opening the nested level.
+        call: char,
+        /// The derivation of the nested body.
+        inner: ParseTree,
+        /// The return terminal closing the nested level.
+        ret: char,
+    },
+}
+
+/// The derivation of one nesting level (and, at the top, of a whole string).
+///
+/// `root` is the nonterminal the level starts from; each step consumes one
+/// terminal (plus a nested level for matching steps) and hands over to the next
+/// step's left-hand side; `closer` is the nonterminal whose ε-rule ends the
+/// level. [`ParseTree::validate`] checks all of this against a grammar.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseTree {
+    root: NonterminalId,
+    steps: Vec<ParseStep>,
+    closer: NonterminalId,
+}
+
+impl ParseTree {
+    /// Assembles a level. `root` must equal the first step's `lhs` (or `closer`
+    /// for an empty level); this is checked by [`ParseTree::validate`], not here.
+    #[must_use]
+    pub fn new(root: NonterminalId, steps: Vec<ParseStep>, closer: NonterminalId) -> Self {
+        ParseTree { root, steps, closer }
+    }
+
+    /// The derivation `root → ε`.
+    #[must_use]
+    pub fn empty(nt: NonterminalId) -> Self {
+        ParseTree { root: nt, steps: Vec::new(), closer: nt }
+    }
+
+    /// The nonterminal this level derives from.
+    #[must_use]
+    pub fn root(&self) -> NonterminalId {
+        self.root
+    }
+
+    /// The rule applications of this level, in input order.
+    #[must_use]
+    pub fn steps(&self) -> &[ParseStep] {
+        &self.steps
+    }
+
+    /// The nonterminal whose ε-rule closes this level.
+    #[must_use]
+    pub fn closer(&self) -> NonterminalId {
+        self.closer
+    }
+
+    /// Number of terminals derived by this level, nested levels included.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let mut total = 0usize;
+        let mut stack: Vec<&ParseTree> = vec![self];
+        while let Some(t) = stack.pop() {
+            for step in &t.steps {
+                match step {
+                    ParseStep::Plain { .. } => total += 1,
+                    ParseStep::Nest { inner, .. } => {
+                        total += 2;
+                        stack.push(inner);
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    /// Returns `true` if the tree derives the empty string.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Maximum call/return nesting depth of the derived string (0 without calls).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        let mut max = 0usize;
+        let mut stack: Vec<(&ParseTree, usize)> = vec![(self, 0)];
+        while let Some((t, d)) = stack.pop() {
+            for step in &t.steps {
+                if let ParseStep::Nest { inner, .. } = step {
+                    max = max.max(d + 1);
+                    stack.push((inner, d + 1));
+                }
+            }
+        }
+        max
+    }
+
+    /// Total number of rule applications, the closing ε-rules included.
+    #[must_use]
+    pub fn rule_applications(&self) -> usize {
+        let mut total = 0usize;
+        let mut stack: Vec<&ParseTree> = vec![self];
+        while let Some(t) = stack.pop() {
+            total += 1 + t.steps.len();
+            for step in &t.steps {
+                if let ParseStep::Nest { inner, .. } = step {
+                    stack.push(inner);
+                }
+            }
+        }
+        total
+    }
+
+    /// Appends the derived string to `out`.
+    pub fn write_yield(&self, out: &mut String) {
+        enum Task<'a> {
+            Level(&'a ParseTree, usize),
+            Ret(char),
+        }
+        let mut stack: Vec<Task<'_>> = vec![Task::Level(self, 0)];
+        while let Some(task) = stack.pop() {
+            match task {
+                Task::Ret(c) => out.push(c),
+                Task::Level(t, idx) => {
+                    if let Some(step) = t.steps.get(idx) {
+                        match step {
+                            ParseStep::Plain { plain, .. } => {
+                                out.push(*plain);
+                                stack.push(Task::Level(t, idx + 1));
+                            }
+                            ParseStep::Nest { call, inner, ret, .. } => {
+                                out.push(*call);
+                                stack.push(Task::Level(t, idx + 1));
+                                stack.push(Task::Ret(*ret));
+                                stack.push(Task::Level(inner, 0));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The derived string (the tree's yield).
+    #[must_use]
+    pub fn yielded(&self) -> String {
+        let mut out = String::with_capacity(self.len());
+        self.write_yield(&mut out);
+        out
+    }
+
+    /// Checks that every step of the tree is licensed by a rule of `vpg`: the
+    /// level starts at `root`, each step's rule (with the *next* step's `lhs` as
+    /// its continuation) is an alternative of its `lhs`, nested levels validate
+    /// too, and every closer has an ε-rule. Nonterminals outside `vpg` make the
+    /// tree invalid rather than panicking.
+    #[must_use]
+    pub fn validate(&self, vpg: &Vpg) -> bool {
+        let known = |nt: NonterminalId| nt.0 < vpg.nonterminal_count();
+        let mut stack: Vec<&ParseTree> = vec![self];
+        while let Some(t) = stack.pop() {
+            if !known(t.root) || !known(t.closer) {
+                return false;
+            }
+            let mut cur = t.root;
+            for (i, step) in t.steps.iter().enumerate() {
+                let next = match t.steps.get(i + 1) {
+                    Some(ParseStep::Plain { lhs, .. } | ParseStep::Nest { lhs, .. }) => *lhs,
+                    None => t.closer,
+                };
+                let (lhs, rule) = match step {
+                    ParseStep::Plain { lhs, plain } => {
+                        (*lhs, RuleRhs::Linear { plain: *plain, next })
+                    }
+                    ParseStep::Nest { lhs, call, inner, ret } => {
+                        stack.push(inner);
+                        (*lhs, RuleRhs::Match { call: *call, inner: inner.root, ret: *ret, next })
+                    }
+                };
+                if lhs != cur || !known(lhs) || !known(next) || !known(cur) {
+                    return false;
+                }
+                if !vpg.alternatives(lhs).contains(&rule) {
+                    return false;
+                }
+                cur = next;
+            }
+            if cur != t.closer || !vpg.has_empty_rule(t.closer) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// A display adapter resolving nonterminal names through `vpg`.
+    #[must_use]
+    pub fn display<'a>(&'a self, vpg: &'a Vpg) -> TreeDisplay<'a> {
+        TreeDisplay { tree: self, vpg }
+    }
+
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, vpg: &Vpg, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        writeln!(f, "{pad}{}", vpg.name(self.root))?;
+        for step in &self.steps {
+            match step {
+                ParseStep::Plain { plain, .. } => writeln!(f, "{pad}  {plain:?}")?,
+                ParseStep::Nest { call, inner, ret, .. } => {
+                    writeln!(f, "{pad}  ‹{call} … {ret}›")?;
+                    inner.fmt_indented(f, vpg, indent + 2)?;
+                }
+            }
+        }
+        writeln!(f, "{pad}  ε ({})", vpg.name(self.closer))
+    }
+}
+
+/// Iterative drop: the derived drop glue would recurse once per nesting level
+/// and overflow the stack on adversarially deep inputs (the exact shape a
+/// fuzzing workload produces), so nested levels are drained onto a worklist
+/// and dropped flat.
+impl Drop for ParseTree {
+    fn drop(&mut self) {
+        let mut garbage: Vec<ParseStep> = std::mem::take(&mut self.steps);
+        let mut i = 0;
+        while i < garbage.len() {
+            let stolen = match &mut garbage[i] {
+                ParseStep::Nest { inner, .. } => std::mem::take(&mut inner.steps),
+                ParseStep::Plain { .. } => Vec::new(),
+            };
+            garbage.extend(stolen);
+            i += 1;
+        }
+    }
+}
+
+/// Indented rendering of a [`ParseTree`] with nonterminal names (from
+/// [`ParseTree::display`]).
+#[derive(Clone, Copy, Debug)]
+pub struct TreeDisplay<'a> {
+    tree: &'a ParseTree,
+    vpg: &'a Vpg,
+}
+
+impl fmt::Display for TreeDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.tree.fmt_indented(f, self.vpg, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstar_vpl::grammar::figure1_grammar;
+
+    /// Hand-builds the derivation of "aghbcd" in the Figure-1 grammar:
+    /// `L → ‹a A b› L`, `A → ‹g L h› E`, inner `L → ε`, `E → ε`,
+    /// outer continues `L → c B`, `B → d L`, `L → ε`.
+    fn aghbcd_tree() -> ParseTree {
+        let (l, a, b, e) = (NonterminalId(0), NonterminalId(1), NonterminalId(2), NonterminalId(3));
+        let inner_a = ParseTree::new(
+            a,
+            vec![ParseStep::Nest { lhs: a, call: 'g', inner: ParseTree::empty(l), ret: 'h' }],
+            e,
+        );
+        ParseTree::new(
+            l,
+            vec![
+                ParseStep::Nest { lhs: l, call: 'a', inner: inner_a, ret: 'b' },
+                ParseStep::Plain { lhs: l, plain: 'c' },
+                ParseStep::Plain { lhs: b, plain: 'd' },
+            ],
+            l,
+        )
+    }
+
+    #[test]
+    fn yield_len_depth() {
+        let t = aghbcd_tree();
+        assert_eq!(t.yielded(), "aghbcd");
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+        assert_eq!(t.depth(), 2);
+        // ε-closers: outer L, inner A-level's E, innermost L. Steps: 3 outer + 1
+        // inner nest. Applications: 4 steps + 3 closers.
+        assert_eq!(t.rule_applications(), 7);
+        assert!(ParseTree::empty(NonterminalId(0)).is_empty());
+    }
+
+    #[test]
+    fn validate_against_figure1() {
+        let g = figure1_grammar();
+        let t = aghbcd_tree();
+        assert!(t.validate(&g));
+        assert!(g.accepts(&t.yielded()));
+        // Corrupting the tree breaks validation.
+        let bad = ParseTree::new(
+            NonterminalId(0),
+            vec![ParseStep::Plain { lhs: NonterminalId(0), plain: 'd' }],
+            NonterminalId(0),
+        );
+        assert!(!bad.validate(&g));
+        // A closer without an ε-rule is invalid.
+        let bad_closer = ParseTree::empty(NonterminalId(1));
+        assert!(!bad_closer.validate(&g));
+    }
+
+    #[test]
+    fn display_names_nonterminals() {
+        let g = figure1_grammar();
+        let t = aghbcd_tree();
+        let text = t.display(&g).to_string();
+        assert!(text.contains('L'));
+        assert!(text.contains("‹a … b›"));
+        assert!(text.contains("ε (E)"));
+    }
+}

@@ -305,6 +305,28 @@ impl Vpg {
         result
     }
 
+    /// Returns `true` if the nonterminal has the rule `nt → ε`.
+    ///
+    /// In a well-matched VPG of Definition 3.1 the linear and matching rule shapes
+    /// always produce at least one terminal, so `nt ⇒* ε` holds **iff** the empty
+    /// rule is present — direct-rule nullability is full nullability. Derivative
+    /// recognizers rely on this to detect completed nesting levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nt` does not belong to this grammar.
+    #[must_use]
+    pub fn has_empty_rule(&self, nt: NonterminalId) -> bool {
+        self.rules[nt.0].contains(&RuleRhs::Empty)
+    }
+
+    /// Nullability of every nonterminal, indexed by [`NonterminalId`]: `true` iff
+    /// the nonterminal derives the empty string (see [`Vpg::has_empty_rule`]).
+    #[must_use]
+    pub fn nullables(&self) -> Vec<bool> {
+        (0..self.names.len()).map(|i| self.has_empty_rule(NonterminalId(i))).collect()
+    }
+
     /// Shortest derivable length for every nonterminal, or `None` for unproductive
     /// nonterminals.
     #[must_use]
@@ -735,6 +757,21 @@ mod tests {
         assert!(text.contains('ε'));
         assert!(text.contains("‹a"));
         assert!(text.contains("b›"));
+    }
+
+    #[test]
+    fn nullability_matches_empty_rules() {
+        let g = figure1_grammar();
+        let nullable = g.nullables();
+        // L and E have ε-rules; A and B do not.
+        assert_eq!(nullable, vec![true, false, false, true]);
+        let min = g.min_lengths();
+        for (i, &is_nullable) in nullable.iter().enumerate() {
+            assert_eq!(g.has_empty_rule(NonterminalId(i)), is_nullable);
+            // Direct-rule nullability coincides with full nullability: the minimum
+            // derivable length is zero exactly for the ε-rule nonterminals.
+            assert_eq!(min[i] == Some(0), is_nullable);
+        }
     }
 
     #[test]

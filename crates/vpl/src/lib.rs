@@ -13,7 +13,7 @@
 //!   configuration-level execution.
 //! * [`nested`] — matching/nesting analysis of tagged strings (well-matchedness,
 //!   matching positions, unmatched symbol counts).
-//! * [`vpa_to_vpg`] — the VPA → VPG conversion used by V-Star after learning
+//! * [`vpa_to_vpg()`] — the VPA → VPG conversion used by V-Star after learning
 //!   (paper §6, following Alur & Madhusudan 2004).
 //!
 //! # Example

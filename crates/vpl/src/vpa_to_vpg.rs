@@ -1,7 +1,7 @@
 //! Conversion of a (well-matched) VPA into a well-matched VPG.
 //!
 //! V-Star's learner produces a VPA; the paper converts it into a VPG "using methods
-//! outlined by Alur and Madhusudan [2004]" (§6). The construction used here is the
+//! outlined by Alur and Madhusudan \[2004\]" (§6). The construction used here is the
 //! standard one: a nonterminal `N[p,q]` generates exactly the well-matched strings
 //! that take state `p` to state `q` without inspecting the stack below the starting
 //! height, and the start symbol unions `N[q0, qf]` over accepting `qf`.

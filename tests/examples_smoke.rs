@@ -54,3 +54,8 @@ fn custom_oracle_runs() {
 fn compare_baselines_runs() {
     run_example("compare_baselines");
 }
+
+#[test]
+fn parse_with_learned_grammar_runs() {
+    run_example("parse_with_learned_grammar");
+}

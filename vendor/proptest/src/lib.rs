@@ -124,7 +124,7 @@ pub mod collection {
     use rand::Rng;
     use std::fmt::Debug;
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,

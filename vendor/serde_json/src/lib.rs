@@ -1,5 +1,5 @@
 //! Offline stand-in for the [`serde_json`](https://crates.io/crates/serde_json)
-//! crate: formats the vendored `serde` [`Value`](serde::Value) tree as JSON.
+//! crate: formats the vendored `serde` [`serde::Value`] tree as JSON.
 //!
 //! Provides [`to_string`] and [`to_string_pretty`] (2-space indent, `": "` key
 //! separator — the same layout the real crate emits), which is the entire
