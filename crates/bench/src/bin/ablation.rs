@@ -6,22 +6,30 @@
 //! * **Ablation B — nesting bound K**: `candidateNesting` checks pumping up to a
 //!   bound `K`; this sweep varies `K` and reports query counts and success.
 //!
-//! Usage: `cargo run -p vstar_bench --bin ablation --release [-- grammar]`
-//! (default grammar: lisp).
+//! Usage: `cargo run -p vstar_bench --bin ablation --release [-- grammar] [--seed N]`
+//! (default grammar: lisp; `--seed` overrides the dataset RNG seed).
 
 use vstar::equivalence::TestPoolConfig;
 use vstar::{Mat, VStar, VStarConfig};
+use vstar_bench::cli::Args;
 use vstar_eval::{f1_score, precision, recall, EvalConfig};
-use vstar_oracles::{table1_languages, Language};
+use vstar_oracles::{language_by_name, Language};
+
+const USAGE: &str = "ablation [grammar] [--seed N]";
 
 fn main() {
-    let grammar = std::env::args().nth(1).unwrap_or_else(|| "lisp".to_string());
-    let Some(lang) = table1_languages().into_iter().find(|l| l.name() == grammar) else {
+    let args = Args::parse_or_exit(USAGE, &["seed"], &[]);
+    let grammar = args.positionals().first().cloned().unwrap_or_else(|| "lisp".to_string());
+    let Some(lang) = language_by_name(&grammar) else {
         eprintln!("unknown grammar {grammar:?}; available: json lisp xml while mathexpr");
         std::process::exit(1);
     };
-    let eval_config =
+    let mut eval_config =
         EvalConfig { recall_samples: 120, precision_samples: 120, ..EvalConfig::default() };
+    eval_config.rng_seed = args.seed(eval_config.rng_seed).unwrap_or_else(|e| {
+        eprintln!("{e}\nusage: {USAGE}");
+        std::process::exit(2);
+    });
 
     println!("== Ablation A: simulated-equivalence test-string budget ({grammar}) ==");
     println!("budget\t#TS\tRecall\tPrecision\tF1\t#Queries");

@@ -7,34 +7,36 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p vstar_bench --bin sample --release -- <grammar> [count] [budget] [seed]
+//! cargo run -p vstar_bench --bin sample --release -- <grammar> \
+//!     [--count N] [--budget N] [--seed N]
 //! ```
 //!
 //! where `<grammar>` is one of json, lisp, xml, while, mathexpr (defaults:
-//! count = 20, budget = 24, seed = 1).
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! `--count 20`, `--budget 24`, `--seed 1`).
 
 use vstar::{tokenizer::strip_markers, Mat, VStar, VStarConfig};
-use vstar_oracles::table1_languages;
+use vstar_bench::cli::Args;
+use vstar_oracles::language_by_name;
 use vstar_parser::{GrammarSampler, VpgParser};
 
+const USAGE: &str = "sample <grammar> [--count N] [--budget N] [--seed N]";
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(name) = args.first() else {
-        eprintln!("usage: sample <grammar> [count] [budget] [seed]");
-        eprintln!("grammars: json lisp xml while mathexpr");
+    let args = Args::parse_or_exit(USAGE, &["count", "budget", "seed"], &[]);
+    let fail = |e: String| -> ! {
+        eprintln!("{e}\nusage: {USAGE}\ngrammars: json lisp xml while mathexpr");
         std::process::exit(2);
     };
-    let count: usize = args.get(1).map_or(20, |a| a.parse().expect("count must be a number"));
-    let budget: usize = args.get(2).map_or(24, |a| a.parse().expect("budget must be a number"));
-    let seed: u64 = args.get(3).map_or(1, |a| a.parse().expect("seed must be a number"));
+    let Some(name) = args.positionals().first() else {
+        fail("missing <grammar>".to_string());
+    };
+    let count: usize = args.parsed("count", 20).unwrap_or_else(|e| fail(e));
+    let budget: usize = args.parsed("budget", 24).unwrap_or_else(|e| fail(e));
+    let seed = args.seed(1).unwrap_or_else(|e| fail(e));
+    let mut rng = args.seeded_rng(1).unwrap_or_else(|e| fail(e));
 
-    let languages = table1_languages();
-    let Some(lang) = languages.iter().find(|l| l.name() == name.as_str()) else {
-        eprintln!("unknown grammar {name:?}; grammars: json lisp xml while mathexpr");
-        std::process::exit(2);
+    let Some(lang) = language_by_name(name) else {
+        fail(format!("unknown grammar {name:?}"));
     };
 
     let oracle = |s: &str| lang.accepts(s);
@@ -52,7 +54,6 @@ fn main() {
 
     let sampler = GrammarSampler::new(&result.vpg);
     let parser = VpgParser::new(&result.vpg);
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut printed = 0usize;
     let mut attempts = 0usize;
     let max_attempts = count.saturating_mul(50).max(1000);

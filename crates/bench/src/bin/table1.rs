@@ -3,28 +3,43 @@
 //! Precision, F1, #Queries, %Q(Token), %Q(VPA), #TS and learning time.
 //!
 //! Usage:
-//!   cargo run -p vstar_bench --bin table1 --release [-- tool ...]
-//! where each optional `tool` is one of `glade`, `arvada`, `vstar` (default: all).
-//! Pass `--json` to additionally print the report as JSON.
+//!   cargo run -p vstar_bench --bin table1 --release [-- tool ...] [--seed N] [--json]
+//! where each optional `tool` is one of `glade`, `arvada`, `vstar` (default: all)
+//! and `--seed` overrides the dataset RNG seed (default: the tracked
+//! configuration). Pass `--json` to additionally print the report as JSON.
 //!
-//! Besides the human-readable table on stdout, the run always writes the report
-//! as machine-readable JSON to `BENCH_table1.json` in the current directory, so
-//! the performance/accuracy trajectory can be tracked across commits.
+//! Besides the human-readable table on stdout, a full run (all tools, default
+//! seed) writes the report as machine-readable JSON to `BENCH_table1.json` in
+//! the current directory, so the performance/accuracy trajectory can be
+//! tracked across commits; partial or seed-overridden runs leave the tracked
+//! file untouched. All numbers except the wall-clock `time_seconds` fields are
+//! deterministic for a fixed seed.
 
+use vstar_bench::cli::Args;
 use vstar_bench::{default_eval_config, run_table1};
 
 /// File the machine-readable report is written to (current directory).
 const JSON_REPORT_PATH: &str = "BENCH_table1.json";
 
+const USAGE: &str = "table1 [glade|arvada|vstar ...] [--seed N] [--json]";
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let want_json = args.iter().any(|a| a == "--json");
-    let tools: Vec<&str> = args
-        .iter()
-        .filter(|a| ["glade", "arvada", "vstar"].contains(&a.as_str()))
-        .map(String::as_str)
-        .collect();
-    let config = default_eval_config();
+    let args = Args::parse_or_exit(USAGE, &["seed"], &["json"]);
+    let mut config = default_eval_config();
+    let tracked_seed = config.rng_seed;
+    config.rng_seed = args.seed(tracked_seed).unwrap_or_else(|e| {
+        eprintln!("{e}\nusage: {USAGE}");
+        std::process::exit(2);
+    });
+    // Reject unknown tool names: a typo must not silently select "all tools"
+    // and overwrite the committed full report with an unintended run.
+    if let Some(bad) =
+        args.positionals().iter().find(|a| !["glade", "arvada", "vstar"].contains(&a.as_str()))
+    {
+        eprintln!("unknown tool {bad:?}\nusage: {USAGE}");
+        std::process::exit(2);
+    }
+    let tools: Vec<&str> = args.positionals().iter().map(String::as_str).collect();
     let report = run_table1(&config, &tools);
     println!("Table 1 — evaluation on datasets where the oracle grammars are VPGs");
     println!(
@@ -33,16 +48,18 @@ fn main() {
     );
     println!();
     print!("{report}");
-    if tools.is_empty() {
+    if tools.is_empty() && config.rng_seed == tracked_seed {
         match std::fs::write(JSON_REPORT_PATH, report.to_json()) {
             Ok(()) => println!("wrote {JSON_REPORT_PATH}"),
             Err(e) => eprintln!("could not write {JSON_REPORT_PATH}: {e}"),
         }
-    } else {
+    } else if !tools.is_empty() {
         // Partial runs must not clobber the committed full-trajectory report.
         println!("partial tool selection: {JSON_REPORT_PATH} left untouched");
+    } else {
+        println!("non-default seed: {JSON_REPORT_PATH} left untouched");
     }
-    if want_json {
+    if args.switch("json") {
         println!("{}", report.to_json());
     }
 }

@@ -1,0 +1,180 @@
+//! Shared command-line conventions for the bench binaries.
+//!
+//! Every binary in this crate (`table1`, `sample`, `ablation`, `fuzz`) takes
+//! the same flag shapes — in particular `--seed N` for the run's RNG seed — so
+//! the parsing lives here once instead of being hand-rolled per binary.
+//!
+//! Grammar: `--name value`, `--name=value`, bare `--name` switches, and plain
+//! positionals. Which `--name`s expect a value is declared by the caller;
+//! every other `--…` argument is a switch.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Display;
+use std::str::FromStr;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parsed command-line arguments.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    switches: BTreeSet<String>,
+    positionals: Vec<String>,
+}
+
+impl Args {
+    /// Parses `raw` (without the program name). Flags named in `value_flags`
+    /// consume the next argument (or their `=`-suffix) as a value; flags named
+    /// in `switch_flags` are bare switches; any other `--…` argument is an
+    /// error, so typos (`--sed 5`) fail loudly instead of silently running
+    /// with defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage-style message on unknown flags, a value flag without a
+    /// value, or a flag given twice.
+    pub fn parse(
+        raw: impl IntoIterator<Item = String>,
+        value_flags: &[&str],
+        switch_flags: &[&str],
+    ) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter();
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                args.positionals.push(arg);
+                continue;
+            };
+            let (name, inline) = match name.split_once('=') {
+                Some((n, v)) => (n.to_string(), Some(v.to_string())),
+                None => (name.to_string(), None),
+            };
+            if value_flags.contains(&name.as_str()) {
+                let value = match inline {
+                    Some(v) => v,
+                    None => iter.next().ok_or(format!("--{name} expects a value"))?,
+                };
+                if args.values.insert(name.clone(), value).is_some() {
+                    return Err(format!("--{name} given twice"));
+                }
+            } else if switch_flags.contains(&name.as_str()) {
+                if inline.is_some() {
+                    return Err(format!("--{name} does not take a value"));
+                }
+                if !args.switches.insert(name.clone()) {
+                    return Err(format!("--{name} given twice"));
+                }
+            } else {
+                return Err(format!("unknown flag --{name}"));
+            }
+        }
+        Ok(args)
+    }
+
+    /// Like [`Args::parse`] but over the process arguments, exiting with the
+    /// given usage line on malformed input (the shared `main()` preamble).
+    #[must_use]
+    pub fn parse_or_exit(usage: &str, value_flags: &[&str], switch_flags: &[&str]) -> Args {
+        match Args::parse(std::env::args().skip(1), value_flags, switch_flags) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("{e}\nusage: {usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The raw value of `--name`, if given.
+    #[must_use]
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// The value of `--name` parsed into `T`, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage-style message when the value does not parse.
+    pub fn parsed<T: FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: Display,
+    {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{name} {v:?}: {e}")),
+        }
+    }
+
+    /// `true` if the bare switch `--name` was given.
+    #[must_use]
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.contains(name)
+    }
+
+    /// The positional (non-flag) arguments, in order.
+    #[must_use]
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// The shared `--seed N` convention.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage-style message when the value is not a `u64`.
+    pub fn seed(&self, default: u64) -> Result<u64, String> {
+        self.parsed("seed", default)
+    }
+
+    /// A [`StdRng`] seeded per the shared `--seed N` convention.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage-style message when the value is not a `u64`.
+    pub fn seeded_rng(&self, default: u64) -> Result<StdRng, String> {
+        Ok(StdRng::seed_from_u64(self.seed(default)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn flags_switches_and_positionals() {
+        let a = Args::parse(
+            strings(&["json", "--seed", "7", "--check", "--iterations=40", "lisp"]),
+            &["seed", "iterations"],
+            &["check"],
+        )
+        .unwrap();
+        assert_eq!(a.positionals(), &["json".to_string(), "lisp".to_string()]);
+        assert_eq!(a.seed(42).unwrap(), 7);
+        assert_eq!(a.parsed::<usize>("iterations", 0).unwrap(), 40);
+        assert!(a.switch("check"));
+        assert!(!a.switch("json"));
+        // Defaults apply when absent; the RNG derives from the same seed.
+        assert_eq!(a.parsed::<usize>("budget", 24).unwrap(), 24);
+        let _ = a.seeded_rng(42).unwrap();
+    }
+
+    #[test]
+    fn malformed_flags_are_errors() {
+        assert!(Args::parse(strings(&["--seed"]), &["seed"], &[]).is_err());
+        assert!(Args::parse(strings(&["--seed", "1", "--seed", "2"]), &["seed"], &[]).is_err());
+        assert!(Args::parse(strings(&["--check=yes"]), &[], &["check"]).is_err());
+        assert!(Args::parse(strings(&["--check", "--check"]), &[], &["check"]).is_err());
+        let a = Args::parse(strings(&["--seed", "x"]), &["seed"], &[]).unwrap();
+        assert!(a.seed(0).is_err());
+        // Typo'd flags are rejected, not silently absorbed as switches.
+        assert_eq!(
+            Args::parse(strings(&["--sed", "5"]), &["seed"], &["check"]).unwrap_err(),
+            "unknown flag --sed"
+        );
+    }
+}

@@ -12,6 +12,8 @@
 use vstar_eval::{evaluate_arvada, evaluate_glade, evaluate_vstar, EvalConfig, Table1Report};
 use vstar_oracles::table1_languages;
 
+pub mod cli;
+
 /// The evaluation configuration used by the table-regeneration binaries.
 #[must_use]
 pub fn default_eval_config() -> EvalConfig {
@@ -76,6 +78,56 @@ pub fn quick_eval_config() -> EvalConfig {
     }
 }
 
+/// Learns one bundled language with the default V-Star pipeline and detaches
+/// the learned artifacts (the setup step of the `fuzz` binary and the parser
+/// throughput benches).
+///
+/// # Panics
+///
+/// Panics when learning fails — the bundled Table-1 grammars always learn.
+#[must_use]
+pub fn learn_learned_language(lang: &dyn vstar_oracles::Language) -> vstar::LearnedLanguage {
+    let oracle = |s: &str| lang.accepts(s);
+    let mat = vstar::Mat::new(&oracle);
+    vstar::VStar::new(vstar::VStarConfig::default())
+        .learn(&mat, &lang.alphabet(), &lang.seeds())
+        .expect("learning the bundled grammars succeeds")
+        .as_learned_language()
+}
+
+/// The divergence classes a fuzz campaign is *allowed* to report per Table-1
+/// language, given the known accuracy of the default-configuration learner
+/// (see `BENCH_table1.json`): `lisp`, `xml` and `mathexpr` learn exactly, so
+/// any divergence there is a regression; `json` has a known recall gap
+/// (≈ 0.92) and `while` a known precision gap (≈ 0.43), so those classes are
+/// expected findings, not failures.
+#[must_use]
+pub fn allowed_divergence_classes(language: &str) -> &'static [&'static str] {
+    match language {
+        // Precision ≈ 0.99 / recall ≈ 0.92: both gap directions are real.
+        "json" => &["false-positive", "false-negative"],
+        // Precision ≈ 0.43 but recall 1.0: only over-generalization expected.
+        "while" => &["false-positive"],
+        _ => &[],
+    }
+}
+
+/// The divergence classes `report` contains that
+/// [`allowed_divergence_classes`] does not allow for its language — the
+/// failure condition of `fuzz --check` (CI's fuzz smoke step).
+#[must_use]
+pub fn unexpected_divergence_classes(report: &vstar_fuzz::CampaignReport) -> Vec<&'static str> {
+    let allowed = allowed_divergence_classes(&report.language);
+    let mut bad = Vec::new();
+    if report.counts.false_positive > 0 && !allowed.contains(&"false-positive") {
+        bad.push("false-positive");
+    }
+    if report.counts.false_negative > 0 && !allowed.contains(&"false-negative") {
+        bad.push("false-negative");
+    }
+    bad
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +143,53 @@ mod tests {
     fn unknown_grammar_produces_empty_report() {
         let report = run_single("glade", "cobol", &quick_eval_config());
         assert!(report.rows.is_empty());
+    }
+
+    #[test]
+    fn divergence_allowances_match_known_accuracy() {
+        use vstar_eval::DifferentialCounts;
+        use vstar_fuzz::{CampaignReport, FuzzCampaign, FuzzConfig};
+        use vstar_oracles::Lisp;
+
+        // Exactly-learned languages allow nothing; the known-gap ones allow
+        // exactly their gap direction(s).
+        for exact in ["lisp", "xml", "mathexpr"] {
+            assert!(allowed_divergence_classes(exact).is_empty());
+        }
+        assert!(allowed_divergence_classes("while").contains(&"false-positive"));
+        assert!(!allowed_divergence_classes("while").contains(&"false-negative"));
+
+        let report = |language: &str, fp: usize, fn_: usize| CampaignReport {
+            language: language.into(),
+            seed: 0,
+            iterations: 10,
+            counts: DifferentialCounts {
+                agree_accept: 5,
+                agree_reject: 5,
+                false_positive: fp,
+                false_negative: fn_,
+            },
+            precision_estimate: 1.0,
+            recall_estimate: 1.0,
+            rules_covered: 1,
+            rules_total: 1,
+            corpus_trees: 1,
+            divergences: Vec::new(),
+            divergences_beyond_cap: 0,
+        };
+        assert!(unexpected_divergence_classes(&report("lisp", 0, 0)).is_empty());
+        assert_eq!(unexpected_divergence_classes(&report("lisp", 1, 0)), ["false-positive"]);
+        assert_eq!(unexpected_divergence_classes(&report("while", 3, 1)), ["false-negative"]);
+        assert!(unexpected_divergence_classes(&report("json", 3, 1)).is_empty());
+
+        // End to end on the fastest exactly-learned language: a real campaign
+        // over the real learned grammar stays divergence-free (the `--check`
+        // smoke gate in miniature).
+        let lang = Lisp::new();
+        let learned = learn_learned_language(&lang);
+        let config = FuzzConfig { iterations: 60, ..FuzzConfig::default() };
+        let run = FuzzCampaign::new(&learned, &lang, config).run();
+        assert!(unexpected_divergence_classes(&run).is_empty(), "lisp diverged: {run:?}");
+        assert!(run.rules_covered > 0);
     }
 }

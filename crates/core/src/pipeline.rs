@@ -124,7 +124,53 @@ pub struct LearnedLanguage {
 }
 
 impl LearnedLanguage {
-    /// Decides membership of a raw string.
+    /// Bundles learned artifacts into a language handle. Normally obtained via
+    /// [`VStarResult::as_learned_language`]; this constructor exists so that
+    /// downstream tooling (differential fuzzers, tests) can assemble variants —
+    /// e.g. a deliberately weakened grammar paired with the original tokenizer.
+    #[must_use]
+    pub fn new(vpa: Vpa, vpg: Vpg, tokenizer: PartialTokenizer, mode: TokenDiscovery) -> Self {
+        LearnedLanguage { vpa, vpg, tokenizer, mode }
+    }
+
+    /// Returns the same handle with the grammar swapped out (tokenizer, VPA and
+    /// mode retained). Grammar-level consumers (parsers, samplers, fuzzers)
+    /// will then execute `vpg` while [`LearnedLanguage::convert`] still
+    /// produces words of the original converted alphabet — the knob used to
+    /// inject known divergences into a differential fuzzing campaign.
+    ///
+    /// **The retained VPA is not touched**, so on the resulting handle
+    /// [`LearnedLanguage::accepts`] (VPA-based) and grammar-level recognizers
+    /// over [`LearnedLanguage::vpg`] decide *different* languages — that
+    /// disagreement is the point of the knob. Don't mix the two sides on a
+    /// reassembled handle expecting them to agree.
+    #[must_use]
+    pub fn with_vpg(mut self, vpg: Vpg) -> Self {
+        self.vpg = vpg;
+        self
+    }
+
+    /// Inverse of [`LearnedLanguage::convert`] on its image: strips the
+    /// artificial token markers from a grammar word, recovering the raw string
+    /// (the identity in character mode). Note that `convert(strip(w))` need not
+    /// equal `w` for arbitrary grammar words — only raw-string round trips are
+    /// guaranteed — so fuzzers must re-check the fixed point when they build
+    /// words directly from grammar derivations.
+    #[must_use]
+    pub fn strip(&self, word: &str) -> String {
+        match self.mode {
+            TokenDiscovery::Characters => word.to_owned(),
+            TokenDiscovery::Tokens => crate::tokenizer::strip_markers(word),
+        }
+    }
+
+    /// Decides membership of a raw string **with the learned VPA**. On handles
+    /// straight from [`VStarResult::as_learned_language`] this agrees with the
+    /// grammar-level recognizers over [`LearnedLanguage::vpg`] (the pipeline
+    /// extracts the grammar from this very automaton); on handles reassembled
+    /// via [`LearnedLanguage::new`] or [`LearnedLanguage::with_vpg`] the VPA
+    /// and the grammar are whatever the caller paired up, and this method
+    /// keeps answering from the VPA side.
     #[must_use]
     pub fn accepts(&self, mat: &Mat<'_>, s: &str) -> bool {
         match self.mode {
@@ -465,6 +511,33 @@ mod tests {
         assert_eq!(crate::tokenizer::strip_markers(&converted), "(())");
         assert!(learned.vpg().tagging().is_well_matched(&converted));
         assert!(learned.vpg().accepts(&converted));
+    }
+
+    #[test]
+    fn learned_language_can_be_reassembled_and_stripped() {
+        let oracle = dyck;
+        let mat = Mat::new(&oracle);
+        let result = VStar::new(VStarConfig::default())
+            .learn(&mat, &['(', ')', 'x'], &["(x)".to_string(), "()".to_string()])
+            .unwrap();
+        let learned = result.as_learned_language();
+        // strip ∘ convert is the identity on raw strings.
+        let converted = learned.convert(&mat, "(x)");
+        assert_eq!(learned.strip(&converted), "(x)");
+        // Reassembling from parts yields an equivalent handle.
+        let rebuilt = LearnedLanguage::new(
+            result.vpa.clone(),
+            result.vpg.clone(),
+            result.tokenizer.clone(),
+            result.mode,
+        );
+        assert_eq!(rebuilt.vpg(), learned.vpg());
+        assert!(rebuilt.accepts(&mat, "(())"));
+        // with_vpg swaps only the grammar.
+        let other = result.vpg.trimmed();
+        let swapped = rebuilt.with_vpg(other.clone());
+        assert_eq!(swapped.vpg(), &other);
+        assert_eq!(swapped.vpa().state_count(), result.vpa.state_count());
     }
 
     #[test]

@@ -15,6 +15,6 @@ pub mod metrics;
 pub mod report;
 pub mod runner;
 
-pub use metrics::{f1_score, precision, recall, Accuracy};
+pub use metrics::{f1_score, precision, recall, Accuracy, DifferentialCounts};
 pub use report::{Table1Report, ToolRow};
 pub use runner::{evaluate_arvada, evaluate_glade, evaluate_vstar, EvalConfig};

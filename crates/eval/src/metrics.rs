@@ -52,6 +52,88 @@ pub fn f1_score(recall: f64, precision: f64) -> f64 {
     }
 }
 
+/// Outcome tallies of a differential run: learned recognizer vs. ground-truth
+/// oracle on the same inputs.
+///
+/// This is the bridge between a fuzzing campaign and the Table-1 metrics: the
+/// agree/disagree counts double as conditional precision/recall estimates over
+/// whatever input distribution produced them. With grammar-directed generation
+/// the accepted-side inputs are (mostly) learned-grammar members, so
+/// [`DifferentialCounts::precision_estimate`] plays the role of the paper's
+/// sampled precision; the rejected-side dually bounds recall.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct DifferentialCounts {
+    /// Both the learned recognizer and the oracle accept.
+    pub agree_accept: usize,
+    /// Both reject.
+    pub agree_reject: usize,
+    /// The learned recognizer accepts, the oracle rejects — a precision gap.
+    pub false_positive: usize,
+    /// The oracle accepts, the learned recognizer rejects — a recall gap.
+    pub false_negative: usize,
+}
+
+impl DifferentialCounts {
+    /// Tallies one case.
+    pub fn record(&mut self, learned_accepts: bool, oracle_accepts: bool) {
+        match (learned_accepts, oracle_accepts) {
+            (true, true) => self.agree_accept += 1,
+            (false, false) => self.agree_reject += 1,
+            (true, false) => self.false_positive += 1,
+            (false, true) => self.false_negative += 1,
+        }
+    }
+
+    /// Total number of recorded cases.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.agree_accept + self.agree_reject + self.false_positive + self.false_negative
+    }
+
+    /// Number of disagreements (false positives + false negatives).
+    #[must_use]
+    pub fn divergences(&self) -> usize {
+        self.false_positive + self.false_negative
+    }
+
+    /// `P(oracle accepts | learned accepts)` over the recorded cases — the
+    /// empirical precision of the learned language on this input distribution.
+    /// `1.0` when the learned side accepted nothing (no counter-evidence).
+    #[must_use]
+    pub fn precision_estimate(&self) -> f64 {
+        let accepted = self.agree_accept + self.false_positive;
+        if accepted == 0 {
+            1.0
+        } else {
+            self.agree_accept as f64 / accepted as f64
+        }
+    }
+
+    /// `P(learned accepts | oracle accepts)` over the recorded cases — the
+    /// empirical recall of the learned language on this input distribution.
+    /// `1.0` when the oracle accepted nothing.
+    #[must_use]
+    pub fn recall_estimate(&self) -> f64 {
+        let members = self.agree_accept + self.false_negative;
+        if members == 0 {
+            1.0
+        } else {
+            self.agree_accept as f64 / members as f64
+        }
+    }
+
+    /// Component-wise sum of two tallies.
+    #[must_use]
+    pub fn merged(&self, other: &DifferentialCounts) -> DifferentialCounts {
+        DifferentialCounts {
+            agree_accept: self.agree_accept + other.agree_accept,
+            agree_reject: self.agree_reject + other.agree_reject,
+            false_positive: self.false_positive + other.false_positive,
+            false_negative: self.false_negative + other.false_negative,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,6 +144,28 @@ mod tests {
         assert!((recall(|s| s.len() >= 2, &corpus) - 2.0 / 3.0).abs() < 1e-12);
         assert!((precision(|s| s.starts_with('a'), &corpus) - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(recall(|_| true, &[]), 0.0);
+    }
+
+    #[test]
+    fn differential_counts_estimates() {
+        let mut c = DifferentialCounts::default();
+        for (learned, oracle) in
+            [(true, true), (true, true), (true, false), (false, true), (false, false)]
+        {
+            c.record(learned, oracle);
+        }
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.divergences(), 2);
+        assert_eq!(c.agree_accept, 2);
+        assert!((c.precision_estimate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall_estimate() - 2.0 / 3.0).abs() < 1e-12);
+        let doubled = c.merged(&c);
+        assert_eq!(doubled.total(), 10);
+        assert!((doubled.precision_estimate() - c.precision_estimate()).abs() < 1e-12);
+        // Degenerate distributions default to 1.0 (no counter-evidence).
+        let empty = DifferentialCounts::default();
+        assert_eq!(empty.precision_estimate(), 1.0);
+        assert_eq!(empty.recall_estimate(), 1.0);
     }
 
     #[test]

@@ -1,0 +1,382 @@
+//! The differential fuzzing campaign driver.
+//!
+//! A campaign turns a learned language into its own adversary: inputs are
+//! grown from the learned grammar (sampled derivations, tree-level mutations,
+//! deliberate character-level corruption), every input is judged by *both* the
+//! learned artifact and the ground-truth black-box oracle, and each case lands
+//! in one of four classes — agree-accept, agree-reject, false positive
+//! (precision gap of the learned grammar) or false negative (recall gap).
+//! Divergences are minimized and reported; a rule-coverage-keyed corpus of
+//! derivations feeds the mutation loop, AFL-style.
+//!
+//! Everything is driven by one seeded RNG, so a campaign is a pure function of
+//! `(learned language, oracle, config)` — two runs produce identical reports.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use vstar::{LearnedLanguage, Mat};
+use vstar_eval::DifferentialCounts;
+use vstar_oracles::Language;
+use vstar_parser::{LearnedParser, ParseTree};
+
+use crate::coverage::RuleCoverage;
+use crate::minimize::{minimize_string, TreeMinimizer};
+use crate::mutate::{MutationKind, Mutator};
+
+/// The four outcomes of one differential case.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CaseClass {
+    /// Learned artifact and oracle both accept.
+    AgreeAccept,
+    /// Both reject.
+    AgreeReject,
+    /// Learned accepts, oracle rejects: the learned grammar over-approximates.
+    FalsePositive,
+    /// Oracle accepts, learned rejects: the learned grammar under-approximates.
+    FalseNegative,
+}
+
+impl CaseClass {
+    /// Classifies from the two verdicts.
+    #[must_use]
+    pub fn from_flags(learned_accepts: bool, oracle_accepts: bool) -> Self {
+        match (learned_accepts, oracle_accepts) {
+            (true, true) => CaseClass::AgreeAccept,
+            (false, false) => CaseClass::AgreeReject,
+            (true, false) => CaseClass::FalsePositive,
+            (false, true) => CaseClass::FalseNegative,
+        }
+    }
+
+    /// `true` for the two disagreement classes.
+    #[must_use]
+    pub fn is_divergence(self) -> bool {
+        matches!(self, CaseClass::FalsePositive | CaseClass::FalseNegative)
+    }
+
+    /// Stable label used in reports and corpus files.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CaseClass::AgreeAccept => "agree-accept",
+            CaseClass::AgreeReject => "agree-reject",
+            CaseClass::FalsePositive => "false-positive",
+            CaseClass::FalseNegative => "false-negative",
+        }
+    }
+}
+
+/// Knobs of a [`FuzzCampaign`]. All percentages are in `0..=100` and drive one
+/// shared seeded RNG, so any fixed configuration is fully deterministic.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// RNG seed; the campaign is a pure function of it (and the artifacts).
+    pub seed: u64,
+    /// Number of fuzzing iterations (the oracle's seed strings are classified
+    /// up front and do not count against this budget).
+    pub iterations: usize,
+    /// Size budget for fresh top-level samples.
+    pub sample_budget: usize,
+    /// Size budget for regrown/spliced fragments.
+    pub mutation_budget: usize,
+    /// Percentage of iterations that draw a fresh sample instead of mutating.
+    pub fresh_percent: u32,
+    /// Percentage of iterations that character-perturb a corpus yield
+    /// (stepping outside the grammar) instead of tree-mutating inside it.
+    pub perturb_percent: u32,
+    /// Cap on *distinct minimized* divergences kept (further divergent cases
+    /// are still classified and counted, but not minimized; see
+    /// [`CampaignReport::divergences_beyond_cap`]).
+    pub max_divergences: usize,
+    /// Cap on corpus derivations retained for mutation.
+    pub max_corpus_trees: usize,
+    /// Cap on `keep`-predicate evaluations per tree minimization.
+    pub minimizer_checks: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 42,
+            iterations: 500,
+            sample_budget: 24,
+            mutation_budget: 16,
+            fresh_percent: 20,
+            perturb_percent: 25,
+            max_divergences: 32,
+            max_corpus_trees: 256,
+            minimizer_checks: 400,
+        }
+    }
+}
+
+/// One distinct (post-minimization) divergence found by a campaign.
+#[derive(Clone, Debug, Serialize)]
+pub struct DivergenceCase {
+    /// Divergence class label ([`CaseClass::label`]).
+    pub class: String,
+    /// Label of the generation step that produced the first witness.
+    pub mutation: String,
+    /// Iteration of the first witness (`0` and up; seed-phase cases use the
+    /// iteration value `0` too and are distinguished by `mutation == "seed"`).
+    pub iteration: usize,
+    /// The first raw witness input, exactly as handed to the oracle.
+    pub raw: String,
+    /// The minimized witness (still classifies identically).
+    pub minimized: String,
+    /// How many evaluated cases minimized to this same witness.
+    pub occurrences: usize,
+}
+
+/// The machine-readable outcome of one campaign.
+#[derive(Clone, Debug, Serialize)]
+pub struct CampaignReport {
+    /// Oracle language name.
+    pub language: String,
+    /// RNG seed the campaign ran with.
+    pub seed: u64,
+    /// Fuzzing iterations executed.
+    pub iterations: usize,
+    /// Per-class case tallies.
+    pub counts: DifferentialCounts,
+    /// Empirical precision over the campaign distribution
+    /// ([`DifferentialCounts::precision_estimate`]).
+    pub precision_estimate: f64,
+    /// Empirical recall over the campaign distribution
+    /// ([`DifferentialCounts::recall_estimate`]).
+    pub recall_estimate: f64,
+    /// Grammar rules exercised by at least one corpus derivation.
+    pub rules_covered: usize,
+    /// Total grammar rules (bitmap width).
+    pub rules_total: usize,
+    /// Derivations retained in the mutation corpus.
+    pub corpus_trees: usize,
+    /// Distinct minimized divergences, in discovery order.
+    pub divergences: Vec<DivergenceCase>,
+    /// Divergent cases evaluated after [`FuzzConfig::max_divergences`] distinct
+    /// ones were already collected (counted in `counts`, not minimized).
+    pub divergences_beyond_cap: usize,
+}
+
+impl CampaignReport {
+    /// Number of distinct minimized divergences.
+    #[must_use]
+    pub fn distinct_divergences(&self) -> usize {
+        self.divergences.len()
+    }
+
+    /// `true` if any case (minimized or beyond the cap) diverged.
+    #[must_use]
+    pub fn found_divergence(&self) -> bool {
+        self.counts.divergences() > 0
+    }
+
+    /// Distinct minimized divergences of one class.
+    #[must_use]
+    pub fn divergences_of(&self, class: CaseClass) -> usize {
+        self.divergences.iter().filter(|d| d.class == class.label()).count()
+    }
+}
+
+/// A grammar-directed differential fuzzing campaign over one learned language
+/// and its ground-truth oracle.
+pub struct FuzzCampaign<'a> {
+    learned: &'a LearnedLanguage,
+    oracle: &'a dyn Language,
+    config: FuzzConfig,
+}
+
+/// Mutable campaign accumulators, bundled so the per-case path is one call.
+struct State<'g> {
+    coverage: RuleCoverage<'g>,
+    corpus: Vec<ParseTree>,
+    footprints: BTreeSet<Vec<usize>>,
+    counts: DifferentialCounts,
+    divergences: Vec<DivergenceCase>,
+    beyond_cap: usize,
+}
+
+impl<'a> FuzzCampaign<'a> {
+    /// Prepares a campaign; nothing runs until [`FuzzCampaign::run`].
+    #[must_use]
+    pub fn new(learned: &'a LearnedLanguage, oracle: &'a dyn Language, config: FuzzConfig) -> Self {
+        FuzzCampaign { learned, oracle, config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &FuzzConfig {
+        &self.config
+    }
+
+    /// Runs the campaign to completion and reports.
+    #[must_use]
+    pub fn run(&self) -> CampaignReport {
+        let oracle_fn = |s: &str| self.oracle.accepts(s);
+        let mat = Mat::new(&oracle_fn);
+        let vpg = self.learned.vpg();
+        let parser = LearnedParser::new(self.learned);
+        let mutator = Mutator::new(vpg);
+        let minimizer = TreeMinimizer::new(vpg);
+        let alphabet = self.oracle.alphabet();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut st = State {
+            coverage: RuleCoverage::new(vpg),
+            corpus: Vec::new(),
+            footprints: BTreeSet::new(),
+            counts: DifferentialCounts::default(),
+            divergences: Vec::new(),
+            beyond_cap: 0,
+        };
+
+        // Seed phase: the oracle's own seed strings anchor the corpus and give
+        // an immediate recall check (a sound learner accepts all of them).
+        for seed in self.oracle.seeds() {
+            self.process(&mut st, &parser, &mat, &minimizer, "seed", 0, None, seed);
+        }
+
+        let mut iterations_run = 0usize;
+        for iteration in 0..self.config.iterations {
+            let draw = rng.gen_range(0..100u32);
+            let fresh = self.config.fresh_percent;
+            let perturb = fresh + self.config.perturb_percent;
+            let (label, tree, raw) = if st.corpus.is_empty() || draw < fresh {
+                let Some(t) = mutator.sampler().sample_tree(&mut rng, self.config.sample_budget)
+                else {
+                    break; // unproductive grammar: nothing to generate, ever
+                };
+                let raw = self.learned.strip(&t.yielded());
+                (MutationKind::FreshSample.label(), Some(t), raw)
+            } else if draw < perturb {
+                let t = st.corpus.choose(&mut rng).expect("corpus checked nonempty");
+                let member = self.learned.strip(&t.yielded());
+                let raw = mutator.perturb_chars(&member, &alphabet, &mut rng);
+                (MutationKind::PerturbChars.label(), None, raw)
+            } else {
+                let t = st.corpus.choose(&mut rng).expect("corpus checked nonempty");
+                let Some((kind, t2)) = mutator.mutate(t, &mut rng, self.config.mutation_budget)
+                else {
+                    continue;
+                };
+                let raw = self.learned.strip(&t2.yielded());
+                (kind.label(), Some(t2), raw)
+            };
+            iterations_run = iteration + 1;
+            self.process(&mut st, &parser, &mat, &minimizer, label, iteration, tree, raw);
+        }
+
+        CampaignReport {
+            language: self.oracle.name().to_string(),
+            seed: self.config.seed,
+            iterations: iterations_run,
+            precision_estimate: st.counts.precision_estimate(),
+            recall_estimate: st.counts.recall_estimate(),
+            counts: st.counts,
+            rules_covered: st.coverage.covered(),
+            rules_total: st.coverage.total(),
+            corpus_trees: st.corpus.len(),
+            divergences: st.divergences,
+            divergences_beyond_cap: st.beyond_cap,
+        }
+    }
+
+    /// Classifies one raw input, updates coverage/corpus, and minimizes
+    /// divergences. `tree` is the derivation that produced the input, when the
+    /// generator had one.
+    #[allow(clippy::too_many_arguments)]
+    fn process(
+        &self,
+        st: &mut State<'_>,
+        parser: &LearnedParser<'_>,
+        mat: &Mat<'_>,
+        minimizer: &TreeMinimizer<'_>,
+        label: &str,
+        iteration: usize,
+        tree: Option<ParseTree>,
+        raw: String,
+    ) {
+        let learned_ok = parser.accepts(mat, &raw);
+        let oracle_ok = self.oracle.accepts(&raw);
+        st.counts.record(learned_ok, oracle_ok);
+        let class = CaseClass::from_flags(learned_ok, oracle_ok);
+
+        // Coverage feedback: the generating derivation if there was one,
+        // otherwise (for accepted perturbations) the parse of the raw input.
+        let tree = tree.or_else(|| {
+            (class == CaseClass::AgreeAccept).then(|| parser.parse(mat, &raw).ok()).flatten()
+        });
+        if let Some(t) = tree {
+            let fp = st.coverage.footprint(&t);
+            let new_bits = st.coverage.merge(&fp);
+            let novel_shape = st.footprints.insert(fp);
+            if (new_bits > 0 || novel_shape) && st.corpus.len() < self.config.max_corpus_trees {
+                st.corpus.push(t);
+            }
+        }
+
+        if !class.is_divergence() {
+            return;
+        }
+        // Cheap dedup against known witnesses before paying for minimization.
+        if let Some(existing) = st
+            .divergences
+            .iter_mut()
+            .find(|d| d.class == class.label() && (d.minimized == raw || d.raw == raw))
+        {
+            existing.occurrences += 1;
+            return;
+        }
+        if st.divergences.len() >= self.config.max_divergences {
+            st.beyond_cap += 1;
+            return;
+        }
+        let minimized = self.minimize(parser, mat, minimizer, class, &raw);
+        if let Some(existing) =
+            st.divergences.iter_mut().find(|d| d.class == class.label() && d.minimized == minimized)
+        {
+            existing.occurrences += 1;
+            return;
+        }
+        st.divergences.push(DivergenceCase {
+            class: class.label().to_string(),
+            mutation: label.to_string(),
+            iteration,
+            raw,
+            minimized,
+            occurrences: 1,
+        });
+    }
+
+    /// Minimizes a divergent input, preserving its class: greedy subtree
+    /// deletion when the learned side has a derivation (false positives),
+    /// then/or greedy string deletion.
+    fn minimize(
+        &self,
+        parser: &LearnedParser<'_>,
+        mat: &Mat<'_>,
+        minimizer: &TreeMinimizer<'_>,
+        class: CaseClass,
+        raw: &str,
+    ) -> String {
+        let keep_str = |s: &str| {
+            CaseClass::from_flags(parser.accepts(mat, s), self.oracle.accepts(s)) == class
+        };
+        let tree_minimized = if class == CaseClass::FalsePositive {
+            parser.parse(mat, raw).ok().map(|t| {
+                let small = minimizer.minimize_tree(&t, self.config.minimizer_checks, |cand| {
+                    keep_str(&self.learned.strip(&cand.yielded()))
+                });
+                self.learned.strip(&small.yielded())
+            })
+        } else {
+            None
+        };
+        let start = tree_minimized.as_deref().unwrap_or(raw);
+        minimize_string(start, keep_str)
+    }
+}

@@ -1,0 +1,109 @@
+//! On-disk corpus management for campaign results.
+//!
+//! A campaign's divergences are written as a reproducible directory tree, one
+//! directory per language:
+//!
+//! ```text
+//! <root>/<language>/
+//!   summary.json              — the full CampaignReport (counts, coverage, …)
+//!   divergences/
+//!     case-0000.txt           — the raw divergent input, byte for byte
+//!     case-0000.min.txt       — its minimized form
+//!     case-0000.json          — metadata (class, mutation, iteration, counts)
+//! ```
+//!
+//! Cases are numbered in discovery order and the language directory is
+//! recreated from scratch on every write, so two identical campaigns produce
+//! byte-identical corpora — `diff -r` is the regression test.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::campaign::CampaignReport;
+
+/// Writes `report` under `root`, replacing any previous corpus for the same
+/// language. Returns the language directory.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unwritable root, etc.).
+pub fn write_corpus(root: &Path, report: &CampaignReport) -> io::Result<PathBuf> {
+    let dir = root.join(&report.language);
+    if dir.exists() {
+        fs::remove_dir_all(&dir)?;
+    }
+    let div_dir = dir.join("divergences");
+    fs::create_dir_all(&div_dir)?;
+    fs::write(
+        dir.join("summary.json"),
+        serde_json::to_string_pretty(report).expect("report serialises"),
+    )?;
+    for (i, case) in report.divergences.iter().enumerate() {
+        let stem = format!("case-{i:04}");
+        fs::write(div_dir.join(format!("{stem}.txt")), &case.raw)?;
+        fs::write(div_dir.join(format!("{stem}.min.txt")), &case.minimized)?;
+        fs::write(
+            div_dir.join(format!("{stem}.json")),
+            serde_json::to_string_pretty(case).expect("case serialises"),
+        )?;
+    }
+    Ok(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::DivergenceCase;
+    use vstar_eval::DifferentialCounts;
+
+    fn report_with_one_case() -> CampaignReport {
+        CampaignReport {
+            language: "testlang".into(),
+            seed: 7,
+            iterations: 10,
+            counts: DifferentialCounts {
+                agree_accept: 8,
+                agree_reject: 1,
+                false_positive: 1,
+                false_negative: 0,
+            },
+            precision_estimate: 8.0 / 9.0,
+            recall_estimate: 1.0,
+            rules_covered: 3,
+            rules_total: 6,
+            corpus_trees: 4,
+            divergences: vec![DivergenceCase {
+                class: "false-positive".into(),
+                mutation: "regrow-nest".into(),
+                iteration: 3,
+                raw: "dd".into(),
+                minimized: "d".into(),
+                occurrences: 1,
+            }],
+            divergences_beyond_cap: 0,
+        }
+    }
+
+    #[test]
+    fn corpus_layout_round_trips_and_is_reproducible() {
+        let root = std::env::temp_dir().join(format!("vstar-fuzz-corpus-{}", std::process::id()));
+        let report = report_with_one_case();
+        let dir = write_corpus(&root, &report).unwrap();
+        assert_eq!(dir, root.join("testlang"));
+        let summary = fs::read_to_string(dir.join("summary.json")).unwrap();
+        assert!(summary.contains("\"false_positive\": 1"));
+        assert_eq!(fs::read_to_string(dir.join("divergences/case-0000.txt")).unwrap(), "dd");
+        assert_eq!(fs::read_to_string(dir.join("divergences/case-0000.min.txt")).unwrap(), "d");
+        let meta = fs::read_to_string(dir.join("divergences/case-0000.json")).unwrap();
+        assert!(meta.contains("\"class\": \"false-positive\""));
+
+        // Rewriting replaces the directory wholesale: stale cases disappear.
+        let mut smaller = report.clone();
+        smaller.divergences.clear();
+        write_corpus(&root, &smaller).unwrap();
+        assert!(!dir.join("divergences/case-0000.txt").exists());
+
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

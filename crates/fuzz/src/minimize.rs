@@ -1,0 +1,204 @@
+//! Divergence-case minimization.
+//!
+//! A divergence found by a campaign is only actionable if it is small. Two
+//! greedy reducers are provided, both driven by an arbitrary `keep` predicate
+//! ("does this candidate still reproduce the divergence?"):
+//!
+//! * [`TreeMinimizer::minimize_tree`] — *subtree deletion* for cases that have
+//!   a derivation in the learned grammar: nest bodies collapse to the minimal
+//!   derivation of their nonterminal and level tails are truncated to their
+//!   cheapest completion, so every intermediate candidate is still a member of
+//!   the grammar (the false-positive class is preserved structurally, not by
+//!   luck).
+//! * [`minimize_string`] — ddmin-style greedy chunk deletion for cases with no
+//!   derivation (false negatives live outside the learned grammar).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vstar_parser::{GrammarSampler, NestPath, ParseStep, ParseTree};
+use vstar_vpl::{NonterminalId, Vpg};
+
+/// Grammar-aware greedy subtree-deletion minimizer.
+#[derive(Clone, Debug)]
+pub struct TreeMinimizer<'g> {
+    sampler: GrammarSampler<'g>,
+    /// Memoized minimal derivations — [`TreeMinimizer::minimize_tree`] asks
+    /// for the same nonterminals once per candidate per round, and re-deriving
+    /// them is pure waste (the result is deterministic).
+    minimal: RefCell<BTreeMap<usize, Option<ParseTree>>>,
+}
+
+impl<'g> TreeMinimizer<'g> {
+    /// Builds a minimizer over `vpg`.
+    #[must_use]
+    pub fn new(vpg: &'g Vpg) -> Self {
+        TreeMinimizer { sampler: GrammarSampler::new(vpg), minimal: RefCell::new(BTreeMap::new()) }
+    }
+
+    /// The minimal derivation of `nt`: with a zero budget the sampler always
+    /// takes the cheapest completion, so this is deterministic and yields a
+    /// shortest string derivable from `nt`. Memoized per nonterminal.
+    #[must_use]
+    pub fn minimal_level(&self, nt: NonterminalId) -> Option<ParseTree> {
+        self.minimal
+            .borrow_mut()
+            .entry(nt.0)
+            .or_insert_with(|| self.sampler.sample_tree_from(nt, &mut StdRng::seed_from_u64(0), 0))
+            .clone()
+    }
+
+    /// Greedily shrinks `tree` while `keep` holds, trying (per round) to
+    /// truncate level tails to their cheapest completion and to collapse nest
+    /// bodies to minimal derivations — largest candidates first, restarting
+    /// after every committed shrink. Stops at a fixpoint or after `max_checks`
+    /// `keep` evaluations. The result is always a tree of the same grammar
+    /// with `keep(result)` true (at worst the input itself).
+    pub fn minimize_tree(
+        &self,
+        tree: &ParseTree,
+        max_checks: usize,
+        mut keep: impl FnMut(&ParseTree) -> bool,
+    ) -> ParseTree {
+        let mut cur = tree.clone();
+        let mut checks = 0usize;
+        'rounds: loop {
+            // Tail truncation, outermost levels first: replace the level at
+            // `path` by `steps[..k]` + the cheapest completion from there.
+            let mut level_paths: Vec<NestPath> = vec![Vec::new()];
+            level_paths.extend(cur.nest_summaries().into_iter().map(|s| s.path));
+            for path in level_paths {
+                let Some(level) = cur.level_at(&path) else { continue };
+                let n = level.steps().len();
+                let mut cuts = vec![0];
+                if n >= 2 {
+                    cuts.push(n / 2);
+                }
+                for k in cuts {
+                    if k >= n {
+                        continue;
+                    }
+                    let from = match &level.steps()[k] {
+                        ParseStep::Plain { lhs, .. } | ParseStep::Nest { lhs, .. } => *lhs,
+                    };
+                    let Some(tail) = self.minimal_level(from) else { continue };
+                    let mut steps: Vec<ParseStep> = level.steps()[..k].to_vec();
+                    steps.extend(tail.steps().iter().cloned());
+                    let cand_level = ParseTree::new(level.root(), steps, tail.closer());
+                    if cand_level.len() >= level.len() {
+                        continue; // not a shrink
+                    }
+                    let mut cand = cur.clone();
+                    if cand.replace_level(&path, cand_level).is_err() {
+                        continue;
+                    }
+                    checks += 1;
+                    if checks > max_checks {
+                        return cur;
+                    }
+                    if keep(&cand) {
+                        cur = cand;
+                        continue 'rounds; // paths are stale, rescan
+                    }
+                }
+            }
+            // Nest-body collapse, largest spans first.
+            let mut sums = cur.nest_summaries();
+            sums.sort_by_key(|s| std::cmp::Reverse(s.len));
+            for s in sums {
+                let Some(body) = cur.level_at(&s.path) else { continue };
+                let Some(min) = self.minimal_level(s.inner_root) else { continue };
+                if min.len() >= body.len() {
+                    continue;
+                }
+                let mut cand = cur.clone();
+                if cand.replace_level(&s.path, min).is_err() {
+                    continue;
+                }
+                checks += 1;
+                if checks > max_checks {
+                    return cur;
+                }
+                if keep(&cand) {
+                    cur = cand;
+                    continue 'rounds;
+                }
+            }
+            return cur;
+        }
+    }
+}
+
+/// Greedy chunked string deletion (a one-pass-per-granularity ddmin): removes
+/// ever-smaller chunks while `keep` holds. The result always satisfies `keep`
+/// (at worst the input itself).
+pub fn minimize_string(s: &str, mut keep: impl FnMut(&str) -> bool) -> String {
+    let mut cur: Vec<char> = s.chars().collect();
+    let mut chunk = cur.len().div_ceil(2);
+    while chunk >= 1 {
+        let mut i = 0;
+        while i + chunk <= cur.len() {
+            let mut cand = cur.clone();
+            cand.drain(i..i + chunk);
+            let cand_s: String = cand.iter().collect();
+            if keep(&cand_s) {
+                cur = cand; // same i: the next chunk slid into place
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    cur.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstar_parser::VpgParser;
+    use vstar_vpl::grammar::figure1_grammar;
+
+    #[test]
+    fn minimal_levels_are_shortest_completions() {
+        let g = figure1_grammar();
+        let m = TreeMinimizer::new(&g);
+        for (i, &min_len) in g.min_lengths().iter().enumerate() {
+            let nt = NonterminalId(i);
+            let t = m.minimal_level(nt).expect("figure-1 nonterminals are productive");
+            assert_eq!(t.root(), nt);
+            assert_eq!(Some(t.len()), min_len, "minimal level of {nt} is not shortest");
+        }
+    }
+
+    #[test]
+    fn tree_minimization_preserves_predicate_and_shrinks() {
+        let g = figure1_grammar();
+        let parser = VpgParser::new(&g);
+        let m = TreeMinimizer::new(&g);
+        // Predicate: the derived string contains at least one 'g'. The
+        // minimizer must keep one ‹g…h› group but can drop everything else.
+        let big = parser.parse("agagcdhbhbcdagaghbhbcd").unwrap();
+        let keep = |t: &ParseTree| t.yielded().contains('g');
+        let small = m.minimize_tree(&big, 10_000, keep);
+        assert!(small.validate(&g), "minimized tree must stay valid");
+        assert!(small.yielded().contains('g'));
+        assert!(small.len() < big.len(), "no shrink: {:?}", small.yielded());
+        assert_eq!(small.yielded(), "aghb", "greedy deletion should reach the minimum");
+    }
+
+    #[test]
+    fn string_minimization_is_greedy_ddmin() {
+        let out = minimize_string("xxxaxxbxx", |s| s.contains('a') && s.contains('b'));
+        assert_eq!(out, "ab");
+        // The predicate holding on the empty string minimizes to empty.
+        assert_eq!(minimize_string("abc", |_| true), "");
+        // A predicate only the input satisfies returns the input.
+        assert_eq!(minimize_string("ab", |s| s == "ab"), "ab");
+    }
+}

@@ -1,0 +1,270 @@
+//! Tree- and character-level mutations over learned-grammar derivations.
+//!
+//! The grammar-preserving mutators ([`Mutator::swap_subtrees`],
+//! [`Mutator::regrow_nest`], [`Mutator::splice_fragment`]) rewrite a
+//! [`ParseTree`] into another derivation of the *same* grammar — their output
+//! is a member of the learned language by construction, so any oracle
+//! rejection of it is a precision bug of the learned grammar. The
+//! character-level perturbation ([`Mutator::perturb_chars`]) deliberately
+//! steps *outside* the grammar to probe the opposite direction: strings the
+//! learned grammar rejects but the oracle might accept.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use vstar_parser::{GrammarSampler, NestPath, ParseStep, ParseTree};
+use vstar_vpl::Vpg;
+
+/// The mutation strategies of a campaign.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MutationKind {
+    /// Swap the bodies of two nests deriving from the same nonterminal.
+    SwapSubtrees,
+    /// Regrow one nest body from its nonterminal with the sampler.
+    RegrowNest,
+    /// Resample the tail of one nesting level from its cut-point nonterminal.
+    SpliceFragment,
+    /// Character-level edits that step outside the grammar.
+    PerturbChars,
+    /// A fresh top-level sample (no mutation applied).
+    FreshSample,
+}
+
+impl MutationKind {
+    /// Stable label used in reports and corpus metadata.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MutationKind::SwapSubtrees => "swap-subtrees",
+            MutationKind::RegrowNest => "regrow-nest",
+            MutationKind::SpliceFragment => "splice-fragment",
+            MutationKind::PerturbChars => "perturb-chars",
+            MutationKind::FreshSample => "fresh-sample",
+        }
+    }
+}
+
+/// Seeded mutation engine over one grammar.
+#[derive(Clone, Debug)]
+pub struct Mutator<'g> {
+    sampler: GrammarSampler<'g>,
+}
+
+fn step_lhs(step: &ParseStep) -> vstar_vpl::NonterminalId {
+    match step {
+        ParseStep::Plain { lhs, .. } | ParseStep::Nest { lhs, .. } => *lhs,
+    }
+}
+
+fn is_prefix(a: &[usize], b: &[usize]) -> bool {
+    a.len() <= b.len() && a.iter().zip(b).all(|(x, y)| x == y)
+}
+
+impl<'g> Mutator<'g> {
+    /// Builds a mutator (and its internal sampler) over `vpg`.
+    #[must_use]
+    pub fn new(vpg: &'g Vpg) -> Self {
+        Mutator { sampler: GrammarSampler::new(vpg) }
+    }
+
+    /// The grammar mutations stay inside.
+    #[must_use]
+    pub fn vpg(&self) -> &'g Vpg {
+        self.sampler.vpg()
+    }
+
+    /// The sampler used to grow replacement fragments.
+    #[must_use]
+    pub fn sampler(&self) -> &GrammarSampler<'g> {
+        &self.sampler
+    }
+
+    /// Swaps the bodies of two nests that derive from the same nonterminal
+    /// (and are not nested in one another), exercising the "contents of one
+    /// occurrence are valid at every compatible occurrence" property of a
+    /// context-free derivation. Returns `None` when the tree has no compatible
+    /// pair.
+    pub fn swap_subtrees<R: Rng + ?Sized>(
+        &self,
+        tree: &ParseTree,
+        rng: &mut R,
+    ) -> Option<ParseTree> {
+        let sums = tree.nest_summaries();
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for i in 0..sums.len() {
+            for j in i + 1..sums.len() {
+                if sums[i].inner_root == sums[j].inner_root
+                    && !is_prefix(&sums[i].path, &sums[j].path)
+                    && !is_prefix(&sums[j].path, &sums[i].path)
+                {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        let &(i, j) = pairs.choose(rng)?;
+        let a = tree.level_at(&sums[i].path)?.clone();
+        let b = tree.level_at(&sums[j].path)?.clone();
+        let mut out = tree.clone();
+        out.replace_level(&sums[i].path, b).ok()?;
+        out.replace_level(&sums[j].path, a).ok()?;
+        Some(out)
+    }
+
+    /// Replaces one nest body with a freshly sampled derivation of the same
+    /// nonterminal. Returns `None` when the tree has no nests.
+    pub fn regrow_nest<R: Rng + ?Sized>(
+        &self,
+        tree: &ParseTree,
+        rng: &mut R,
+        budget: usize,
+    ) -> Option<ParseTree> {
+        let sums = tree.nest_summaries();
+        let s = sums.choose(rng)?;
+        let fresh = self.sampler.sample_tree_from(s.inner_root, rng, budget)?;
+        let mut out = tree.clone();
+        out.replace_level(&s.path, fresh).ok()?;
+        Some(out)
+    }
+
+    /// Cuts one nesting level (the top level included) at a random step and
+    /// resamples everything after the cut from the nonterminal required there —
+    /// splicing a sampled fragment onto a kept prefix. Cutting at the very end
+    /// extends the level from its closing nonterminal.
+    pub fn splice_fragment<R: Rng + ?Sized>(
+        &self,
+        tree: &ParseTree,
+        rng: &mut R,
+        budget: usize,
+    ) -> Option<ParseTree> {
+        let mut paths: Vec<NestPath> = vec![Vec::new()];
+        paths.extend(tree.nest_summaries().into_iter().map(|s| s.path));
+        let path = paths.choose(rng)?;
+        let level = tree.level_at(path)?;
+        let k = rng.gen_range(0..=level.steps().len());
+        let from = level.steps().get(k).map_or_else(|| level.closer(), step_lhs);
+        let tail = self.sampler.sample_tree_from(from, rng, budget)?;
+        let mut steps: Vec<ParseStep> = level.steps()[..k].to_vec();
+        steps.extend(tail.steps().iter().cloned());
+        let new_level = ParseTree::new(level.root(), steps, tail.closer());
+        let mut out = tree.clone();
+        out.replace_level(path, new_level).ok()?;
+        Some(out)
+    }
+
+    /// Applies 1–3 character-level edits (delete / replace / transpose /
+    /// insert, insertions drawn from `pool`) — the precision probe that leaves
+    /// the grammar on purpose. Returns the input unchanged when no edit is
+    /// possible (empty string and empty pool).
+    pub fn perturb_chars<R: Rng + ?Sized>(&self, s: &str, pool: &[char], rng: &mut R) -> String {
+        let mut chars: Vec<char> = s.chars().collect();
+        let edits = 1 + rng.gen_range(0..3usize);
+        for _ in 0..edits {
+            match rng.gen_range(0..4u8) {
+                0 if !chars.is_empty() => {
+                    let i = rng.gen_range(0..chars.len());
+                    chars.remove(i);
+                }
+                1 if !chars.is_empty() && !pool.is_empty() => {
+                    let i = rng.gen_range(0..chars.len());
+                    chars[i] = *pool.choose(rng).expect("pool checked nonempty");
+                }
+                2 if chars.len() >= 2 => {
+                    let i = rng.gen_range(0..chars.len() - 1);
+                    chars.swap(i, i + 1);
+                }
+                _ => {
+                    if let Some(&c) = pool.choose(rng) {
+                        let i = rng.gen_range(0..=chars.len());
+                        chars.insert(i, c);
+                    }
+                }
+            }
+        }
+        chars.into_iter().collect()
+    }
+
+    /// Draws one grammar-preserving mutation, trying the three tree-level
+    /// strategies in a random order and returning the first that applies
+    /// (splice applies to every tree of a productive grammar, so this only
+    /// returns `None` on pathological grammars).
+    pub fn mutate<R: Rng + ?Sized>(
+        &self,
+        tree: &ParseTree,
+        rng: &mut R,
+        budget: usize,
+    ) -> Option<(MutationKind, ParseTree)> {
+        let mut kinds =
+            [MutationKind::SwapSubtrees, MutationKind::RegrowNest, MutationKind::SpliceFragment];
+        kinds.shuffle(rng);
+        for kind in kinds {
+            let mutated = match kind {
+                MutationKind::SwapSubtrees => self.swap_subtrees(tree, rng),
+                MutationKind::RegrowNest => self.regrow_nest(tree, rng, budget),
+                _ => self.splice_fragment(tree, rng, budget),
+            };
+            if let Some(t) = mutated {
+                return Some((kind, t));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vstar_parser::VpgParser;
+    use vstar_vpl::grammar::figure1_grammar;
+
+    #[test]
+    fn tree_mutations_stay_inside_the_grammar() {
+        let g = figure1_grammar();
+        let mutator = Mutator::new(&g);
+        let parser = VpgParser::new(&g);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut mutated_count = 0;
+        for _ in 0..200 {
+            let tree = mutator.sampler().sample_tree(&mut rng, 24).unwrap();
+            if let Some((kind, t)) = mutator.mutate(&tree, &mut rng, 16) {
+                mutated_count += 1;
+                assert!(t.validate(&g), "{} broke validity", kind.label());
+                assert!(parser.recognize(&t.yielded()), "{} left the language", kind.label());
+            }
+        }
+        assert!(mutated_count > 150, "mutator applied only {mutated_count}/200 times");
+    }
+
+    #[test]
+    fn swap_needs_a_compatible_pair() {
+        let g = figure1_grammar();
+        let mutator = Mutator::new(&g);
+        let mut rng = StdRng::seed_from_u64(1);
+        // "cd" has no nests at all: no swap, no regrow, but splice applies.
+        let parser = VpgParser::new(&g);
+        let flat = parser.parse("cd").unwrap();
+        assert!(mutator.swap_subtrees(&flat, &mut rng).is_none());
+        assert!(mutator.regrow_nest(&flat, &mut rng, 8).is_none());
+        let spliced = mutator.splice_fragment(&flat, &mut rng, 8).unwrap();
+        assert!(spliced.validate(&g));
+    }
+
+    #[test]
+    fn perturbation_edits_the_string() {
+        let g = figure1_grammar();
+        let mutator = Mutator::new(&g);
+        let pool: Vec<char> = g.terminals().into_iter().collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut changed = 0;
+        for _ in 0..50 {
+            let s = mutator.perturb_chars("agcdcdhbcd", &pool, &mut rng);
+            if s != "agcdcdhbcd" {
+                changed += 1;
+            }
+        }
+        assert!(changed > 40, "perturbation was a no-op {}/50 times", 50 - changed);
+        // No pool and no content: nothing to do, but no panic either.
+        assert_eq!(mutator.perturb_chars("", &[], &mut rng), "");
+    }
+}

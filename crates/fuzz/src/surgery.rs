@@ -1,0 +1,119 @@
+//! Grammar surgery: controlled weakening of a [`Vpg`].
+//!
+//! A differential fuzzer needs a way to prove it *would* catch a bad grammar —
+//! otherwise "zero divergences" is indistinguishable from "looked at nothing".
+//! These helpers rebuild a grammar with one rule added (over-generalization:
+//! the fuzzer should find false positives) or removed (under-generalization:
+//! false negatives), which is exactly the fault-injection knob the campaign
+//! regression tests and the `fuzz` benchmark's self-check use, paired with
+//! [`vstar::LearnedLanguage::with_vpg`].
+
+use vstar_vpl::{RuleRhs, Vpg, VpgBuilder, VplError};
+
+/// Rebuilds `vpg` with `lhs → rhs` added as a last alternative.
+///
+/// The resulting language is a superset of the original; whether it is a
+/// *strict* superset depends on the rule (the caller picks one that generates
+/// new strings, e.g. a plain terminal in a position the language forbids).
+///
+/// # Errors
+///
+/// Propagates [`VplError`] when the rule is ill-kinded under the grammar's
+/// tagging or refers to unknown nonterminals.
+pub fn with_extra_rule(
+    vpg: &Vpg,
+    lhs: vstar_vpl::NonterminalId,
+    rhs: RuleRhs,
+) -> Result<Vpg, VplError> {
+    rebuild(vpg, |b| {
+        push_rule(b, lhs, rhs);
+    })
+}
+
+/// Rebuilds `vpg` without the rule `lhs → rhs` (a no-op if the rule does not
+/// exist). The resulting language is a subset of the original.
+///
+/// # Errors
+///
+/// Propagates [`VplError`] from revalidation (cannot normally occur, since
+/// every remaining rule was already valid).
+pub fn without_rule(
+    vpg: &Vpg,
+    lhs: vstar_vpl::NonterminalId,
+    rhs: &RuleRhs,
+) -> Result<Vpg, VplError> {
+    let n = vpg.nonterminal_count();
+    let mut b = VpgBuilder::new(vpg.tagging().clone());
+    for i in 0..n {
+        b.nonterminal(vpg.name(vstar_vpl::NonterminalId(i)));
+    }
+    for (l, r) in vpg.rules() {
+        if l == lhs && r == *rhs {
+            continue;
+        }
+        push_rule(&mut b, l, r);
+    }
+    b.build(vpg.start())
+}
+
+fn rebuild(vpg: &Vpg, extra: impl FnOnce(&mut VpgBuilder)) -> Result<Vpg, VplError> {
+    let n = vpg.nonterminal_count();
+    let mut b = VpgBuilder::new(vpg.tagging().clone());
+    for i in 0..n {
+        b.nonterminal(vpg.name(vstar_vpl::NonterminalId(i)));
+    }
+    for (l, r) in vpg.rules() {
+        push_rule(&mut b, l, r);
+    }
+    extra(&mut b);
+    b.build(vpg.start())
+}
+
+fn push_rule(b: &mut VpgBuilder, lhs: vstar_vpl::NonterminalId, rhs: RuleRhs) {
+    match rhs {
+        RuleRhs::Empty => {
+            b.empty_rule(lhs);
+        }
+        RuleRhs::Linear { plain, next } => {
+            b.linear_rule(lhs, plain, next);
+        }
+        RuleRhs::Match { call, inner, ret, next } => {
+            b.match_rule(lhs, call, inner, ret, next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstar_vpl::grammar::figure1_grammar;
+    use vstar_vpl::NonterminalId;
+
+    #[test]
+    fn extra_rule_overgeneralizes() {
+        let g = figure1_grammar();
+        let l = NonterminalId(0);
+        let weak = with_extra_rule(&g, l, RuleRhs::Linear { plain: 'd', next: l }).unwrap();
+        assert_eq!(weak.rule_count(), g.rule_count() + 1);
+        // "d" is new; everything old is still derivable.
+        assert!(!g.accepts("d"));
+        assert!(weak.accepts("d"));
+        assert!(weak.accepts("agcdcdhbcd"));
+        // Ill-kinded rules are rejected (`a` is a call symbol).
+        assert!(with_extra_rule(&g, l, RuleRhs::Linear { plain: 'a', next: l }).is_err());
+    }
+
+    #[test]
+    fn removed_rule_undergeneralizes() {
+        let g = figure1_grammar();
+        let (l, b) = (NonterminalId(0), NonterminalId(2));
+        let strict = without_rule(&g, l, &RuleRhs::Linear { plain: 'c', next: b }).unwrap();
+        assert_eq!(strict.rule_count(), g.rule_count() - 1);
+        assert!(g.accepts("cd"));
+        assert!(!strict.accepts("cd"));
+        assert!(strict.accepts("aghb"));
+        // Removing a nonexistent rule is a no-op.
+        let same = without_rule(&g, l, &RuleRhs::Linear { plain: 'd', next: l }).unwrap();
+        assert_eq!(same.rule_count(), g.rule_count());
+    }
+}

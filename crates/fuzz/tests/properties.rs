@@ -1,0 +1,156 @@
+//! Property tests for the fuzzing subsystem's two core contracts:
+//!
+//! * the grammar-preserving mutators are *closed under membership* — every
+//!   mutated tree's word is still recognized by the source VPG (on random
+//!   seeded VPGs, not just the figure-1 example);
+//! * the minimizers preserve the predicate they are driven by — in campaign
+//!   terms, a minimized divergence still reproduces the original divergence
+//!   classification.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use vstar_fuzz::{minimize_string, Mutator, RuleCoverage, TreeMinimizer};
+use vstar_parser::{GrammarSampler, VpgParser};
+use vstar_vpl::{Tagging, Vpg, VpgBuilder};
+
+const CALLS: [char; 2] = ['(', '['];
+const RETS: [char; 2] = [')', ']'];
+const PLAINS: [char; 3] = ['x', 'y', 'z'];
+
+/// A random small well-matched VPG over two call/return pairs (same generator
+/// shape as the parser crate's property suite).
+fn random_vpg(seed: u64) -> Vpg {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = VpgBuilder::new(Tagging::from_pairs([('(', ')'), ('[', ']')]).unwrap());
+    let n = rng.gen_range(1usize..5);
+    let nts: Vec<_> = (0..n).map(|i| b.nonterminal(&format!("N{i}"))).collect();
+    for &nt in &nts {
+        let alts = rng.gen_range(1usize..4);
+        for _ in 0..alts {
+            match rng.gen_range(0u8..3) {
+                0 => {
+                    b.empty_rule(nt);
+                }
+                1 => {
+                    let c = PLAINS[rng.gen_range(0..PLAINS.len())];
+                    b.linear_rule(nt, c, nts[rng.gen_range(0..n)]);
+                }
+                _ => {
+                    let pair = rng.gen_range(0..CALLS.len());
+                    let inner = nts[rng.gen_range(0..n)];
+                    let next = nts[rng.gen_range(0..n)];
+                    b.match_rule(nt, CALLS[pair], inner, RETS[pair], next);
+                }
+            }
+        }
+    }
+    b.build(nts[0]).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Grammar-preserving mutators are closed under membership: whatever the
+    /// mutator does to a sampled derivation of a random VPG, the result
+    /// validates against the grammar and its yield is recognized.
+    #[test]
+    fn mutators_are_closed_under_membership(seed in 0u64..4000, fuzz_seed in 0u64..4000, budget in 2usize..28) {
+        let vpg = random_vpg(seed);
+        let sampler = GrammarSampler::new(&vpg);
+        let parser = VpgParser::new(&vpg);
+        let mutator = Mutator::new(&vpg);
+        let mut rng = StdRng::seed_from_u64(fuzz_seed);
+        for _ in 0..6 {
+            let Some(tree) = sampler.sample_tree(&mut rng, budget) else { break };
+            let mut current = tree;
+            // Chains of mutations stay inside the language, not just one step.
+            for _ in 0..3 {
+                let Some((kind, mutated)) = mutator.mutate(&current, &mut rng, budget) else { break };
+                prop_assert!(mutated.validate(&vpg), "{} broke tree validity (vpg seed {})", kind.label(), seed);
+                prop_assert!(
+                    parser.recognize(&mutated.yielded()),
+                    "{} left the language: {:?} (vpg seed {})",
+                    kind.label(), mutated.yielded(), seed
+                );
+                current = mutated;
+            }
+        }
+    }
+
+    /// Tree minimization preserves an arbitrary divergence-style predicate and
+    /// never grows the input. The predicate here mimics a campaign's
+    /// classification check: "the learned side accepts and a (synthetic)
+    /// oracle rejects" — modelled as membership plus containing a marker
+    /// character the oracle chokes on.
+    #[test]
+    fn tree_minimizer_preserves_classification(seed in 0u64..4000, fuzz_seed in 0u64..4000) {
+        let vpg = random_vpg(seed);
+        let sampler = GrammarSampler::new(&vpg);
+        let parser = VpgParser::new(&vpg);
+        let minimizer = TreeMinimizer::new(&vpg);
+        let mut rng = StdRng::seed_from_u64(fuzz_seed);
+        let Some(tree) = sampler.sample_tree(&mut rng, 24) else { return Ok(()) };
+        let marker = 'x';
+        // "False positive"-shaped predicate: a member whose yield contains the
+        // marker (i.e. the synthetic oracle rejects it, the grammar accepts).
+        let classify = |w: &str| parser.recognize(w) && w.contains(marker);
+        if !classify(&tree.yielded()) { return Ok(()) }
+        let small = minimizer.minimize_tree(&tree, 2_000, |t| classify(&t.yielded()));
+        prop_assert!(small.validate(&vpg), "minimized tree invalid (vpg seed {seed})");
+        prop_assert!(
+            classify(&small.yielded()),
+            "minimizer changed the classification: {:?} (vpg seed {seed})",
+            small.yielded()
+        );
+        prop_assert!(small.len() <= tree.len(), "minimizer grew the input");
+    }
+
+    /// String minimization preserves its predicate and never grows the input
+    /// (the fallback path used for false negatives, which have no derivation).
+    #[test]
+    fn string_minimizer_preserves_classification(seed in 0u64..4000, fuzz_seed in 0u64..4000) {
+        let vpg = random_vpg(seed);
+        let parser = VpgParser::new(&vpg);
+        let sampler = GrammarSampler::new(&vpg);
+        let mutator = Mutator::new(&vpg);
+        let mut rng = StdRng::seed_from_u64(fuzz_seed);
+        let Some(member) = sampler.sample(&mut rng, 20) else { return Ok(()) };
+        // Perturb the member out of the language; "false negative"-shaped
+        // predicate: the grammar rejects (and the synthetic oracle, here "any
+        // string", accepts).
+        let pool: Vec<char> = vpg.terminals().into_iter().collect();
+        let broken = mutator.perturb_chars(&member, &pool, &mut rng);
+        let classify = |w: &str| !parser.recognize(w);
+        if !classify(&broken) { return Ok(()) }
+        let small = minimize_string(&broken, classify);
+        prop_assert!(classify(&small), "string minimizer changed the classification");
+        prop_assert!(small.chars().count() <= broken.chars().count());
+    }
+
+    /// Coverage footprints of sampled derivations only name rules of the
+    /// grammar, and merging them can only grow the covered set.
+    #[test]
+    fn footprints_are_sound(seed in 0u64..4000, fuzz_seed in 0u64..4000) {
+        let vpg = random_vpg(seed);
+        let sampler = GrammarSampler::new(&vpg);
+        let mut rng = StdRng::seed_from_u64(fuzz_seed);
+        let mut cov = RuleCoverage::new(&vpg);
+        let mut last = 0usize;
+        for _ in 0..5 {
+            let Some(tree) = sampler.sample_tree(&mut rng, 16) else { break };
+            let fp = cov.footprint(&tree);
+            prop_assert!(fp.iter().all(|&id| id < vpg.rule_count()));
+            // The fast offset path agrees with the reference Vpg::rule_id on
+            // every visited rule (soundness of the precomputed offsets).
+            tree.visit_rules(|lhs, rhs| {
+                assert_eq!(cov.rule_id(lhs, &rhs), vpg.rule_id(lhs, &rhs));
+            });
+            cov.merge(&fp);
+            prop_assert!(cov.covered() >= last);
+            prop_assert!(cov.covered() <= cov.total());
+            last = cov.covered();
+        }
+    }
+}

@@ -88,6 +88,13 @@ pub fn table1_languages() -> Vec<Box<dyn Language>> {
     ]
 }
 
+/// Looks up one Table-1 language by its [`Language::name`], the shared resolver
+/// of every binary that takes a grammar name on the command line.
+#[must_use]
+pub fn language_by_name(name: &str) -> Option<Box<dyn Language>> {
+    table1_languages().into_iter().find(|l| l.name() == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +135,15 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn languages_resolve_by_name() {
+        for lang in table1_languages() {
+            let found = language_by_name(lang.name()).expect("bundled language resolves");
+            assert_eq!(found.name(), lang.name());
+        }
+        assert!(language_by_name("cobol").is_none());
     }
 
     #[test]

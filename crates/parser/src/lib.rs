@@ -56,4 +56,4 @@ pub use error::ParseError;
 pub use learned::LearnedParser;
 pub use recognizer::VpgParser;
 pub use sampler::GrammarSampler;
-pub use tree::{ParseStep, ParseTree};
+pub use tree::{NestPath, NestSummary, ParseStep, ParseTree};

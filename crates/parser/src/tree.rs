@@ -144,6 +144,132 @@ impl ParseTree {
         total
     }
 
+    /// Calls `f` on every rule application of the tree, the closing ε-rules
+    /// included: `(lhs, rhs)` exactly as the rule would appear in a [`Vpg`].
+    /// Visit order is deterministic (preorder over levels) but otherwise
+    /// unspecified. Combined with [`Vpg::rule_id`] this yields the tree's
+    /// rule-coverage footprint.
+    pub fn visit_rules(&self, mut f: impl FnMut(NonterminalId, RuleRhs)) {
+        let mut stack: Vec<&ParseTree> = vec![self];
+        while let Some(t) = stack.pop() {
+            for (i, step) in t.steps.iter().enumerate() {
+                let next = match t.steps.get(i + 1) {
+                    Some(ParseStep::Plain { lhs, .. } | ParseStep::Nest { lhs, .. }) => *lhs,
+                    None => t.closer,
+                };
+                match step {
+                    ParseStep::Plain { lhs, plain } => {
+                        f(*lhs, RuleRhs::Linear { plain: *plain, next });
+                    }
+                    ParseStep::Nest { lhs, call, inner, ret } => {
+                        stack.push(inner);
+                        f(*lhs, RuleRhs::Match { call: *call, inner: inner.root, ret: *ret, next });
+                    }
+                }
+            }
+            f(t.closer, RuleRhs::Empty);
+        }
+    }
+
+    /// Number of [`ParseStep::Nest`] steps in the whole tree (candidate
+    /// mutation points for subtree-level fuzzing).
+    #[must_use]
+    pub fn nest_count(&self) -> usize {
+        let mut count = 0usize;
+        let mut stack: Vec<&ParseTree> = vec![self];
+        while let Some(t) = stack.pop() {
+            for step in &t.steps {
+                if let ParseStep::Nest { inner, .. } = step {
+                    count += 1;
+                    stack.push(inner);
+                }
+            }
+        }
+        count
+    }
+
+    /// Summaries of every nested level, in document (preorder) order. Each
+    /// summary carries the nest's [`NestPath`] — the address understood by
+    /// [`ParseTree::level_at`] and [`ParseTree::replace_level`] — along with
+    /// its body nonterminal, its depth, and the span `[start, start + len)` the
+    /// whole `‹call … ret›` group occupies in the tree's yield.
+    ///
+    /// Paths are stable under replacement at *non-prefix* paths, which is what
+    /// lets a mutator address several nests of one tree and rewrite them
+    /// independently.
+    #[must_use]
+    pub fn nest_summaries(&self) -> Vec<NestSummary> {
+        let mut out = Vec::new();
+        // (level, next step index, yield offset at that step, path of the level)
+        let mut stack: Vec<(&ParseTree, usize, usize, NestPath)> = vec![(self, 0, 0, Vec::new())];
+        while let Some((t, idx, offset, path)) = stack.pop() {
+            if let Some(step) = t.steps.get(idx) {
+                match step {
+                    ParseStep::Plain { .. } => stack.push((t, idx + 1, offset + 1, path)),
+                    ParseStep::Nest { inner, .. } => {
+                        let len = inner.len() + 2;
+                        let mut child_path = path.clone();
+                        child_path.push(idx);
+                        out.push(NestSummary {
+                            path: child_path.clone(),
+                            inner_root: inner.root,
+                            start: offset,
+                            len,
+                            depth: path.len(),
+                        });
+                        stack.push((t, idx + 1, offset + len, path));
+                        stack.push((inner, 0, offset + 1, child_path));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The nesting level addressed by `path`: the tree itself for the empty
+    /// path, otherwise the body reached by descending into the `path[k]`-th
+    /// step of each successive level. Returns `None` when a component is out of
+    /// range or addresses a [`ParseStep::Plain`] step.
+    #[must_use]
+    pub fn level_at(&self, path: &[usize]) -> Option<&ParseTree> {
+        let mut cur = self;
+        for &k in path {
+            match cur.steps.get(k)? {
+                ParseStep::Nest { inner, .. } => cur = inner,
+                ParseStep::Plain { .. } => return None,
+            }
+        }
+        Some(cur)
+    }
+
+    /// Replaces the level addressed by `path` (see [`ParseTree::level_at`])
+    /// with `replacement` and returns the previous level. The replacement must
+    /// derive from the same nonterminal as the current level — that keeps the
+    /// enclosing matching rule (or the tree's own root) well formed, so a valid
+    /// tree stays valid whenever the replacement itself is valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(replacement)` unchanged when the path does not address a
+    /// level or the roots differ; the tree is not modified.
+    pub fn replace_level(
+        &mut self,
+        path: &[usize],
+        replacement: ParseTree,
+    ) -> Result<ParseTree, ParseTree> {
+        let mut cur = self;
+        for &k in path {
+            match cur.steps.get_mut(k) {
+                Some(ParseStep::Nest { inner, .. }) => cur = inner,
+                _ => return Err(replacement),
+            }
+        }
+        if cur.root != replacement.root {
+            return Err(replacement);
+        }
+        Ok(std::mem::replace(cur, replacement))
+    }
+
     /// Appends the derived string to `out`.
     pub fn write_yield(&self, out: &mut String) {
         enum Task<'a> {
@@ -266,6 +392,29 @@ impl Drop for ParseTree {
     }
 }
 
+/// Address of a nesting level inside a [`ParseTree`]: the step index of the
+/// [`ParseStep::Nest`] to descend into at each level, outermost first. The
+/// empty path addresses the tree's own top level.
+pub type NestPath = Vec<usize>;
+
+/// Location and shape of one `‹call … ret›` group inside a [`ParseTree`] (from
+/// [`ParseTree::nest_summaries`]): the mutation points of subtree-level
+/// fuzzing, with enough geometry to map a nest back to a span of the yield.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NestSummary {
+    /// Address of the nest's body for [`ParseTree::level_at`] /
+    /// [`ParseTree::replace_level`].
+    pub path: NestPath,
+    /// The nonterminal the nested body derives from.
+    pub inner_root: NonterminalId,
+    /// Offset of the call character in the tree's yield.
+    pub start: usize,
+    /// Length of the whole group in the yield, call and return included.
+    pub len: usize,
+    /// Nesting depth of the group (0 for top-level nests).
+    pub depth: usize,
+}
+
 /// Indented rendering of a [`ParseTree`] with nonterminal names (from
 /// [`ParseTree::display`]).
 #[derive(Clone, Copy, Debug)]
@@ -335,6 +484,66 @@ mod tests {
         // A closer without an ε-rule is invalid.
         let bad_closer = ParseTree::empty(NonterminalId(1));
         assert!(!bad_closer.validate(&g));
+    }
+
+    #[test]
+    fn visit_rules_matches_validate_and_rule_ids() {
+        let g = figure1_grammar();
+        let t = aghbcd_tree();
+        let mut count = 0usize;
+        t.visit_rules(|lhs, rhs| {
+            count += 1;
+            assert!(g.rule_id(lhs, &rhs).is_some(), "visited rule {lhs} → {rhs:?} not in grammar");
+        });
+        assert_eq!(count, t.rule_applications());
+    }
+
+    #[test]
+    fn nest_navigation_and_replacement() {
+        let t = aghbcd_tree();
+        assert_eq!(t.nest_count(), 2);
+        let summaries = t.nest_summaries();
+        assert_eq!(summaries.len(), 2);
+        // Document order: the outer ‹a … b› group first, then the inner
+        // ‹g … h› group one level down.
+        assert_eq!(summaries[0].path, vec![0]);
+        assert_eq!(summaries[0].depth, 0);
+        assert_eq!((summaries[0].start, summaries[0].len), (0, 4)); // "aghb"
+        assert_eq!(summaries[1].path, vec![0, 0]);
+        assert_eq!(summaries[1].depth, 1);
+        assert_eq!((summaries[1].start, summaries[1].len), (1, 2)); // "gh"
+        let yielded = t.yielded();
+        for s in &summaries {
+            // Each summary's span is a substring of the yield.
+            assert!(s.start + s.len <= yielded.len());
+            assert_eq!(t.level_at(&s.path).unwrap().root(), s.inner_root);
+        }
+        // The empty path addresses the whole tree; bad paths address nothing.
+        assert_eq!(t.level_at(&[]).unwrap(), &t);
+        assert!(t.level_at(&[1]).is_none()); // steps[1] is Plain
+        assert!(t.level_at(&[9]).is_none());
+
+        // Replacing the inner ‹g L h› body with a bigger L-derivation keeps the
+        // tree valid and changes the yield accordingly.
+        let g = figure1_grammar();
+        let (l, b) = (NonterminalId(0), NonterminalId(2));
+        let bigger = ParseTree::new(
+            l,
+            vec![ParseStep::Plain { lhs: l, plain: 'c' }, ParseStep::Plain { lhs: b, plain: 'd' }],
+            l,
+        );
+        let mut t2 = t.clone();
+        let old = t2.replace_level(&[0, 0], bigger).expect("same-root replacement succeeds");
+        assert!(old.is_empty());
+        assert!(t2.validate(&g));
+        assert_eq!(t2.yielded(), "agcdhbcd");
+
+        // Root mismatch and bad paths are rejected without change.
+        let wrong_root = ParseTree::empty(NonterminalId(3));
+        let mut t3 = t.clone();
+        assert!(t3.replace_level(&[0, 0], wrong_root).is_err());
+        assert_eq!(t3, t);
+        assert!(t3.replace_level(&[9], ParseTree::empty(l)).is_err());
     }
 
     #[test]

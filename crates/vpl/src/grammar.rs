@@ -235,6 +235,17 @@ impl Vpg {
             .flat_map(|(i, alts)| alts.iter().map(move |&r| (NonterminalId(i), r)))
     }
 
+    /// The stable index of the rule `lhs → rhs` in `0..rule_count()`, or `None`
+    /// if the grammar has no such rule. Indices follow [`Vpg::rules`] order
+    /// (nonterminal id, then alternative position), so they are usable as keys
+    /// of rule-coverage bitmaps.
+    #[must_use]
+    pub fn rule_id(&self, lhs: NonterminalId, rhs: &RuleRhs) -> Option<usize> {
+        let offset: usize = self.rules.get(..lhs.0)?.iter().map(Vec::len).sum();
+        let pos = self.rules.get(lhs.0)?.iter().position(|r| r == rhs)?;
+        Some(offset + pos)
+    }
+
     /// Returns `true` if the grammar generates `s`.
     ///
     /// Recognition first checks well-matchedness under the grammar's tagging and
@@ -772,6 +783,21 @@ mod tests {
             // derivable length is zero exactly for the ε-rule nonterminals.
             assert_eq!(min[i] == Some(0), is_nullable);
         }
+    }
+
+    #[test]
+    fn rule_ids_are_a_bijection_onto_rule_indices() {
+        let g = figure1_grammar();
+        let mut seen = std::collections::BTreeSet::new();
+        for (i, (lhs, rhs)) in g.rules().enumerate() {
+            let id = g.rule_id(lhs, &rhs).expect("every enumerated rule has an id");
+            assert_eq!(id, i, "rule ids follow Vpg::rules order");
+            assert!(seen.insert(id));
+        }
+        assert_eq!(seen.len(), g.rule_count());
+        // Absent rules and out-of-range nonterminals have no id.
+        assert_eq!(g.rule_id(NonterminalId(1), &RuleRhs::Empty), None);
+        assert_eq!(g.rule_id(NonterminalId(99), &RuleRhs::Empty), None);
     }
 
     #[test]

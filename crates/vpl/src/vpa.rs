@@ -6,7 +6,7 @@
 //! accepting state **with an empty stack** (the well-matched acceptance condition
 //! used by the paper's learner).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use crate::error::VplError;
@@ -66,6 +66,11 @@ impl Trace {
 }
 
 /// A deterministic (partial) visibly pushdown automaton.
+///
+/// Transition tables are ordered maps, so the transition iterators — and
+/// everything downstream of their order, like the rule order of
+/// [`crate::vpa_to_vpg()`] and the draws of samplers over the extracted
+/// grammar — are stable across processes.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Vpa {
     tagging: Tagging,
@@ -73,12 +78,12 @@ pub struct Vpa {
     n_stack_syms: usize,
     initial: StateId,
     accepting: BTreeSet<StateId>,
-    call_tr: HashMap<(StateId, char), (StateId, StackSymId)>,
-    ret_tr: HashMap<(StateId, char, StackSymId), StateId>,
+    call_tr: BTreeMap<(StateId, char), (StateId, StackSymId)>,
+    ret_tr: BTreeMap<(StateId, char, StackSymId), StateId>,
     /// Transitions taken when a return symbol is read with an empty stack
     /// (the paper allows them; well-matched languages never exercise them).
-    ret_bottom_tr: HashMap<(StateId, char), StateId>,
-    plain_tr: HashMap<(StateId, char), StateId>,
+    ret_bottom_tr: BTreeMap<(StateId, char), StateId>,
+    plain_tr: BTreeMap<(StateId, char), StateId>,
 }
 
 impl Vpa {
@@ -232,10 +237,10 @@ pub struct VpaBuilder {
     n_stack_syms: usize,
     initial: Option<StateId>,
     accepting: BTreeSet<StateId>,
-    call_tr: HashMap<(StateId, char), (StateId, StackSymId)>,
-    ret_tr: HashMap<(StateId, char, StackSymId), StateId>,
-    ret_bottom_tr: HashMap<(StateId, char), StateId>,
-    plain_tr: HashMap<(StateId, char), StateId>,
+    call_tr: BTreeMap<(StateId, char), (StateId, StackSymId)>,
+    ret_tr: BTreeMap<(StateId, char, StackSymId), StateId>,
+    ret_bottom_tr: BTreeMap<(StateId, char), StateId>,
+    plain_tr: BTreeMap<(StateId, char), StateId>,
 }
 
 impl VpaBuilder {
@@ -248,10 +253,10 @@ impl VpaBuilder {
             n_stack_syms: 0,
             initial: None,
             accepting: BTreeSet::new(),
-            call_tr: HashMap::new(),
-            ret_tr: HashMap::new(),
-            ret_bottom_tr: HashMap::new(),
-            plain_tr: HashMap::new(),
+            call_tr: BTreeMap::new(),
+            ret_tr: BTreeMap::new(),
+            ret_bottom_tr: BTreeMap::new(),
+            plain_tr: BTreeMap::new(),
         }
     }
 

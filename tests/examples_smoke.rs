@@ -59,3 +59,8 @@ fn compare_baselines_runs() {
 fn parse_with_learned_grammar_runs() {
     run_example("parse_with_learned_grammar");
 }
+
+#[test]
+fn fuzz_learned_grammar_runs() {
+    run_example("fuzz_learned_grammar");
+}
