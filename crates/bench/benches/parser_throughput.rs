@@ -11,7 +11,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use vstar_parser::{GrammarSampler, VpgParser};
+use vstar_parser::{CompiledGrammar, GrammarSampler, VpgParser};
 use vstar_vpl::grammar::figure1_grammar;
 use vstar_vpl::{vpa_to_vpg, Tagging, VpaBuilder, Vpg};
 
@@ -40,12 +40,20 @@ fn bench_parser_throughput(c: &mut Criterion) {
 
     let fig1 = figure1_grammar();
     let fig1_parser = VpgParser::new(&fig1);
+    let fig1_compiled = CompiledGrammar::from_vpg(&fig1).expect("figure 1 compiles");
     for size in [64usize, 1024, 16 * 1024] {
         let input = pumped_fig1(size);
         group.bench_with_input(
             BenchmarkId::new("recognize_fig1_chars", input.len()),
             &input,
             |b, input| b.iter(|| black_box(fig1_parser.recognize(input))),
+        );
+        // The compiled serving artifact on the same input: per-position item
+        // sets become table lookups (tracked at scale by BENCH_serve.json).
+        group.bench_with_input(
+            BenchmarkId::new("recognize_fig1_compiled_chars", input.len()),
+            &input,
+            |b, input| b.iter(|| black_box(fig1_compiled.recognize_word(input))),
         );
         group.bench_with_input(
             BenchmarkId::new("parse_fig1_chars", input.len()),
@@ -57,11 +65,17 @@ fn bench_parser_throughput(c: &mut Criterion) {
     // A conversion-produced grammar (the shape learned grammars have).
     let dyck = dyck_vpg();
     let dyck_parser = VpgParser::new(&dyck);
+    let dyck_compiled = CompiledGrammar::from_vpg(&dyck).expect("dyck compiles");
     let dyck_input = "((x)(x(x)))x".repeat(512);
     group.bench_with_input(
         BenchmarkId::new("recognize_dyck_converted_chars", dyck_input.len()),
         &dyck_input,
         |b, input| b.iter(|| black_box(dyck_parser.recognize(input))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("recognize_dyck_compiled_chars", dyck_input.len()),
+        &dyck_input,
+        |b, input| b.iter(|| black_box(dyck_compiled.recognize_word(input))),
     );
 
     let sampler = GrammarSampler::new(&fig1);

@@ -66,10 +66,15 @@ fn report_run(lang: &dyn Language, config: &VStarConfig, eval_config: &EvalConfi
             );
             let learned = result.as_learned_language();
             let r = recall(|s| learned.accepts(&mat, s), &corpus);
-            let sampler = result.vpg.sampler();
+            let sampler = vstar_parser::GrammarSampler::new(&result.vpg);
             let mut rng = StdRng::seed_from_u64(eval_config.rng_seed ^ 1);
-            let samples: Vec<String> = (0..eval_config.precision_samples * 4)
-                .filter_map(|_| sampler.sample(&mut rng, eval_config.generation_budget))
+            let samples: Vec<String> = sampler
+                .sample_many(
+                    &mut rng,
+                    eval_config.generation_budget,
+                    eval_config.precision_samples * 4,
+                )
+                .into_iter()
                 .map(|s| vstar::tokenizer::strip_markers(&s))
                 .take(eval_config.precision_samples)
                 .collect();

@@ -1,0 +1,266 @@
+//! Serving-path throughput: compiled artifact vs. uncompiled parser.
+//!
+//! For each selected Table-1 grammar the binary (1) learns the language with
+//! the default V-Star pipeline, (2) compiles the learned grammar into the
+//! owned [`vstar_parser::CompiledGrammar`] artifact, (3) builds a
+//! deterministic corpus of converted words (grammar samples plus mutated
+//! non-members) and (4) measures single-thread recognition throughput of the
+//! uncompiled item-set parser against the compiled table-driven automaton,
+//! plus the sharded raw-string batch path across threads.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p vstar_bench --bin serve -- \
+//!     [grammar ...] [--seed N] [--samples N] [--budget N] [--passes N] [--check] [--json]
+//! ```
+//!
+//! Defaults: all five grammars, `--seed 42`, `--samples 300`, `--budget 40`,
+//! `--passes 40`. A full-set run at the default configuration rewrites the
+//! tracked `BENCH_serve.json`. Corpus shapes, acceptance counts and artifact
+//! sizes are deterministic for a fixed seed; the `*_chars_per_sec` and
+//! `speedup` fields are wall-clock measurements and are excluded from the
+//! determinism claim (the same convention as `BENCH_table1.json`'s
+//! `time_seconds`).
+//!
+//! `--check` turns the run into the CI smoke gate: the process exits nonzero
+//! when the compiled artifact disagrees with the uncompiled parser on any
+//! corpus word, or when a save → load round trip drifts. Throughput is
+//! printed but not gated (CI machines are noisy); the committed
+//! `BENCH_serve.json` documents the measured speedups.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use vstar_bench::cli::Args;
+use vstar_bench::learn_learned_language;
+use vstar_oracles::{language_by_name, table1_languages};
+use vstar_parser::{CompileLearned, CompiledGrammar, GrammarSampler, VpgParser};
+
+const JSON_REPORT_PATH: &str = "BENCH_serve.json";
+
+const DEFAULT_SEED: u64 = 42;
+const DEFAULT_SAMPLES: usize = 300;
+const DEFAULT_BUDGET: usize = 40;
+const DEFAULT_PASSES: usize = 40;
+
+const USAGE: &str = "serve [grammar ...] [--seed N] [--samples N] [--budget N] [--passes N] \
+                     [--check] [--json]";
+
+/// One grammar's serving measurements. Every field except the
+/// `*_chars_per_sec` and `speedup*` wall-clock measurements is deterministic
+/// for a fixed seed.
+#[derive(Serialize)]
+struct ServeRow {
+    grammar: String,
+    /// Words in the benchmark corpus (members + mutants).
+    corpus_words: usize,
+    /// Total characters across the corpus (the throughput denominator).
+    corpus_chars: usize,
+    /// Corpus words the grammar accepts (identical for both engines).
+    accepted_words: usize,
+    /// Interned item-set states of the compiled derivative automaton.
+    automaton_states: usize,
+    /// Interned stack symbols of the compiled derivative automaton.
+    stack_symbols: usize,
+    /// Size of the serialized artifact document in bytes.
+    artifact_bytes: usize,
+    /// Single-thread throughput of the uncompiled `VpgParser` (wall clock).
+    uncompiled_chars_per_sec: f64,
+    /// Single-thread throughput of `CompiledGrammar::recognize_word` (wall clock).
+    compiled_chars_per_sec: f64,
+    /// `compiled_chars_per_sec / uncompiled_chars_per_sec` (wall clock).
+    speedup: f64,
+    /// Raw-string batch throughput across scoped threads (wall clock).
+    batch_chars_per_sec: f64,
+    /// `batch_chars_per_sec / compiled single-thread raw throughput` (wall clock).
+    batch_scaling: f64,
+}
+
+#[derive(Serialize)]
+struct ServeBenchReport {
+    seed: u64,
+    samples: usize,
+    budget: usize,
+    passes: usize,
+    threads: usize,
+    rows: Vec<ServeRow>,
+}
+
+fn main() {
+    let args =
+        Args::parse_or_exit(USAGE, &["seed", "samples", "budget", "passes"], &["check", "json"]);
+    let fail = |e: String| -> ! {
+        eprintln!("{e}\nusage: {USAGE}");
+        std::process::exit(2);
+    };
+    let seed = args.seed(DEFAULT_SEED).unwrap_or_else(|e| fail(e));
+    let samples: usize = args.parsed("samples", DEFAULT_SAMPLES).unwrap_or_else(|e| fail(e));
+    let budget: usize = args.parsed("budget", DEFAULT_BUDGET).unwrap_or_else(|e| fail(e));
+    let passes: usize = args.parsed("passes", DEFAULT_PASSES).unwrap_or_else(|e| fail(e));
+
+    let all_names: Vec<String> = table1_languages().iter().map(|l| l.name().to_string()).collect();
+    let selected: Vec<String> =
+        if args.positionals().is_empty() { all_names.clone() } else { args.positionals().to_vec() };
+    let full_set = {
+        let mut sorted = selected.clone();
+        sorted.sort();
+        sorted.dedup();
+        let mut all_sorted = all_names.clone();
+        all_sorted.sort();
+        sorted == all_sorted
+    };
+    let tracked_config = seed == DEFAULT_SEED
+        && samples == DEFAULT_SAMPLES
+        && budget == DEFAULT_BUDGET
+        && passes == DEFAULT_PASSES;
+
+    let threads =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let mut rows = Vec::new();
+    let mut check_failed = false;
+    for name in &selected {
+        let Some(lang) = language_by_name(name) else {
+            fail(format!("unknown grammar {name:?}; grammars: {}", all_names.join(" ")));
+        };
+        eprintln!("learning {name} …");
+        let learned = learn_learned_language(lang.as_ref());
+        let compiled = learned.compile().expect("learned grammars compile");
+        let parser = VpgParser::new(learned.vpg());
+
+        // Deterministic corpus of converted words: grammar samples (members
+        // by construction) plus single-character mutants (mostly rejects).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sampler = GrammarSampler::new(learned.vpg());
+        let mut words = sampler.sample_many(&mut rng, budget, samples);
+        let terminals: Vec<char> = learned.vpg().terminals().into_iter().collect();
+        for k in 0..words.len() {
+            let mut mutant: Vec<char> = words[k].chars().collect();
+            if mutant.is_empty() {
+                continue;
+            }
+            let i = rng.gen_range(0..mutant.len());
+            mutant[i] = terminals[rng.gen_range(0..terminals.len())];
+            words.push(mutant.into_iter().collect());
+        }
+        let corpus_chars: usize = words.iter().map(|w| w.chars().count()).sum();
+
+        // Correctness first: the compiled artifact must agree with the
+        // uncompiled parser on every corpus word, before and after a
+        // serialization round trip.
+        let artifact_json = compiled.to_json();
+        let reloaded = CompiledGrammar::from_json(&artifact_json).expect("round trip");
+        let mut accepted_words = 0usize;
+        for w in &words {
+            let expect = parser.recognize(w);
+            let got = compiled.recognize_word(w);
+            let reloaded_got = reloaded.recognize_word(w);
+            if got != expect || reloaded_got != expect {
+                eprintln!(
+                    "FAIL {name}: engines disagree on {w:?} (uncompiled {expect}, compiled {got}, \
+                     reloaded {reloaded_got})"
+                );
+                check_failed = true;
+            }
+            accepted_words += usize::from(expect);
+        }
+
+        // Throughput: repeated full passes over the corpus.
+        let time_passes = |f: &dyn Fn(&str) -> bool| -> f64 {
+            let start = Instant::now();
+            let mut live = 0usize;
+            for _ in 0..passes {
+                for w in &words {
+                    live += usize::from(f(w));
+                }
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            std::hint::black_box(live);
+            (corpus_chars * passes) as f64 / elapsed.max(1e-9)
+        };
+        let uncompiled_cps = time_passes(&|w| parser.recognize(w));
+        let compiled_cps = time_passes(&|w| compiled.recognize_word(w));
+
+        // Batch path: raw strings across scoped threads vs. one thread.
+        let raws: Vec<String> = words.iter().map(|w| learned.strip(w)).collect();
+        let raw_refs: Vec<&str> = raws.iter().map(String::as_str).collect();
+        let raw_chars: usize = raws.iter().map(|r| r.chars().count()).sum();
+        let start = Instant::now();
+        let mut single_live = 0usize;
+        for _ in 0..passes {
+            for r in &raw_refs {
+                single_live += usize::from(compiled.recognize(r));
+            }
+        }
+        let single_raw_elapsed = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let mut batch_live = 0usize;
+        for _ in 0..passes {
+            batch_live += compiled.recognize_batch(&raw_refs).iter().filter(|&&v| v).count();
+        }
+        let batch_elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(single_live, batch_live, "batch path changed verdicts");
+        let single_raw_cps = (raw_chars * passes) as f64 / single_raw_elapsed.max(1e-9);
+        let batch_cps = (raw_chars * passes) as f64 / batch_elapsed.max(1e-9);
+
+        rows.push(ServeRow {
+            grammar: name.clone(),
+            corpus_words: words.len(),
+            corpus_chars,
+            accepted_words,
+            automaton_states: compiled.automaton_states(),
+            stack_symbols: compiled.stack_symbols(),
+            artifact_bytes: artifact_json.len(),
+            uncompiled_chars_per_sec: uncompiled_cps,
+            compiled_chars_per_sec: compiled_cps,
+            speedup: compiled_cps / uncompiled_cps.max(1e-9),
+            batch_chars_per_sec: batch_cps,
+            batch_scaling: batch_cps / single_raw_cps.max(1e-9),
+        });
+    }
+
+    println!("Serving throughput: compiled artifact vs uncompiled parser (seed {seed})");
+    println!();
+    println!(
+        "grammar\twords\tchars\tstates\tuncompiled MB/s\tcompiled MB/s\tspeedup\tbatch-scaling"
+    );
+    for r in &rows {
+        println!(
+            "{}\t{}\t{}\t{}\t{:.1}\t{:.1}\t{:.1}x\t{:.1}x",
+            r.grammar,
+            r.corpus_words,
+            r.corpus_chars,
+            r.automaton_states,
+            r.uncompiled_chars_per_sec / 1e6,
+            r.compiled_chars_per_sec / 1e6,
+            r.speedup,
+            r.batch_scaling,
+        );
+    }
+
+    let report = ServeBenchReport { seed, samples, budget, passes, threads, rows };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    if full_set && tracked_config {
+        match std::fs::write(JSON_REPORT_PATH, &json) {
+            Ok(()) => println!("wrote {JSON_REPORT_PATH}"),
+            Err(e) => eprintln!("could not write {JSON_REPORT_PATH}: {e}"),
+        }
+    } else if !full_set {
+        println!("partial grammar selection: {JSON_REPORT_PATH} left untouched");
+    } else {
+        println!("non-default configuration: {JSON_REPORT_PATH} left untouched");
+    }
+    if args.switch("json") {
+        println!("{json}");
+    }
+
+    if args.switch("check") {
+        if check_failed {
+            std::process::exit(1);
+        }
+        println!("check passed: compiled, reloaded and uncompiled engines agree on every word");
+    }
+}

@@ -183,6 +183,12 @@ impl PartialTokenizer {
         &self.pairs
     }
 
+    /// The `k` used by the k-Repetition check.
+    #[must_use]
+    pub fn k_repetition(&self) -> usize {
+        self.k_repetition
+    }
+
     /// Number of call/return token pairs.
     #[must_use]
     pub fn pair_count(&self) -> usize {

@@ -9,7 +9,7 @@ use rand::SeedableRng;
 use vstar::{Mat, VStar, VStarConfig};
 use vstar_baselines::{Arvada, ArvadaConfig, Glade, GladeConfig, LearnedGrammar};
 use vstar_oracles::Language;
-use vstar_parser::GrammarSampler;
+use vstar_parser::{CompileLearned, GrammarSampler};
 
 use crate::metrics::{f1_score, precision, recall};
 use crate::report::ToolRow;
@@ -67,9 +67,13 @@ pub fn evaluate_vstar(lang: &dyn Language, config: &EvalConfig) -> ToolRow {
         .expect("V-Star learning should succeed on the bundled grammars");
     let learn_time = start.elapsed();
 
+    // Recall is measured against the compiled serving artifact — the thing a
+    // deployment would actually run — rather than against the oracle-backed
+    // learning-time path (the two agree on the evaluation corpora; the
+    // compiled scan resolves every `conv_τ` decision from its tables).
     let corpus = recall_dataset(lang, config);
-    let learned = result.as_learned_language();
-    let recall_value = recall(|s| learned.accepts(&mat, s), &corpus);
+    let compiled = result.compile().expect("learned grammar compiles for serving");
+    let recall_value = recall(|s| compiled.recognize(s), &corpus);
 
     // Precision: sample from the learned VPG with the grammar sampler of
     // `vstar_parser` (over the converted alphabet), strip the artificial markers to
@@ -200,14 +204,12 @@ mod tests {
     }
 
     #[test]
-    fn grammar_sampler_precision_matches_vpl_sampler_path() {
-        // The precision dataset now comes from `vstar_parser::GrammarSampler`;
-        // its estimate must be at least as good as the legacy `Vpg::sampler`
-        // path on the same learned grammar and filtering rule. Both samplers
-        // use the same seed, the same alternative order (one in-process `Vpg`
-        // value) and the same uniform-over-fitting draw logic, so the sample
-        // sequences — and hence the two estimates — coincide deterministically;
-        // the inequality only leaves room for the grammar sampler to improve.
+    fn grammar_sampler_precision_dataset_is_usable_and_accurate() {
+        // `vstar_parser::GrammarSampler` is the single sampling entry point
+        // (the legacy `Vpg::sampler` path is gone): the precision dataset it
+        // produces under the conv∘strip fixed-point filter must be non-empty
+        // and, on an exactly-learned language, must score (near-)perfect
+        // precision against the oracle.
         let lang = ToyXml::new();
         let config = quick_config();
         let oracle = |s: &str| lang.accepts(s);
@@ -216,39 +218,40 @@ mod tests {
             .learn(&mat, &lang.alphabet(), &lang.seeds())
             .expect("learning succeeds");
 
-        let collect = |samples: Vec<String>| -> f64 {
-            let kept: Vec<String> = samples
-                .into_iter()
-                .filter_map(|w| {
-                    let raw = vstar::tokenizer::strip_markers(&w);
-                    (result.tokenizer.convert(&mat, &raw) == w).then_some(raw)
-                })
-                .take(config.precision_samples)
-                .collect();
-            assert!(!kept.is_empty(), "sampler produced no usable samples");
-            precision(|s| lang.accepts(s), &kept)
-        };
-
         let mut rng = StdRng::seed_from_u64(config.rng_seed ^ 0xA11CE);
         let grammar_sampler = GrammarSampler::new(&result.vpg);
-        let new_precision = collect(grammar_sampler.sample_many(
-            &mut rng,
-            config.generation_budget,
-            config.precision_samples * 12,
-        ));
-
-        let mut rng = StdRng::seed_from_u64(config.rng_seed ^ 0xA11CE);
-        let legacy = result.vpg.sampler();
-        let legacy_precision = collect(
-            (0..config.precision_samples * 12)
-                .filter_map(|_| legacy.sample(&mut rng, config.generation_budget))
-                .collect(),
-        );
-
+        let kept: Vec<String> = grammar_sampler
+            .sample_many(&mut rng, config.generation_budget, config.precision_samples * 12)
+            .into_iter()
+            .filter_map(|w| {
+                let raw = vstar::tokenizer::strip_markers(&w);
+                (result.tokenizer.convert(&mat, &raw) == w).then_some(raw)
+            })
+            .take(config.precision_samples)
+            .collect();
         assert!(
-            new_precision >= legacy_precision,
-            "grammar sampler precision {new_precision} regressed below {legacy_precision}"
+            kept.len() >= config.precision_samples / 2,
+            "sampler produced only {} usable samples",
+            kept.len()
         );
+        // The quick-config hypothesis is not exact, so the bar is a sanity
+        // floor, not perfection (the committed BENCH_table1.json tracks the
+        // real numbers at the default configuration).
+        let precision_value = precision(|s| lang.accepts(s), &kept);
+        assert!(precision_value >= 0.3, "toy-xml precision {precision_value}");
+
+        // The dataset is deterministic for a fixed seed.
+        let mut rng = StdRng::seed_from_u64(config.rng_seed ^ 0xA11CE);
+        let again: Vec<String> = GrammarSampler::new(&result.vpg)
+            .sample_many(&mut rng, config.generation_budget, config.precision_samples * 12)
+            .into_iter()
+            .filter_map(|w| {
+                let raw = vstar::tokenizer::strip_markers(&w);
+                (result.tokenizer.convert(&mat, &raw) == w).then_some(raw)
+            })
+            .take(config.precision_samples)
+            .collect();
+        assert_eq!(kept, again);
     }
 
     #[test]

@@ -19,10 +19,10 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
-use vstar::{LearnedLanguage, Mat};
+use vstar::LearnedLanguage;
 use vstar_eval::DifferentialCounts;
 use vstar_oracles::Language;
-use vstar_parser::{LearnedParser, ParseTree};
+use vstar_parser::{CompileLearned, CompiledGrammar, ParseTree};
 
 use crate::coverage::RuleCoverage;
 use crate::minimize::{minimize_string, TreeMinimizer};
@@ -215,12 +215,20 @@ impl<'a> FuzzCampaign<'a> {
     }
 
     /// Runs the campaign to completion and reports.
+    ///
+    /// The learned side is served by the compiled artifact
+    /// ([`CompiledGrammar`]): membership and parsing of every fuzz case run
+    /// oracle-free, exactly as a production serving path would, while the
+    /// black-box [`Language`] oracle judges the other side of the diff.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the learned grammar exceeds the compilation state budget —
+    /// campaigns fuzz grammars the serving path could actually ship.
     #[must_use]
     pub fn run(&self) -> CampaignReport {
-        let oracle_fn = |s: &str| self.oracle.accepts(s);
-        let mat = Mat::new(&oracle_fn);
         let vpg = self.learned.vpg();
-        let parser = LearnedParser::new(self.learned);
+        let compiled = self.learned.compile().expect("learned grammar compiles for serving");
         let mutator = Mutator::new(vpg);
         let minimizer = TreeMinimizer::new(vpg);
         let alphabet = self.oracle.alphabet();
@@ -237,7 +245,7 @@ impl<'a> FuzzCampaign<'a> {
         // Seed phase: the oracle's own seed strings anchor the corpus and give
         // an immediate recall check (a sound learner accepts all of them).
         for seed in self.oracle.seeds() {
-            self.process(&mut st, &parser, &mat, &minimizer, "seed", 0, None, seed);
+            self.process(&mut st, &compiled, &minimizer, "seed", 0, None, seed);
         }
 
         let mut iterations_run = 0usize;
@@ -267,7 +275,7 @@ impl<'a> FuzzCampaign<'a> {
                 (kind.label(), Some(t2), raw)
             };
             iterations_run = iteration + 1;
-            self.process(&mut st, &parser, &mat, &minimizer, label, iteration, tree, raw);
+            self.process(&mut st, &compiled, &minimizer, label, iteration, tree, raw);
         }
 
         CampaignReport {
@@ -292,15 +300,14 @@ impl<'a> FuzzCampaign<'a> {
     fn process(
         &self,
         st: &mut State<'_>,
-        parser: &LearnedParser<'_>,
-        mat: &Mat<'_>,
+        compiled: &CompiledGrammar,
         minimizer: &TreeMinimizer<'_>,
         label: &str,
         iteration: usize,
         tree: Option<ParseTree>,
         raw: String,
     ) {
-        let learned_ok = parser.accepts(mat, &raw);
+        let learned_ok = compiled.recognize(&raw);
         let oracle_ok = self.oracle.accepts(&raw);
         st.counts.record(learned_ok, oracle_ok);
         let class = CaseClass::from_flags(learned_ok, oracle_ok);
@@ -308,7 +315,7 @@ impl<'a> FuzzCampaign<'a> {
         // Coverage feedback: the generating derivation if there was one,
         // otherwise (for accepted perturbations) the parse of the raw input.
         let tree = tree.or_else(|| {
-            (class == CaseClass::AgreeAccept).then(|| parser.parse(mat, &raw).ok()).flatten()
+            (class == CaseClass::AgreeAccept).then(|| compiled.parse(&raw).ok()).flatten()
         });
         if let Some(t) = tree {
             let fp = st.coverage.footprint(&t);
@@ -335,7 +342,7 @@ impl<'a> FuzzCampaign<'a> {
             st.beyond_cap += 1;
             return;
         }
-        let minimized = self.minimize(parser, mat, minimizer, class, &raw);
+        let minimized = self.minimize(compiled, minimizer, class, &raw);
         if let Some(existing) =
             st.divergences.iter_mut().find(|d| d.class == class.label() && d.minimized == minimized)
         {
@@ -357,17 +364,15 @@ impl<'a> FuzzCampaign<'a> {
     /// then/or greedy string deletion.
     fn minimize(
         &self,
-        parser: &LearnedParser<'_>,
-        mat: &Mat<'_>,
+        compiled: &CompiledGrammar,
         minimizer: &TreeMinimizer<'_>,
         class: CaseClass,
         raw: &str,
     ) -> String {
-        let keep_str = |s: &str| {
-            CaseClass::from_flags(parser.accepts(mat, s), self.oracle.accepts(s)) == class
-        };
+        let keep_str =
+            |s: &str| CaseClass::from_flags(compiled.recognize(s), self.oracle.accepts(s)) == class;
         let tree_minimized = if class == CaseClass::FalsePositive {
-            parser.parse(mat, raw).ok().map(|t| {
+            compiled.parse(raw).ok().map(|t| {
                 let small = minimizer.minimize_tree(&t, self.config.minimizer_checks, |cand| {
                     keep_str(&self.learned.strip(&cand.yielded()))
                 });

@@ -58,7 +58,37 @@ impl Language for Fig1 {
     }
 
     fn generate(&self, rng: &mut dyn RngCore, budget: usize) -> String {
-        self.grammar.sampler().sample(rng, budget).unwrap_or_default()
+        // Direct reference generator for `L → ‹a A b› L | c B | ε`,
+        // `A → ‹g L h› E`, `B → d L`: like the other oracles, generation is
+        // independent of any learned-grammar machinery.
+        fn gen_l(rng: &mut dyn RngCore, budget: usize, out: &mut String) {
+            let mut remaining = budget;
+            loop {
+                let choice = if remaining >= 6 {
+                    rng.gen_range(0..3)
+                } else if remaining >= 2 {
+                    rng.gen_range(0..2)
+                } else {
+                    0
+                };
+                match choice {
+                    0 => return,
+                    1 => {
+                        out.push_str("cd");
+                        remaining -= 2;
+                    }
+                    _ => {
+                        out.push_str("ag");
+                        gen_l(rng, (remaining - 6) / 2, out);
+                        out.push_str("hb");
+                        remaining = remaining.saturating_sub(6) / 2;
+                    }
+                }
+            }
+        }
+        let mut out = String::new();
+        gen_l(rng, budget, &mut out);
+        out
     }
 }
 

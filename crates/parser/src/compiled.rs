@@ -1,0 +1,1334 @@
+//! Owned, oracle-free compiled grammar artifacts for serving.
+//!
+//! [`crate::VpgParser`] and [`crate::LearnedParser`] borrow the grammar and —
+//! in token mode — drag a live [`Mat`](vstar::Mat) membership oracle through
+//! tokenization, so a learned grammar cannot be saved, shipped or served from
+//! threads without the whole learning stack alive. [`CompiledGrammar`] is the
+//! execution-side artifact that removes both constraints:
+//!
+//! * **The derivative automaton is precompiled.** Following the derivative
+//!   parser generator of Jia, Kumar & Tan (OOPSLA 2021), the item sets the
+//!   recognizer would rebuild at every position are interned once at compile
+//!   time and the `(item set, tagged symbol) → item set` transition function
+//!   is materialized into dense lookup tables (return transitions are keyed by
+//!   the interned stack symbol pushed at the matching call). The hot path of
+//!   [`CompiledGrammar::recognize_word`] is a table index per symbol plus a
+//!   `Vec<u32>` push/pop — no per-position allocation, no rule scans.
+//! * **Tokenization needs no oracle.** The learning-time `conv_τ` decides
+//!   whether a call/return token occurrence is real with k-Repetition
+//!   membership queries (paper Algorithm 5): an occurrence that can be
+//!   repeated in place without leaving the language is plain text, not a
+//!   token. At compile time that decision procedure is *materialized into the
+//!   transition tables*: the serving scan runs Algorithm 5's left-to-right
+//!   scan, but where the oracle answered a membership query it explores both
+//!   readings and lets the automaton decide — an occurrence may be read as a
+//!   **token** (the branch dies if the grammar has no use for one here), and
+//!   it may be read as **plain text** only when the automaton *loops* on it,
+//!   `q ──occ──▶ q₁ ──occ──▶ q₁`, the word-level analog of "`occᵏ` stays
+//!   valid for every `k`", i.e. of the k-Repetition membership check. The
+//!   input is a member iff some reading drives the automaton to acceptance.
+//!   The paper's §5.1 example (`{"{":true}` — a call-token `{` inside a
+//!   string literal) tokenizes correctly without a single query, because the
+//!   learned string-content rules loop on `{`.
+//!
+//! `CompiledGrammar` is `Send + Sync + Clone + 'static`, serializes to a
+//! versioned on-disk format ([`CompiledGrammar::save`] /
+//! [`CompiledGrammar::load`], see [`crate::artifact`]) and serves batches
+//! across scoped threads ([`CompiledGrammar::parse_batch`], see
+//! [`crate::serve`]). Compile once with [`CompileLearned::compile`], serve
+//! forever.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+use vstar::tokenizer::{call_marker, return_marker, TokenKind, TokenMatcher};
+use vstar::{LearnedLanguage, PartialTokenizer, TokenDiscovery, VStarResult};
+use vstar_vpl::{NonterminalId, TaggedChar, Vpg};
+
+use crate::error::ParseError;
+use crate::recognizer::RuleTables;
+use crate::tree::ParseTree;
+
+/// Sentinel for "no transition" in the dense tables: reading this state (or a
+/// dead table entry) rejects.
+const DEAD: u32 = u32::MAX;
+
+/// Symbol-kind tag stored in the top two bits of a classified symbol code.
+const KIND_PLAIN: u32 = 0;
+/// See [`KIND_PLAIN`].
+const KIND_CALL: u32 = 1;
+/// See [`KIND_PLAIN`].
+const KIND_RETURN: u32 = 2;
+/// A character the grammar has no rule for; reading it rejects.
+const SYM_UNKNOWN: u32 = u32::MAX;
+
+/// Why compiling a grammar into a [`CompiledGrammar`] failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// The reachable item-set automaton exceeded the state budget
+    /// ([`CompileOptions::max_states`]). The derivative automaton of a
+    /// learned VPG is small in practice; hitting this limit means the grammar
+    /// is adversarially ambiguous.
+    AutomatonTooLarge {
+        /// States interned before giving up.
+        states: usize,
+        /// The configured budget.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::AutomatonTooLarge { states, limit } => write!(
+                f,
+                "derivative automaton exceeded the state budget ({states} states, limit {limit})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Knobs for [`CompiledGrammar`] compilation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Upper bound on interned item-set states (and on dense-table size);
+    /// compilation fails with [`CompileError::AutomatonTooLarge`] beyond it.
+    pub max_states: usize,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { max_states: 16_384 }
+    }
+}
+
+/// The precompiled derivative automaton: interned item-set states and dense
+/// `(state, symbol) → state` transition tables.
+#[derive(Clone, Debug)]
+struct Automaton {
+    /// Plain/call/return characters of the grammar, each sorted; a symbol id
+    /// is an index into its kind's list.
+    plain_chars: Vec<char>,
+    call_chars: Vec<char>,
+    ret_chars: Vec<char>,
+    /// `char → (kind << 30) | id` for ASCII, with a spill map for the rest
+    /// (the artificial token markers live in the private use area).
+    ascii: Vec<u32>,
+    other: HashMap<char, u32>,
+    /// Number of interned stack symbols (one per reachable `(state, call)`).
+    n_syms: usize,
+    start: u32,
+    accepting: Vec<bool>,
+    /// `[state * n_plain + plain_id] → state` (or [`DEAD`]).
+    plain_trans: Vec<u32>,
+    /// `[state * n_call + call_id] → (body state, stack symbol)`.
+    call_trans: Vec<(u32, u32)>,
+    /// `[(state * n_syms + sym) * n_ret + ret_id] → state`.
+    ret_trans: Vec<u32>,
+}
+
+impl Automaton {
+    #[inline]
+    fn classify(&self, ch: char) -> u32 {
+        let v = ch as u32;
+        if v < 128 {
+            self.ascii[v as usize]
+        } else {
+            self.other.get(&ch).copied().unwrap_or(SYM_UNKNOWN)
+        }
+    }
+
+    #[inline]
+    fn plain_step(&self, state: u32, plain_id: u32) -> u32 {
+        self.plain_trans[state as usize * self.plain_chars.len() + plain_id as usize]
+    }
+
+    #[inline]
+    fn call_step(&self, state: u32, call_id: u32) -> (u32, u32) {
+        self.call_trans[state as usize * self.call_chars.len() + call_id as usize]
+    }
+
+    #[inline]
+    fn ret_step(&self, state: u32, sym: u32, ret_id: u32) -> u32 {
+        self.ret_trans
+            [(state as usize * self.n_syms + sym as usize) * self.ret_chars.len() + ret_id as usize]
+    }
+
+    /// Advances one word symbol; returns `false` when the run dies.
+    #[inline]
+    fn step(&self, state: &mut u32, stack: &mut Vec<u32>, ch: char) -> bool {
+        let code = self.classify(ch);
+        let id = code & 0x3FFF_FFFF;
+        match code >> 30 {
+            KIND_PLAIN => {
+                *state = self.plain_step(*state, id);
+                *state != DEAD
+            }
+            KIND_CALL => {
+                let (body, sym) = self.call_step(*state, id);
+                if body == DEAD {
+                    return false;
+                }
+                stack.push(sym);
+                *state = body;
+                true
+            }
+            KIND_RETURN => {
+                let Some(sym) = stack.pop() else {
+                    return false;
+                };
+                *state = self.ret_step(*state, sym, id);
+                *state != DEAD
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Builds the automaton by saturating the reachable `(state, stack top)`
+/// configurations (the classic pre*-style closure for pushdown systems):
+/// plain and call rows are computed per discovered state; return transitions
+/// are computed exactly for the `(body state, stack symbol)` combinations that
+/// can actually co-occur at a return.
+struct Builder<'t> {
+    tables: &'t RuleTables,
+    plain_chars: Vec<char>,
+    call_chars: Vec<char>,
+    ret_chars: Vec<char>,
+    states: Vec<Vec<(NonterminalId, NonterminalId)>>,
+    state_ix: HashMap<Vec<(NonterminalId, NonterminalId)>, u32>,
+    plain_rows: Vec<Vec<u32>>,
+    call_rows: Vec<Vec<(u32, u32)>>,
+    rows_done: Vec<bool>,
+    /// Stack symbols: the `(origin state, call id)` pushed at a call.
+    syms: Vec<(u32, u32)>,
+    sym_ix: HashMap<(u32, u32), u32>,
+    ret_map: HashMap<(u32, u32, u32), u32>,
+    max_states: usize,
+}
+
+impl<'t> Builder<'t> {
+    fn new(tables: &'t RuleTables, vpg: &Vpg, max_states: usize) -> Self {
+        let mut plain = BTreeSet::new();
+        let mut call = BTreeSet::new();
+        let mut ret = BTreeSet::new();
+        for nt in 0..vpg.nonterminal_count() {
+            let nt = NonterminalId(nt);
+            for &(c, _) in tables.linear_alts(nt) {
+                plain.insert(c);
+            }
+            for &(c, _, r, _) in tables.matching_alts(nt) {
+                call.insert(c);
+                ret.insert(r);
+            }
+        }
+        Builder {
+            tables,
+            plain_chars: plain.into_iter().collect(),
+            call_chars: call.into_iter().collect(),
+            ret_chars: ret.into_iter().collect(),
+            states: Vec::new(),
+            state_ix: HashMap::new(),
+            plain_rows: Vec::new(),
+            call_rows: Vec::new(),
+            rows_done: Vec::new(),
+            syms: Vec::new(),
+            sym_ix: HashMap::new(),
+            ret_map: HashMap::new(),
+            max_states,
+        }
+    }
+
+    fn intern_state(
+        &mut self,
+        mut items: Vec<(NonterminalId, NonterminalId)>,
+    ) -> Result<u32, CompileError> {
+        items.sort_unstable();
+        items.dedup();
+        if let Some(&ix) = self.state_ix.get(&items) {
+            return Ok(ix);
+        }
+        if self.states.len() >= self.max_states {
+            return Err(CompileError::AutomatonTooLarge {
+                states: self.states.len(),
+                limit: self.max_states,
+            });
+        }
+        let ix = self.states.len() as u32;
+        self.state_ix.insert(items.clone(), ix);
+        self.states.push(items);
+        self.plain_rows.push(Vec::new());
+        self.call_rows.push(Vec::new());
+        self.rows_done.push(false);
+        Ok(ix)
+    }
+
+    fn intern_sym(&mut self, origin: u32, call_id: u32) -> u32 {
+        if let Some(&ix) = self.sym_ix.get(&(origin, call_id)) {
+            return ix;
+        }
+        let ix = self.syms.len() as u32;
+        self.sym_ix.insert((origin, call_id), ix);
+        self.syms.push((origin, call_id));
+        ix
+    }
+
+    /// Computes the plain and call rows of `s` on first use.
+    fn ensure_rows(&mut self, s: u32) -> Result<(), CompileError> {
+        if self.rows_done[s as usize] {
+            return Ok(());
+        }
+        self.rows_done[s as usize] = true;
+        let items = self.states[s as usize].clone();
+        let mut plain_row = Vec::with_capacity(self.plain_chars.len());
+        for i in 0..self.plain_chars.len() {
+            let ch = self.plain_chars[i];
+            let mut next = Vec::new();
+            for &(o, l) in &items {
+                for &(c, n) in self.tables.linear_alts(l) {
+                    if c == ch {
+                        next.push((o, n));
+                    }
+                }
+            }
+            plain_row.push(if next.is_empty() { DEAD } else { self.intern_state(next)? });
+        }
+        let mut call_row = Vec::with_capacity(self.call_chars.len());
+        for i in 0..self.call_chars.len() {
+            let ch = self.call_chars[i];
+            let mut body = Vec::new();
+            for &(_, l) in &items {
+                for &(c, inner, _, _) in self.tables.matching_alts(l) {
+                    if c == ch {
+                        body.push((inner, inner));
+                    }
+                }
+            }
+            call_row.push(if body.is_empty() {
+                (DEAD, 0)
+            } else {
+                let b = self.intern_state(body)?;
+                let sym = self.intern_sym(s, i as u32);
+                (b, sym)
+            });
+        }
+        self.plain_rows[s as usize] = plain_row;
+        self.call_rows[s as usize] = call_row;
+        Ok(())
+    }
+
+    /// The state after closing a level: `body` finished in state `s`, the
+    /// matching call pushed stack symbol `sym`, and `ret_id` is read.
+    fn ret_target(&mut self, s: u32, sym: u32, ret_id: u32) -> Result<u32, CompileError> {
+        if let Some(&t) = self.ret_map.get(&(s, sym, ret_id)) {
+            return Ok(t);
+        }
+        let (origin, call_id) = self.syms[sym as usize];
+        let call_ch = self.call_chars[call_id as usize];
+        let ret_ch = self.ret_chars[ret_id as usize];
+        let completed: HashSet<NonterminalId> = self.states[s as usize]
+            .iter()
+            .filter(|&&(_, m)| self.tables.nullable(m))
+            .map(|&(o, _)| o)
+            .collect();
+        let mut next = Vec::new();
+        for &(o, l) in &self.states[origin as usize] {
+            for &(c, inner, r, n) in self.tables.matching_alts(l) {
+                if c == call_ch && r == ret_ch && completed.contains(&inner) {
+                    next.push((o, n));
+                }
+            }
+        }
+        let target = if next.is_empty() { DEAD } else { self.intern_state(next)? };
+        self.ret_map.insert((s, sym, ret_id), target);
+        Ok(target)
+    }
+
+    fn build(mut self) -> Result<Automaton, CompileError> {
+        let start = self.intern_state(vec![(self.tables.start(), self.tables.start())])?;
+
+        // Saturate reachable (state, top) pairs; `top` encodes the stack top
+        // as 0 = bottom-of-stack, sym + 1 otherwise.
+        let mut pairs: HashSet<(u32, u32)> = HashSet::new();
+        let mut work: Vec<(u32, u32)> = Vec::new();
+        let mut belows: Vec<HashSet<u32>> = Vec::new();
+        let mut after_ret: Vec<HashSet<u32>> = Vec::new();
+        let push = |pairs: &mut HashSet<(u32, u32)>, work: &mut Vec<(u32, u32)>, p: (u32, u32)| {
+            if pairs.insert(p) {
+                work.push(p);
+            }
+        };
+        push(&mut pairs, &mut work, (start, 0));
+        while let Some((s, top)) = work.pop() {
+            self.ensure_rows(s)?;
+            for p in 0..self.plain_chars.len() {
+                let s2 = self.plain_rows[s as usize][p];
+                if s2 != DEAD {
+                    push(&mut pairs, &mut work, (s2, top));
+                }
+            }
+            for c in 0..self.call_chars.len() {
+                let (body, sym) = self.call_rows[s as usize][c];
+                if body == DEAD {
+                    continue;
+                }
+                push(&mut pairs, &mut work, (body, sym + 1));
+                while belows.len() <= sym as usize {
+                    belows.push(HashSet::new());
+                    after_ret.push(HashSet::new());
+                }
+                if belows[sym as usize].insert(top) {
+                    let targets: Vec<u32> = after_ret[sym as usize].iter().copied().collect();
+                    for t in targets {
+                        push(&mut pairs, &mut work, (t, top));
+                    }
+                }
+            }
+            if top > 0 {
+                let sym = top - 1;
+                for r in 0..self.ret_chars.len() {
+                    let target = self.ret_target(s, sym, r as u32)?;
+                    if target == DEAD {
+                        continue;
+                    }
+                    while after_ret.len() <= sym as usize {
+                        belows.push(HashSet::new());
+                        after_ret.push(HashSet::new());
+                    }
+                    if after_ret[sym as usize].insert(target) {
+                        let tops: Vec<u32> = belows[sym as usize].iter().copied().collect();
+                        for t in tops {
+                            push(&mut pairs, &mut work, (target, t));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Every interned state needs complete rows (states can be interned as
+        // targets without ever being popped in a live pair — their rows then
+        // stay default; complete them so dense indexing is safe).
+        for s in 0..self.states.len() as u32 {
+            self.ensure_rows(s)?;
+        }
+
+        let n_states = self.states.len();
+        let n_plain = self.plain_chars.len();
+        let n_call = self.call_chars.len();
+        let n_ret = self.ret_chars.len();
+        let n_syms = self.syms.len();
+        // The dense return table must stay addressable; the state budget keeps
+        // n_states bounded, this keeps the product bounded.
+        let ret_len = n_states * n_syms.max(1) * n_ret.max(1);
+        if ret_len > (1 << 26) {
+            return Err(CompileError::AutomatonTooLarge {
+                states: n_states,
+                limit: self.max_states,
+            });
+        }
+
+        let mut plain_trans = vec![DEAD; n_states * n_plain];
+        let mut call_trans = vec![(DEAD, 0u32); n_states * n_call];
+        for s in 0..n_states {
+            plain_trans[s * n_plain..(s + 1) * n_plain].copy_from_slice(&self.plain_rows[s]);
+            call_trans[s * n_call..(s + 1) * n_call].copy_from_slice(&self.call_rows[s]);
+        }
+        let mut ret_trans = vec![DEAD; n_states * n_syms * n_ret];
+        for (&(s, sym, r), &target) in &self.ret_map {
+            if target != DEAD {
+                ret_trans[(s as usize * n_syms + sym as usize) * n_ret + r as usize] = target;
+            }
+        }
+        let accepting: Vec<bool> = self
+            .states
+            .iter()
+            .map(|items| items.iter().any(|&(_, m)| self.tables.nullable(m)))
+            .collect();
+
+        let mut ascii = vec![SYM_UNKNOWN; 128];
+        let mut other = HashMap::new();
+        let mut classify = |ch: char, code: u32| {
+            let v = ch as u32;
+            if v < 128 {
+                ascii[v as usize] = code;
+            } else {
+                other.insert(ch, code);
+            }
+        };
+        for (i, &c) in self.plain_chars.iter().enumerate() {
+            classify(c, (KIND_PLAIN << 30) | i as u32);
+        }
+        for (i, &c) in self.call_chars.iter().enumerate() {
+            classify(c, (KIND_CALL << 30) | i as u32);
+        }
+        for (i, &c) in self.ret_chars.iter().enumerate() {
+            classify(c, (KIND_RETURN << 30) | i as u32);
+        }
+
+        Ok(Automaton {
+            plain_chars: self.plain_chars,
+            call_chars: self.call_chars,
+            ret_chars: self.ret_chars,
+            ascii,
+            other,
+            n_syms,
+            start,
+            accepting,
+            plain_trans,
+            call_trans,
+            ret_trans,
+        })
+    }
+}
+
+/// One candidate token occurrence at an input position, shared by every
+/// tokenization branch (the first/shortest match rule of the learning-time
+/// scanner depends only on the input).
+#[derive(Copy, Clone, Debug)]
+struct Candidate {
+    pair: usize,
+    kind: TokenKind,
+    len: usize,
+}
+
+/// A compiled, owned, oracle-free serving artifact for one learned grammar.
+///
+/// See the [module docs](self) for the design. Obtain one with
+/// [`CompileLearned::compile`] on a [`LearnedLanguage`] (or
+/// [`CompiledGrammar::from_vpg`] for a standalone grammar), then call
+/// [`recognize`](CompiledGrammar::recognize) /
+/// [`parse`](CompiledGrammar::parse) /
+/// [`parse_batch`](CompiledGrammar::parse_batch) — none of which need a
+/// membership oracle or borrow the learning stack — or persist it with
+/// [`save`](CompiledGrammar::save) and serve it later with
+/// [`load`](CompiledGrammar::load).
+///
+/// # Example
+///
+/// ```
+/// use vstar_parser::CompiledGrammar;
+/// use vstar_vpl::grammar::figure1_grammar;
+///
+/// let compiled = CompiledGrammar::from_vpg(&figure1_grammar()).unwrap();
+/// assert!(compiled.recognize("agcdcdhbcd"));
+/// let tree = compiled.parse("agcdcdhbcd").unwrap();
+/// assert_eq!(tree.yielded(), "agcdcdhbcd");
+/// // The artifact is fully owned: ship it to another thread, clone it, keep
+/// // it for 'static.
+/// std::thread::spawn(move || assert!(compiled.recognize("cd"))).join().unwrap();
+/// ```
+#[derive(Clone, Debug)]
+pub struct CompiledGrammar {
+    vpg: Vpg,
+    tables: RuleTables,
+    auto: Automaton,
+    tokenizer: PartialTokenizer,
+    mode: TokenDiscovery,
+}
+
+/// Compile-time proof that the artifact is freely shareable across threads.
+const _: () = {
+    const fn assert_serving_artifact<T: Send + Sync + Clone + 'static>() {}
+    assert_serving_artifact::<CompiledGrammar>();
+};
+
+/// Cap on tokenization configurations explored per input; exceeding it treats
+/// the input as rejected (a defensive bound — live configurations are
+/// deduplicated on `(position, state, stack)` and die fast in practice).
+const MAX_SCAN_CONFIGS: usize = 1 << 17;
+
+/// Outcome of the compiled conversion scan (token mode).
+struct ScanOutcome {
+    /// `(position, candidate)` take-decisions of an accepting branch, in
+    /// input order (`None` when no branch accepts).
+    takes: Option<Vec<(usize, Candidate)>>,
+    /// Furthest raw character position any branch reached.
+    furthest: usize,
+    /// Whether some branch consumed the whole input (but did not accept).
+    reached_end: bool,
+}
+
+impl CompiledGrammar {
+    /// Compiles a standalone grammar (character mode: the grammar's own
+    /// tagging is the input alphabet) with default options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::AutomatonTooLarge`] when the reachable item-set
+    /// automaton exceeds the state budget.
+    pub fn from_vpg(vpg: &Vpg) -> Result<Self, CompileError> {
+        Self::from_vpg_with(vpg, CompileOptions::default())
+    }
+
+    /// [`CompiledGrammar::from_vpg`] with explicit [`CompileOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::AutomatonTooLarge`] when the reachable item-set
+    /// automaton exceeds the state budget.
+    pub fn from_vpg_with(vpg: &Vpg, options: CompileOptions) -> Result<Self, CompileError> {
+        Self::assemble(
+            vpg.clone(),
+            PartialTokenizer::from_tagging(vpg.tagging()),
+            TokenDiscovery::Characters,
+            options,
+        )
+    }
+
+    /// Compiles a learned language (grammar + inferred tokenizer + discovery
+    /// mode) with default options. Equivalent to [`CompileLearned::compile`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::AutomatonTooLarge`] when the reachable item-set
+    /// automaton exceeds the state budget.
+    pub fn from_learned(learned: &LearnedLanguage) -> Result<Self, CompileError> {
+        Self::from_learned_with(learned, CompileOptions::default())
+    }
+
+    /// [`CompiledGrammar::from_learned`] with explicit [`CompileOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::AutomatonTooLarge`] when the reachable item-set
+    /// automaton exceeds the state budget.
+    pub fn from_learned_with(
+        learned: &LearnedLanguage,
+        options: CompileOptions,
+    ) -> Result<Self, CompileError> {
+        Self::assemble(learned.vpg().clone(), learned.tokenizer().clone(), learned.mode(), options)
+    }
+
+    pub(crate) fn assemble(
+        vpg: Vpg,
+        tokenizer: PartialTokenizer,
+        mode: TokenDiscovery,
+        options: CompileOptions,
+    ) -> Result<Self, CompileError> {
+        let tables = RuleTables::new(&vpg);
+        let auto = Builder::new(&tables, &vpg, options.max_states).build()?;
+        Ok(CompiledGrammar { vpg, tables, auto, tokenizer, mode })
+    }
+
+    /// The grammar this artifact was compiled from.
+    #[must_use]
+    pub fn vpg(&self) -> &Vpg {
+        &self.vpg
+    }
+
+    /// The compiled tokenizer's pair definitions (single-character literal
+    /// pairs in character mode).
+    #[must_use]
+    pub fn tokenizer(&self) -> &PartialTokenizer {
+        &self.tokenizer
+    }
+
+    /// The discovery mode the grammar was learned in: decides whether
+    /// [`CompiledGrammar::recognize`] tokenizes raw input first.
+    #[must_use]
+    pub fn mode(&self) -> TokenDiscovery {
+        self.mode
+    }
+
+    /// Number of interned item-set states of the derivative automaton.
+    #[must_use]
+    pub fn automaton_states(&self) -> usize {
+        self.auto.accepting.len()
+    }
+
+    /// Number of interned stack symbols of the derivative automaton.
+    #[must_use]
+    pub fn stack_symbols(&self) -> usize {
+        self.auto.n_syms
+    }
+
+    pub(crate) fn word_accepting(&self, state: u32) -> bool {
+        self.auto.accepting[state as usize]
+    }
+
+    pub(crate) fn word_start(&self) -> u32 {
+        self.auto.start
+    }
+
+    pub(crate) fn word_step(&self, state: &mut u32, stack: &mut Vec<u32>, ch: char) -> bool {
+        self.auto.step(state, stack, ch)
+    }
+
+    /// Decides membership of a *word* over the grammar's own alphabet (the
+    /// converted word in token mode, the raw string in character mode) with
+    /// pure table lookups — the compiled equivalent of
+    /// [`crate::VpgParser::recognize`].
+    #[must_use]
+    pub fn recognize_word(&self, word: &str) -> bool {
+        let mut state = self.auto.start;
+        let mut stack: Vec<u32> = Vec::new();
+        for ch in word.chars() {
+            if !self.auto.step(&mut state, &mut stack, ch) {
+                return false;
+            }
+        }
+        stack.is_empty() && self.auto.accepting[state as usize]
+    }
+
+    /// Parses a word over the grammar's own alphabet into a derivation (the
+    /// compiled equivalent of [`crate::VpgParser::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] locating the failure (word positions; the raw
+    /// span is attached since word characters are raw characters here).
+    pub fn parse_word(&self, word: &str) -> Result<ParseTree, ParseError> {
+        self.tables
+            .parse_tagged(&self.vpg.tagging().tag(word))
+            .map_err(|e| attach_word_context(e, word))
+    }
+
+    /// Decides membership of a raw input string, oracle-free.
+    ///
+    /// In character mode this is [`CompiledGrammar::recognize_word`]. In token
+    /// mode the input is tokenized by the compiled scan (see the
+    /// [module docs](self)): the same left-to-right scan as the learning-time
+    /// `conv_τ`, with every k-Repetition membership query replaced by
+    /// table-lookup runs of the automaton itself.
+    #[must_use]
+    pub fn recognize(&self, s: &str) -> bool {
+        match self.mode {
+            TokenDiscovery::Characters => self.recognize_word(s),
+            TokenDiscovery::Tokens => {
+                let chars: Vec<char> = s.chars().collect();
+                self.scan_tokens(&chars, false).takes.is_some()
+            }
+        }
+    }
+
+    /// Parses a raw input string into a derivation of the (converted-word)
+    /// grammar, oracle-free. Tree terminals are converted-word characters: in
+    /// token mode the artificial markers appear as the call/return terminals
+    /// of nest steps, making the inferred nesting explicit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] with the raw-input byte span attached. In
+    /// character mode the error position indexes the word (= the raw string);
+    /// in token mode it indexes the compiled conversion of the input, except
+    /// when no tokenization survives at all — then it is the furthest *raw
+    /// character* index any reading reached.
+    pub fn parse(&self, s: &str) -> Result<ParseTree, ParseError> {
+        match self.mode {
+            TokenDiscovery::Characters => self.parse_word(s),
+            TokenDiscovery::Tokens => {
+                let chars: Vec<char> = s.chars().collect();
+                let outcome = self.scan_tokens(&chars, true);
+                let Some(takes) = outcome.takes else {
+                    let err = if outcome.reached_end {
+                        ParseError::incomplete()
+                    } else {
+                        ParseError::stuck(outcome.furthest)
+                    };
+                    return Err(err.with_raw_char_context(s, outcome.furthest));
+                };
+                let (converted, raw_index) = build_converted(&chars, &takes);
+                let tagged: Vec<TaggedChar> = self.vpg.tagging().tag(&converted);
+                self.tables.parse_tagged(&tagged).map_err(|e| {
+                    let raw_char =
+                        e.position().and_then(|p| raw_index.get(p).copied()).unwrap_or(chars.len());
+                    e.with_raw_char_context(s, raw_char)
+                })
+            }
+        }
+    }
+
+    /// The word the compiled conversion produces for `s` (the oracle-free
+    /// counterpart of [`LearnedLanguage::convert`]), or `None` when `s` is
+    /// not a member. In character mode members convert to themselves.
+    #[must_use]
+    pub fn converted_word(&self, s: &str) -> Option<String> {
+        match self.mode {
+            TokenDiscovery::Characters => self.recognize_word(s).then(|| s.to_string()),
+            TokenDiscovery::Tokens => {
+                let chars: Vec<char> = s.chars().collect();
+                let takes = self.scan_tokens(&chars, true).takes?;
+                Some(build_converted(&chars, &takes).0)
+            }
+        }
+    }
+
+    /// First/shortest candidate token match at `chars[pos..]`, mirroring the
+    /// learning-time scanner's match rule (earlier pair wins ties, call before
+    /// return within a pair, shortest match per matcher).
+    fn first_match_at(&self, chars: &[char], pos: usize) -> Option<Candidate> {
+        let rest = &chars[pos..];
+        let mut best: Option<Candidate> = None;
+        for (pair, p) in self.tokenizer.pairs().iter().enumerate() {
+            for (kind, matcher) in [(TokenKind::Call, &p.call), (TokenKind::Return, &p.ret)] {
+                if let Some(len) = shortest_match_len(matcher, rest) {
+                    if best.is_none_or(|b| len < b.len) {
+                        best = Some(Candidate { pair, kind, len });
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// The state after reading `occ` as plain text from `state`, or `None`
+    /// when the run dies.
+    fn run_plains(&self, mut state: u32, occ: &[char]) -> Option<u32> {
+        for &c in occ {
+            let code = self.auto.classify(c);
+            if code >> 30 != KIND_PLAIN {
+                return None;
+            }
+            state = self.auto.plain_step(state, code & 0x3FFF_FFFF);
+            if state == DEAD {
+                return None;
+            }
+        }
+        Some(state)
+    }
+
+    /// The compiled k-Repetition predicate: the occurrence read from `state`
+    /// is repeatable-in-place exactly when the automaton loops on it
+    /// (`state ──occ──▶ q₁ ──occ──▶ q₁`), in which case `occᵏ` keeps the word
+    /// derivable for every `k` — the word-level analog of Algorithm 5's
+    /// membership check, answered by the tables alone.
+    ///
+    /// This is deliberately *narrower* than the oracle check it replaces: a
+    /// grammar whose plain reading of `occ` loops only after a pre-period
+    /// (`q₁ ──occ──▶ q₂ ──occ──▶ q₂` with `q₁ ≠ q₂`) would be denied the skip
+    /// even though pumping stays in the language. Learned string-content
+    /// rules loop immediately in practice; `tests/artifacts.rs` pins the
+    /// resulting agreement with the oracle-backed path for all five Table-1
+    /// languages.
+    fn repeatable(&self, state: u32, occ: &[char]) -> bool {
+        let Some(q1) = self.run_plains(state, occ) else {
+            return false;
+        };
+        self.run_plains(q1, occ) == Some(q1)
+    }
+
+    /// The compiled conversion scan: Algorithm 5's left-to-right scan with
+    /// the membership oracle materialized into the tables. At a candidate
+    /// occurrence the scan explores
+    ///
+    /// * a **take** branch — the occurrence is a token; its marker and
+    ///   characters run through the automaton and the branch dies if they
+    ///   cannot (a token the grammar has no use for here is no token), and
+    /// * a **skip** branch — the occurrence is plain text — but *only* when
+    ///   the occurrence is loop-repeatable ([`CompiledGrammar::repeatable`],
+    ///   the materialized k-Repetition predicate; e.g. a `{` inside a learned
+    ///   string literal). Ungated skips would wander into word-space the
+    ///   learner never constrained.
+    ///
+    /// Positions without a candidate advance one plain character. Branches
+    /// are deduplicated on `(position, state, stack)` with hash-consed
+    /// stacks; the input is a member iff some branch consumes it into an
+    /// accepting configuration. The oracle-backed conversion corresponds to
+    /// one decision sequence per position, so whenever its decisions are
+    /// take-executable/loop-repeatable here, that run is among the explored
+    /// branches.
+    fn scan_tokens(&self, chars: &[char], want_trace: bool) -> ScanOutcome {
+        let auto = &self.auto;
+        // Candidate matches depend only on the input — compute them once.
+        let matches: Vec<Option<Candidate>> =
+            (0..chars.len()).map(|i| self.first_match_at(chars, i)).collect();
+
+        // Hash-consed stacks: id 0 is the empty stack; node ids are offset by
+        // one into `nodes`.
+        let mut nodes: Vec<(u32, u32)> = Vec::new();
+        let mut node_ix: HashMap<(u32, u32), u32> = HashMap::new();
+        // Take-decision traces for parse: (parent, position, candidate).
+        let mut traces: Vec<(u32, u32, Candidate)> = Vec::new();
+
+        let mut frontier: BTreeMap<usize, Vec<(u32, u32, u32)>> = BTreeMap::new();
+        let mut visited: HashSet<(usize, u32, u32)> = HashSet::new();
+        let mut budget = MAX_SCAN_CONFIGS;
+        let mut furthest = 0usize;
+        let mut reached_end = false;
+
+        let enqueue = |frontier: &mut BTreeMap<usize, Vec<(u32, u32, u32)>>,
+                       visited: &mut HashSet<(usize, u32, u32)>,
+                       budget: &mut usize,
+                       pos: usize,
+                       state: u32,
+                       stack: u32,
+                       trace: u32| {
+            if *budget == 0 || !visited.insert((pos, state, stack)) {
+                return;
+            }
+            *budget -= 1;
+            frontier.entry(pos).or_default().push((state, stack, trace));
+        };
+        enqueue(&mut frontier, &mut visited, &mut budget, 0, auto.start, 0, 0);
+
+        while let Some((pos, bucket)) = frontier.pop_first() {
+            furthest = furthest.max(pos);
+            for (state, stack, trace) in bucket {
+                if pos == chars.len() {
+                    if stack == 0 && auto.accepting[state as usize] {
+                        return ScanOutcome {
+                            takes: Some(unwind_trace(&traces, trace)),
+                            furthest: pos,
+                            reached_end: true,
+                        };
+                    }
+                    reached_end = true;
+                    continue;
+                }
+
+                let cand = matches[pos];
+                // Plain/skip branch: the character at `pos` is plain text —
+                // always available where nothing matches, gated by the
+                // materialized k-Repetition predicate where something does.
+                let skip_allowed = match cand {
+                    None => true,
+                    Some(c) => self.repeatable(state, &chars[pos..pos + c.len]),
+                };
+                if skip_allowed {
+                    let code = auto.classify(chars[pos]);
+                    if code >> 30 == KIND_PLAIN {
+                        let s2 = auto.plain_step(state, code & 0x3FFF_FFFF);
+                        if s2 != DEAD {
+                            enqueue(
+                                &mut frontier,
+                                &mut visited,
+                                &mut budget,
+                                pos + 1,
+                                s2,
+                                stack,
+                                trace,
+                            );
+                        }
+                    }
+                }
+
+                // Take branch: the candidate occurrence is a real token.
+                let Some(cand) = cand else {
+                    continue;
+                };
+                let marker = match cand.kind {
+                    TokenKind::Call => call_marker(cand.pair),
+                    TokenKind::Return => return_marker(cand.pair),
+                };
+                let mcode = auto.classify(marker);
+                let (mut s2, mut stack2) = (state, stack);
+                let mut alive = match cand.kind {
+                    TokenKind::Call => {
+                        if mcode >> 30 != KIND_CALL {
+                            false
+                        } else {
+                            let (body, sym) = auto.call_step(s2, mcode & 0x3FFF_FFFF);
+                            if body == DEAD {
+                                false
+                            } else {
+                                stack2 = *node_ix.entry((stack2, sym)).or_insert_with(|| {
+                                    nodes.push((stack, sym));
+                                    nodes.len() as u32
+                                });
+                                s2 = body;
+                                true
+                            }
+                        }
+                    }
+                    TokenKind::Return => true,
+                };
+                if alive {
+                    // The occurrence's characters are the token's plain text.
+                    match self.run_plains(s2, &chars[pos..pos + cand.len]) {
+                        Some(q) => s2 = q,
+                        None => alive = false,
+                    }
+                }
+                if alive && cand.kind == TokenKind::Return {
+                    alive = if mcode >> 30 != KIND_RETURN || stack2 == 0 {
+                        false
+                    } else {
+                        let (below, sym) = nodes[stack2 as usize - 1];
+                        s2 = auto.ret_step(s2, sym, mcode & 0x3FFF_FFFF);
+                        stack2 = below;
+                        s2 != DEAD
+                    };
+                }
+                if alive {
+                    let trace2 = if want_trace {
+                        traces.push((trace, pos as u32, cand));
+                        traces.len() as u32
+                    } else {
+                        0
+                    };
+                    enqueue(
+                        &mut frontier,
+                        &mut visited,
+                        &mut budget,
+                        pos + cand.len,
+                        s2,
+                        stack2,
+                        trace2,
+                    );
+                }
+            }
+        }
+        ScanOutcome { takes: None, furthest, reached_end }
+    }
+}
+
+/// Walks a trace chain back to the root, returning `(position, candidate)`
+/// take-decisions in input order.
+fn unwind_trace(traces: &[(u32, u32, Candidate)], mut id: u32) -> Vec<(usize, Candidate)> {
+    let mut takes = Vec::new();
+    while id != 0 {
+        let (parent, pos, cand) = traces[id as usize - 1];
+        takes.push((pos as usize, cand));
+        id = parent;
+    }
+    takes.reverse();
+    takes
+}
+
+/// Rebuilds the converted word from the take-decisions of an accepting
+/// branch, mirroring `conv_τ`'s marker placement: call markers before the
+/// occurrence, return markers after it. The second component maps each
+/// converted-word character back to a raw character index.
+fn build_converted(chars: &[char], takes: &[(usize, Candidate)]) -> (String, Vec<usize>) {
+    let mut out = String::new();
+    let mut raw_index = Vec::new();
+    let mut take_iter = takes.iter().peekable();
+    let mut i = 0usize;
+    while i < chars.len() {
+        match take_iter.peek() {
+            Some(&&(pos, cand)) if pos == i => {
+                take_iter.next();
+                if cand.kind == TokenKind::Call {
+                    out.push(call_marker(cand.pair));
+                    raw_index.push(i);
+                }
+                for &c in &chars[i..i + cand.len] {
+                    out.push(c);
+                    raw_index.push(i);
+                }
+                if cand.kind == TokenKind::Return {
+                    out.push(return_marker(cand.pair));
+                    raw_index.push(i + cand.len - 1);
+                }
+                i += cand.len;
+            }
+            _ => {
+                out.push(chars[i]);
+                raw_index.push(i);
+                i += 1;
+            }
+        }
+    }
+    (out, raw_index)
+}
+
+/// Length (in characters) of the shortest non-empty prefix of `rest` matched
+/// by `matcher` — the char-slice equivalent of
+/// `TokenMatcher::prefix_match_lengths(..).first()`.
+fn shortest_match_len(matcher: &TokenMatcher, rest: &[char]) -> Option<usize> {
+    match matcher {
+        TokenMatcher::Literal(lit) => {
+            let mut n = 0usize;
+            let mut it = rest.iter();
+            for lc in lit.chars() {
+                if it.next() != Some(&lc) {
+                    return None;
+                }
+                n += 1;
+            }
+            (n > 0).then_some(n)
+        }
+        TokenMatcher::Dfa(dfa) => {
+            let mut state = dfa.initial();
+            for (i, &c) in rest.iter().enumerate() {
+                state = dfa.delta(state, c)?;
+                if dfa.accepting().contains(&state) {
+                    return Some(i + 1);
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Attaches raw-input context to a word-level error where word characters are
+/// raw characters (character mode and [`CompiledGrammar::parse_word`]).
+fn attach_word_context(e: ParseError, word: &str) -> ParseError {
+    let pos = e.position().unwrap_or_else(|| word.chars().count());
+    e.with_raw_char_context(word, pos)
+}
+
+/// Compiling a learned language into its serving artifact.
+///
+/// This is the `compile()` entry point the serving workflow starts from; it
+/// is a trait (rather than an inherent method on [`LearnedLanguage`]) because
+/// the artifact lives downstream of the learner crate.
+///
+/// ```no_run
+/// use vstar::{Mat, VStar, VStarConfig};
+/// use vstar_parser::CompileLearned;
+///
+/// let oracle = |s: &str| !s.is_empty();
+/// let mat = Mat::new(&oracle);
+/// let result = VStar::new(VStarConfig::default())
+///     .learn(&mat, &['a'], &["a".to_string()])
+///     .unwrap();
+/// let compiled = result.as_learned_language().compile().unwrap();
+/// drop((mat, result)); // the artifact outlives the whole learning stack
+/// assert!(compiled.recognize("a"));
+/// ```
+pub trait CompileLearned {
+    /// Compiles the learned artifacts into an owned, oracle-free
+    /// [`CompiledGrammar`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::AutomatonTooLarge`] when the reachable
+    /// item-set automaton exceeds the state budget.
+    fn compile(&self) -> Result<CompiledGrammar, CompileError>;
+}
+
+impl CompileLearned for LearnedLanguage {
+    fn compile(&self) -> Result<CompiledGrammar, CompileError> {
+        CompiledGrammar::from_learned(self)
+    }
+}
+
+impl CompileLearned for VStarResult {
+    fn compile(&self) -> Result<CompiledGrammar, CompileError> {
+        CompiledGrammar::from_learned(&self.as_learned_language())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstar::tokenizer::{call_marker, return_marker};
+    use vstar::{Mat, VStar, VStarConfig};
+    use vstar_vpl::grammar::figure1_grammar;
+    use vstar_vpl::{Tagging, VpgBuilder};
+
+    use crate::VpgParser;
+
+    #[test]
+    fn figure1_compiled_agrees_with_uncompiled_exhaustively() {
+        let g = figure1_grammar();
+        let compiled = CompiledGrammar::from_vpg(&g).unwrap();
+        let parser = VpgParser::new(&g);
+        let terminals: Vec<char> = g.terminals().into_iter().collect();
+        for w in vstar_vpl::words::all_strings(&terminals, 6) {
+            assert_eq!(compiled.recognize(&w), parser.recognize(&w), "mismatch on {w:?}");
+            assert_eq!(compiled.recognize_word(&w), parser.recognize(&w), "word on {w:?}");
+            match (compiled.parse(&w), parser.parse(&w)) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "trees differ on {w:?}"),
+                (Err(a), Err(b)) => {
+                    assert_eq!(a.kind(), b.kind(), "error kinds differ on {w:?}");
+                    assert_eq!(a.position(), b.position(), "positions differ on {w:?}");
+                }
+                (a, b) => panic!("parse verdicts differ on {w:?}: {a:?} vs {b:?}"),
+            }
+        }
+        assert!(compiled.automaton_states() > 0);
+    }
+
+    #[test]
+    fn unknown_characters_reject() {
+        let g = figure1_grammar();
+        let compiled = CompiledGrammar::from_vpg(&g).unwrap();
+        assert!(!compiled.recognize("agc?dhb"));
+        assert!(!compiled.recognize("μ"));
+        let e = compiled.parse("cμ").unwrap_err();
+        assert!(e.raw_span().is_some());
+    }
+
+    #[test]
+    fn deep_nesting_runs_iteratively() {
+        let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+        let mut b = VpgBuilder::new(tagging);
+        let s = b.nonterminal("S");
+        b.match_rule(s, '(', s, ')', s);
+        b.empty_rule(s);
+        b.linear_rule(s, 'x', s);
+        let g = b.build(s).unwrap();
+        let compiled = CompiledGrammar::from_vpg(&g).unwrap();
+        let deep = 100_000usize;
+        let w = format!("{}x{}", "(".repeat(deep), ")".repeat(deep));
+        assert!(compiled.recognize(&w));
+        assert!(!compiled.recognize(&w[..w.len() - 1]));
+        let tree = compiled.parse(&w).unwrap();
+        assert_eq!(tree.depth(), deep);
+    }
+
+    #[test]
+    fn compiled_errors_carry_raw_spans() {
+        let g = figure1_grammar();
+        let compiled = CompiledGrammar::from_vpg(&g).unwrap();
+        let e = compiled.parse("cx").unwrap_err();
+        assert_eq!(e.position(), Some(1));
+        assert_eq!(e.raw_span(), Some((1, 2)));
+        assert_eq!(e.fragment(), Some("x"));
+        assert!(e.to_string().contains("near \"x\""), "{e}");
+    }
+
+    /// The paper's §5.1 k-Repetition example, oracle-free: `{` is a call
+    /// token, yet its occurrence inside a string literal is plain text. The
+    /// grammar below derives exactly `⊳{ " {* " : t } ⊲` — the compiled scan
+    /// must skip the inner brace (the string-content rules loop on it, so the
+    /// materialized k-Repetition predicate fires) where a greedy tokenizer
+    /// would die, without issuing a single membership query.
+    #[test]
+    fn compiled_scan_resolves_tokens_inside_strings() {
+        let call = call_marker(0);
+        let ret = return_marker(0);
+        let tagging = Tagging::from_pairs([(call, ret)]).unwrap();
+        let mut b = VpgBuilder::new(tagging);
+        let s = b.nonterminal("S");
+        let body = b.nonterminal("B");
+        let key = b.nonterminal("K");
+        let key_rest = b.nonterminal("KR");
+        let colon = b.nonterminal("C");
+        let val = b.nonterminal("V");
+        let close = b.nonterminal("Z");
+        let end = b.nonterminal("E");
+        b.match_rule(s, call, body, ret, end);
+        b.linear_rule(body, '{', key);
+        b.linear_rule(key, '"', key_rest);
+        b.linear_rule(key_rest, '{', key_rest);
+        b.linear_rule(key_rest, '"', colon);
+        b.linear_rule(colon, ':', val);
+        b.linear_rule(val, 't', close);
+        b.linear_rule(close, '}', end);
+        b.empty_rule(end);
+        let g = b.build(s).unwrap();
+
+        let mut tokenizer = PartialTokenizer::new();
+        tokenizer.push_pair(vstar::TokenPair {
+            call: TokenMatcher::Literal("{".to_string()),
+            ret: TokenMatcher::Literal("}".to_string()),
+        });
+        let compiled = CompiledGrammar::assemble(
+            g,
+            tokenizer,
+            TokenDiscovery::Tokens,
+            CompileOptions::default(),
+        )
+        .unwrap();
+
+        // The inner `{` occurrences must be skipped, the outer pair taken.
+        for member in ["{\"\":t}", "{\"{\":t}", "{\"{{{\":t}"] {
+            assert!(compiled.recognize(member), "rejected member {member:?}");
+            let converted = compiled.converted_word(member).unwrap();
+            assert!(converted.starts_with(call));
+            assert!(converted.ends_with(ret));
+            let tree = compiled.parse(member).unwrap();
+            assert_eq!(tree.yielded(), converted);
+            assert!(tree.validate(compiled.vpg()));
+        }
+        for non_member in ["{\"{\":t", "\"{\":t}", "{{\"\":t}", "{\"\":t}}"] {
+            assert!(!compiled.recognize(non_member), "accepted {non_member:?}");
+            let e = compiled.parse(non_member).unwrap_err();
+            assert!(e.raw_span().is_some(), "{non_member:?}: {e:?}");
+        }
+    }
+
+    #[test]
+    fn compiled_learned_dyck_agrees_with_oracle_path() {
+        let dyck = |s: &str| {
+            let mut depth = 0i64;
+            for c in s.chars() {
+                match c {
+                    '(' => depth += 1,
+                    ')' => {
+                        depth -= 1;
+                        if depth < 0 {
+                            return false;
+                        }
+                    }
+                    'x' => {}
+                    _ => return false,
+                }
+            }
+            depth == 0
+        };
+        let mat = Mat::new(&dyck);
+        let result = VStar::new(VStarConfig::default())
+            .learn(&mat, &['(', ')', 'x'], &["(x(x))x".to_string(), "()".to_string()])
+            .unwrap();
+        let learned = result.as_learned_language();
+        let compiled = learned.compile().unwrap();
+        assert_eq!(compiled.mode(), TokenDiscovery::Tokens);
+        let mut extra = 0usize;
+        for w in vstar_vpl::words::all_strings(&['(', ')', 'x'], 6) {
+            let oracle_path = learned.accepts(&mat, &w);
+            let compiled_verdict = compiled.recognize(&w);
+            // The compiled scan explores every oracle decision sequence whose
+            // takes execute and whose skips loop, so it accepts a superset of
+            // the oracle-backed path; the few extra acceptances mirror
+            // off-image words the learned VPA itself (wrongly) accepts, e.g.
+            // ⊳(()⊲ for "(()" — a hypothesis imperfection the equivalence
+            // pool never probed, not a compilation artifact.
+            if oracle_path {
+                assert!(compiled_verdict, "compiled rejects oracle-path member {w:?}");
+                let converted = compiled.converted_word(&w).unwrap();
+                assert_eq!(learned.strip(&converted), w);
+                let tree = compiled.parse(&w).unwrap();
+                assert!(tree.validate(compiled.vpg()));
+            } else if compiled_verdict {
+                let converted = compiled.converted_word(&w).unwrap();
+                assert!(
+                    learned.vpg().accepts(&converted),
+                    "compiled accepted {w:?} without a grammar-backed conversion"
+                );
+                extra += 1;
+            }
+        }
+        // Every extra acceptance above was proven grammar-backed; the
+        // over-acceptance stays a small fraction of the probed words (~8% for
+        // this deliberately small learning configuration — the Table-1
+        // grammars show none, see tests/artifacts.rs) and the canonical junk
+        // shapes die.
+        assert!(extra * 4 < 1093, "compiled over-accepts {extra} of 1093 words");
+        assert!(!compiled.recognize("))"));
+        assert!(!compiled.recognize(")("));
+        assert!(compiled.recognize("()"));
+        assert!(compiled.recognize("(x(x))x"));
+        // compile() also works straight off the pipeline result.
+        let again = result.compile().unwrap();
+        assert_eq!(again.automaton_states(), compiled.automaton_states());
+    }
+
+    #[test]
+    fn state_budget_is_enforced() {
+        let g = figure1_grammar();
+        let err = CompiledGrammar::from_vpg_with(&g, CompileOptions { max_states: 1 }).unwrap_err();
+        assert!(matches!(err, CompileError::AutomatonTooLarge { limit: 1, .. }));
+        assert!(err.to_string().contains("state budget"));
+    }
+
+    #[test]
+    fn empty_tokenizer_degenerates_to_plain_scan() {
+        // A regular language learned with zero token pairs: the scan has no
+        // decision points and must behave like a plain DFA run.
+        let tagging = Tagging::new();
+        let mut b = VpgBuilder::new(tagging);
+        let s = b.nonterminal("S");
+        let odd = b.nonterminal("O");
+        b.linear_rule(s, 'a', odd);
+        b.linear_rule(odd, 'a', s);
+        b.empty_rule(s);
+        let g = b.build(s).unwrap();
+        let compiled = CompiledGrammar::assemble(
+            g,
+            PartialTokenizer::new(),
+            TokenDiscovery::Tokens,
+            CompileOptions::default(),
+        )
+        .unwrap();
+        assert!(compiled.recognize(""));
+        assert!(!compiled.recognize("a"));
+        assert!(compiled.recognize("aa"));
+        assert!(!compiled.recognize("ab"));
+    }
+}

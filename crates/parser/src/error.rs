@@ -1,62 +1,168 @@
 //! Parse failures, with the input position that caused them.
+//!
+//! A [`ParseError`] always locates the failure in the *word* the grammar read
+//! (the converted word in token mode). Raw-string entry points additionally
+//! attach the byte span of the offending fragment in the original raw input —
+//! see [`ParseError::raw_span`] — so callers never have to map converted-word
+//! indices back through the tokenizer themselves.
 
 use std::fmt;
 
 /// Why an input is not derivable by the grammar.
-///
-/// Positions are 0-based indices into the tagged input (character positions for
-/// raw-string parsing).
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
-pub enum ParseError {
-    /// No derivation of the prefix can consume the symbol at `position`.
-    Stuck {
-        /// Index of the unconsumable symbol.
-        position: usize,
-    },
-    /// The return symbol at `position` has no open call.
-    UnmatchedReturn {
-        /// Index of the unmatched return symbol.
-        position: usize,
-    },
-    /// The input ended while the call at `position` was still open.
-    UnmatchedCall {
-        /// Index of the innermost unclosed call symbol.
-        position: usize,
-    },
-    /// Every symbol was consumed, but no derivation is complete (the input is a
-    /// proper prefix of one or more members).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ParseErrorKind {
+    /// No derivation of the prefix can consume the symbol at the position.
+    Stuck,
+    /// The return symbol at the position has no open call.
+    UnmatchedReturn,
+    /// The input ended while the call at the position was still open.
+    UnmatchedCall,
+    /// Every symbol was consumed, but no derivation is complete (the input is
+    /// a proper prefix of one or more members).
     Incomplete,
 }
 
+/// A parse failure: what went wrong ([`ParseErrorKind`]), where in the word
+/// the grammar read ([`ParseError::position`]), and — when the input was a raw
+/// string — where in the raw input ([`ParseError::raw_span`]).
+///
+/// Two errors compare equal only when all of their location data agrees, so
+/// tests that pattern-match exact failures keep working across the word-level
+/// and raw-string entry points (the word-level constructors leave the raw span
+/// empty).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    kind: ParseErrorKind,
+    /// 0-based index into the word the grammar read (symbol positions; the
+    /// converted word in token mode).
+    position: Option<usize>,
+    /// Byte span `[start, end)` in the raw input, when known.
+    raw_span: Option<(usize, usize)>,
+    /// The offending raw fragment (possibly truncated), when known.
+    fragment: Option<String>,
+}
+
 impl ParseError {
-    /// The input position the error points at, if it has one.
+    /// A [`ParseErrorKind::Stuck`] error at a word position.
+    #[must_use]
+    pub fn stuck(position: usize) -> Self {
+        ParseError {
+            kind: ParseErrorKind::Stuck,
+            position: Some(position),
+            raw_span: None,
+            fragment: None,
+        }
+    }
+
+    /// A [`ParseErrorKind::UnmatchedReturn`] error at a word position.
+    #[must_use]
+    pub fn unmatched_return(position: usize) -> Self {
+        ParseError {
+            kind: ParseErrorKind::UnmatchedReturn,
+            position: Some(position),
+            raw_span: None,
+            fragment: None,
+        }
+    }
+
+    /// A [`ParseErrorKind::UnmatchedCall`] error at a word position.
+    #[must_use]
+    pub fn unmatched_call(position: usize) -> Self {
+        ParseError {
+            kind: ParseErrorKind::UnmatchedCall,
+            position: Some(position),
+            raw_span: None,
+            fragment: None,
+        }
+    }
+
+    /// A [`ParseErrorKind::Incomplete`] error (the end of input, no position).
+    #[must_use]
+    pub fn incomplete() -> Self {
+        ParseError {
+            kind: ParseErrorKind::Incomplete,
+            position: None,
+            raw_span: None,
+            fragment: None,
+        }
+    }
+
+    /// What went wrong.
+    #[must_use]
+    pub fn kind(&self) -> ParseErrorKind {
+        self.kind
+    }
+
+    /// The position the error points at in the word the grammar read, if it
+    /// has one (0-based symbol index; the converted word in token mode).
     #[must_use]
     pub fn position(&self) -> Option<usize> {
-        match *self {
-            ParseError::Stuck { position }
-            | ParseError::UnmatchedReturn { position }
-            | ParseError::UnmatchedCall { position } => Some(position),
-            ParseError::Incomplete => None,
-        }
+        self.position
+    }
+
+    /// The byte span `[start, end)` of the offending fragment in the raw
+    /// input, when the error came from a raw-string entry point.
+    #[must_use]
+    pub fn raw_span(&self) -> Option<(usize, usize)> {
+        self.raw_span
+    }
+
+    /// The offending raw fragment (truncated to a short snippet), when known.
+    #[must_use]
+    pub fn fragment(&self) -> Option<&str> {
+        self.fragment.as_deref()
+    }
+
+    /// Attaches a raw-input byte span and its fragment (long fragments are
+    /// truncated on a char boundary to keep `Display` readable).
+    #[must_use]
+    pub fn with_raw_span(mut self, start: usize, end: usize, fragment: &str) -> Self {
+        const MAX_FRAGMENT_CHARS: usize = 24;
+        let truncated: String = fragment.chars().take(MAX_FRAGMENT_CHARS).collect();
+        let suffix = if truncated.len() < fragment.len() { "…" } else { "" };
+        self.raw_span = Some((start, end));
+        self.fragment = Some(format!("{truncated}{suffix}"));
+        self
+    }
+
+    /// Attaches the raw context for the raw character at `raw_char_index` of
+    /// `raw`: the byte span of that character (or the empty end-of-input span)
+    /// and a fragment starting there.
+    #[must_use]
+    pub fn with_raw_char_context(self, raw: &str, raw_char_index: usize) -> Self {
+        let start = raw.char_indices().nth(raw_char_index).map_or(raw.len(), |(byte, _)| byte);
+        let end = raw[start..].chars().next().map_or(start, |c| start + c.len_utf8());
+        self.with_raw_span(start, end, &raw[start..])
     }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match *self {
-            ParseError::Stuck { position } => {
-                write!(f, "no derivation can consume the symbol at position {position}")
+        match self.kind {
+            ParseErrorKind::Stuck => {
+                let p = self.position.expect("stuck errors carry a position");
+                write!(f, "no derivation can consume the symbol at position {p}")?;
             }
-            ParseError::UnmatchedReturn { position } => {
-                write!(f, "return symbol at position {position} has no open call")
+            ParseErrorKind::UnmatchedReturn => {
+                let p = self.position.expect("unmatched-return errors carry a position");
+                write!(f, "return symbol at position {p} has no open call")?;
             }
-            ParseError::UnmatchedCall { position } => {
-                write!(f, "input ended with the call at position {position} still open")
+            ParseErrorKind::UnmatchedCall => {
+                let p = self.position.expect("unmatched-call errors carry a position");
+                write!(f, "input ended with the call at position {p} still open")?;
             }
-            ParseError::Incomplete => {
-                write!(f, "input ended before any derivation was complete")
+            ParseErrorKind::Incomplete => {
+                write!(f, "input ended before any derivation was complete")?;
             }
         }
+        if let Some((start, end)) = self.raw_span {
+            write!(f, " (raw input bytes {start}..{end}")?;
+            if let Some(fragment) = &self.fragment {
+                write!(f, ", near {fragment:?}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
     }
 }
 
@@ -68,10 +174,45 @@ mod tests {
 
     #[test]
     fn display_and_position() {
-        assert_eq!(ParseError::Stuck { position: 3 }.position(), Some(3));
-        assert_eq!(ParseError::Incomplete.position(), None);
-        assert!(ParseError::UnmatchedReturn { position: 0 }.to_string().contains("position 0"));
-        assert!(ParseError::UnmatchedCall { position: 2 }.to_string().contains("still open"));
-        assert!(ParseError::Incomplete.to_string().contains("before any derivation"));
+        assert_eq!(ParseError::stuck(3).position(), Some(3));
+        assert_eq!(ParseError::stuck(3).kind(), ParseErrorKind::Stuck);
+        assert_eq!(ParseError::incomplete().position(), None);
+        assert!(ParseError::unmatched_return(0).to_string().contains("position 0"));
+        assert!(ParseError::unmatched_call(2).to_string().contains("still open"));
+        assert!(ParseError::incomplete().to_string().contains("before any derivation"));
+    }
+
+    #[test]
+    fn raw_span_appears_in_display_and_accessors() {
+        let e = ParseError::stuck(4).with_raw_span(7, 10, "<p>trailing");
+        assert_eq!(e.raw_span(), Some((7, 10)));
+        assert_eq!(e.fragment(), Some("<p>trailing"));
+        let text = e.to_string();
+        assert!(text.contains("position 4"), "{text}");
+        assert!(text.contains("bytes 7..10"), "{text}");
+        assert!(text.contains("<p>trailing"), "{text}");
+        // Errors with and without raw context are distinguishable.
+        assert_ne!(e, ParseError::stuck(4));
+    }
+
+    #[test]
+    fn raw_char_context_maps_char_index_to_byte_span() {
+        // Multi-byte chars before the failure shift the byte span.
+        let e = ParseError::stuck(2).with_raw_char_context("éé!rest", 2);
+        assert_eq!(e.raw_span(), Some((4, 5)));
+        assert_eq!(e.fragment(), Some("!rest"));
+        // Index at end of input yields the empty end span.
+        let e = ParseError::incomplete().with_raw_char_context("ab", 2);
+        assert_eq!(e.raw_span(), Some((2, 2)));
+        assert_eq!(e.fragment(), Some(""));
+    }
+
+    #[test]
+    fn long_fragments_truncate() {
+        let long = "x".repeat(100);
+        let e = ParseError::stuck(0).with_raw_span(0, 1, &long);
+        let fragment = e.fragment().unwrap();
+        assert!(fragment.chars().count() <= 25);
+        assert!(fragment.ends_with('…'));
     }
 }

@@ -68,10 +68,32 @@ impl<'l> LearnedParser<'l> {
     ///
     /// # Errors
     ///
-    /// Returns a [`ParseError`] over the *converted* word when the input is not
-    /// a member ([`ParseError::position`] indexes the converted word).
+    /// Returns a [`ParseError`] over the *converted* word when the input is
+    /// not a member ([`ParseError::position`] indexes the converted word).
+    /// The error also carries the byte span of the offending fragment in the
+    /// *raw* input ([`ParseError::raw_span`]) — token occurrences shift and
+    /// widen converted positions, so the mapping goes through the tokenizer's
+    /// position-carrying conversion.
     pub fn parse(&self, mat: &Mat<'_>, s: &str) -> Result<ParseTree, ParseError> {
-        self.parser.parse(&self.convert(mat, s))
+        match self.learned.mode() {
+            // Character mode: the word is the raw string and the position map
+            // the identity — parse directly, no intermediate collections.
+            vstar::TokenDiscovery::Characters => self.parser.parse(s).map_err(|e| {
+                let raw_char = e.position().unwrap_or_else(|| s.chars().count());
+                e.with_raw_char_context(s, raw_char)
+            }),
+            vstar::TokenDiscovery::Tokens => {
+                let with_positions = self.learned.tokenizer().convert_with_positions(mat, s);
+                let converted: String = with_positions.iter().map(|&(c, _)| c).collect();
+                self.parser.parse(&converted).map_err(|e| {
+                    let raw_char = e
+                        .position()
+                        .and_then(|p| with_positions.get(p).map(|&(_, raw)| raw))
+                        .unwrap_or_else(|| s.chars().count());
+                    e.with_raw_char_context(s, raw_char)
+                })
+            }
+        }
     }
 }
 
@@ -122,6 +144,44 @@ mod tests {
                 Err(_) => assert!(!expected, "failed to parse member {w:?}"),
             }
         }
+    }
+
+    #[test]
+    fn parse_errors_map_back_to_raw_byte_spans() {
+        // Token mode with multi-character tokens: the artificial markers and
+        // the 3-character `<p>` token shift converted-word positions well away
+        // from raw positions, so the error must carry the raw byte span.
+        let lang = vstar_oracles::ToyXml::new();
+        let oracle = |s: &str| vstar_oracles::Language::accepts(&lang, s);
+        let mat = Mat::new(&oracle);
+        let result = VStar::new(VStarConfig::default())
+            .learn(
+                &mat,
+                &vstar_oracles::Language::alphabet(&lang),
+                &vstar_oracles::Language::seeds(&lang),
+            )
+            .expect("toy xml learns");
+        let learned = result.as_learned_language();
+        let parser = LearnedParser::new(&learned);
+
+        // Sanity: members parse.
+        assert!(parser.parse(&mat, "<p>ab</p>").is_ok());
+
+        // "<p>ab!cd</p>": '!' is nowhere in the language. Its converted-word
+        // position is shifted by the call marker, but the raw byte span must
+        // point exactly at the '!' (byte 5) and Display must show it.
+        let err = parser.parse(&mat, "<p>ab!cd</p>").unwrap_err();
+        let raw_start = err.raw_span().expect("raw span attached").0;
+        assert_eq!(raw_start, 5, "{err:?}");
+        assert!(err.position().unwrap() > 5, "marker must shift the word position: {err:?}");
+        assert!(err.fragment().unwrap().starts_with('!'), "{err:?}");
+        assert!(err.to_string().contains("raw input bytes 5..6"), "{err}");
+
+        // An unclosed element: the span points into the raw input, not past
+        // the marker-widened converted word.
+        let err = parser.parse(&mat, "<p>ab").unwrap_err();
+        let (start, end) = err.raw_span().expect("raw span attached");
+        assert!(start <= "<p>ab".len() && end <= "<p>ab".len(), "{err:?}");
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //! * [`LearnedParser`] — raw-`&str` parsing for a learned language: converts
 //!   input with the learned tokenizer (`conv_τ`) and parses the converted word
 //!   with the learned grammar.
+//! * [`CompiledGrammar`] — the owned, serializable, **oracle-free serving
+//!   artifact** ([`compiled`]/[`artifact`]/[`serve`] modules): item-set
+//!   transitions precompiled into lookup tables, the tokenizer's k-Repetition
+//!   decisions materialized into the same tables, versioned `save`/`load`,
+//!   streaming [`Session`]s and scoped-thread batch serving. Obtained from a
+//!   learned language via [`CompileLearned::compile`].
 //!
 //! # Example
 //!
@@ -46,14 +52,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
+pub mod compiled;
 mod error;
 pub mod learned;
 pub mod recognizer;
 pub mod sampler;
+pub mod serve;
 pub mod tree;
 
-pub use error::ParseError;
+pub use artifact::{ArtifactError, ARTIFACT_VERSION};
+pub use compiled::{CompileError, CompileLearned, CompileOptions, CompiledGrammar};
+pub use error::{ParseError, ParseErrorKind};
 pub use learned::LearnedParser;
 pub use recognizer::VpgParser;
 pub use sampler::GrammarSampler;
+pub use serve::Session;
 pub use tree::{NestPath, NestSummary, ParseStep, ParseTree};

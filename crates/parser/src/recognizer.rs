@@ -26,6 +26,12 @@
 //! ([`VpgParser::parse_tagged`]) runs the same forward pass, records the item
 //! sets with back-pointers, and extracts one derivation in a linear backward
 //! walk.
+//!
+//! The item-set engine lives in the owned (crate-internal) `RuleTables` so that the borrowing
+//! [`VpgParser`] and the owned, serializable
+//! [`crate::compiled::CompiledGrammar`] share one implementation; the compiled
+//! artifact additionally interns the reachable item sets into a transition
+//! table so its hot path never rebuilds them.
 
 use std::collections::{HashMap, HashSet};
 
@@ -34,28 +40,13 @@ use vstar_vpl::{Kind, NonterminalId, RuleRhs, TaggedChar, Vpg};
 use crate::error::ParseError;
 use crate::tree::{ParseStep, ParseTree};
 
-/// A compiled recognizer/parser for one [`Vpg`].
-///
-/// Construction indexes the grammar's rules by left-hand side and shape;
-/// recognition and parsing borrow the grammar, so the parser is cheap to build
-/// and free to clone.
-///
-/// # Example
-///
-/// ```
-/// use vstar_parser::VpgParser;
-/// use vstar_vpl::grammar::figure1_grammar;
-///
-/// let grammar = figure1_grammar();
-/// let parser = VpgParser::new(&grammar);
-/// assert!(parser.recognize("agcdcdhbcd"));
-/// let tree = parser.parse("agcdcdhbcd").unwrap();
-/// assert_eq!(tree.yielded(), "agcdcdhbcd");
-/// assert!(tree.validate(&grammar));
-/// ```
-#[derive(Clone, Debug)]
-pub struct VpgParser<'g> {
-    vpg: &'g Vpg,
+/// The rule indexes of one grammar, owned: nullability, linear alternatives
+/// and matching alternatives per nonterminal, plus the start symbol. This is
+/// the whole state the derivative recognizer/parser needs, detached from the
+/// [`Vpg`] it was built from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct RuleTables {
+    start: NonterminalId,
     nullable: Vec<bool>,
     /// Linear alternatives `(plain, next)` per nonterminal.
     linear: Vec<Vec<(char, NonterminalId)>>,
@@ -88,10 +79,9 @@ enum Back {
     Close { outer: u32, inner: u32, alt: u32, call_state: u32 },
 }
 
-impl<'g> VpgParser<'g> {
-    /// Compiles a parser for `vpg`.
-    #[must_use]
-    pub fn new(vpg: &'g Vpg) -> Self {
+impl RuleTables {
+    /// Indexes the grammar's rules by left-hand side and shape.
+    pub(crate) fn new(vpg: &Vpg) -> Self {
         let n = vpg.nonterminal_count();
         let mut linear = vec![Vec::new(); n];
         let mut matching = vec![Vec::new(); n];
@@ -104,26 +94,31 @@ impl<'g> VpgParser<'g> {
                 }
             }
         }
-        VpgParser { vpg, nullable: vpg.nullables(), linear, matching }
+        RuleTables { start: vpg.start(), nullable: vpg.nullables(), linear, matching }
     }
 
-    /// The grammar this parser was compiled from.
-    #[must_use]
-    pub fn vpg(&self) -> &'g Vpg {
-        self.vpg
+    pub(crate) fn start(&self) -> NonterminalId {
+        self.start
     }
 
-    /// Returns `true` if the grammar derives `s` (tagged with the grammar's own
-    /// tagging).
-    #[must_use]
-    pub fn recognize(&self, s: &str) -> bool {
-        self.recognize_tagged(&self.vpg.tagging().tag(s))
+    pub(crate) fn nullable(&self, nt: NonterminalId) -> bool {
+        self.nullable[nt.0]
+    }
+
+    pub(crate) fn linear_alts(&self, nt: NonterminalId) -> &[(char, NonterminalId)] {
+        &self.linear[nt.0]
+    }
+
+    pub(crate) fn matching_alts(
+        &self,
+        nt: NonterminalId,
+    ) -> &[(char, NonterminalId, char, NonterminalId)] {
+        &self.matching[nt.0]
     }
 
     /// Returns `true` if the grammar derives the tagged word.
-    #[must_use]
-    pub fn recognize_tagged(&self, input: &[TaggedChar]) -> bool {
-        let start = self.vpg.start();
+    pub(crate) fn recognize_tagged(&self, input: &[TaggedChar]) -> bool {
+        let start = self.start;
         let mut cur: Vec<(NonterminalId, NonterminalId)> = vec![(start, start)];
         let mut stack: Vec<(Vec<(NonterminalId, NonterminalId)>, char)> = Vec::new();
         let mut seen: HashSet<(NonterminalId, NonterminalId)> = HashSet::new();
@@ -182,29 +177,10 @@ impl<'g> VpgParser<'g> {
         stack.is_empty() && cur.iter().any(|&(_, m)| self.nullable[m.0])
     }
 
-    /// Parses `s` (tagged with the grammar's own tagging) into a derivation.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`ParseError`] locating the failure when `s` is not derivable.
-    pub fn parse(&self, s: &str) -> Result<ParseTree, ParseError> {
-        self.parse_tagged(&self.vpg.tagging().tag(s))
-    }
-
-    /// Parses a tagged word into a derivation of the grammar.
-    ///
-    /// The forward pass is the same derivative computation as
-    /// [`VpgParser::recognize_tagged`] with per-position item sets retained;
-    /// the returned tree is extracted backward from an accepting item and
-    /// always satisfies `tree.validate(self.vpg())` and
-    /// `tree.yielded() == untag(input)`.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`ParseError`] locating the failure when the word is not
-    /// derivable.
-    pub fn parse_tagged(&self, input: &[TaggedChar]) -> Result<ParseTree, ParseError> {
-        let start = self.vpg.start();
+    /// Parses a tagged word into a derivation of the grammar (see
+    /// [`VpgParser::parse_tagged`]).
+    pub(crate) fn parse_tagged(&self, input: &[TaggedChar]) -> Result<ParseTree, ParseError> {
+        let start = self.start;
         // states[i] is the item set after consuming i symbols.
         let mut states: Vec<Vec<Item>> =
             vec![vec![Item { origin: start, cur: start, back: Back::Open }]];
@@ -244,7 +220,7 @@ impl<'g> VpgParser<'g> {
                 }
                 Kind::Return => {
                     let Some(call_state) = stack.pop() else {
-                        return Err(ParseError::UnmatchedReturn { position: t });
+                        return Err(ParseError::unmatched_return(t));
                     };
                     let call_ch = input[call_state as usize].ch;
                     // First ε-closing item per body origin.
@@ -281,18 +257,18 @@ impl<'g> VpgParser<'g> {
                 }
             }
             if next.is_empty() {
-                return Err(ParseError::Stuck { position: t });
+                return Err(ParseError::stuck(t));
             }
             states.push(next);
         }
 
         if let Some(&call_state) = stack.last() {
-            return Err(ParseError::UnmatchedCall { position: call_state as usize });
+            return Err(ParseError::unmatched_call(call_state as usize));
         }
         let accepting = states[input.len()]
             .iter()
             .position(|item| self.nullable[item.cur.0])
-            .ok_or(ParseError::Incomplete)?;
+            .ok_or_else(ParseError::incomplete)?;
         Ok(self.extract(input, &states, input.len(), accepting as u32))
     }
 
@@ -363,6 +339,85 @@ impl<'g> VpgParser<'g> {
     }
 }
 
+/// A compiled recognizer/parser for one [`Vpg`].
+///
+/// Construction indexes the grammar's rules by left-hand side and shape;
+/// recognition and parsing borrow the grammar, so the parser is cheap to build
+/// and free to clone. For an owned, serializable artifact that needs no
+/// borrows (and precomputes the item-set transitions into lookup tables), see
+/// [`crate::compiled::CompiledGrammar`].
+///
+/// # Example
+///
+/// ```
+/// use vstar_parser::VpgParser;
+/// use vstar_vpl::grammar::figure1_grammar;
+///
+/// let grammar = figure1_grammar();
+/// let parser = VpgParser::new(&grammar);
+/// assert!(parser.recognize("agcdcdhbcd"));
+/// let tree = parser.parse("agcdcdhbcd").unwrap();
+/// assert_eq!(tree.yielded(), "agcdcdhbcd");
+/// assert!(tree.validate(&grammar));
+/// ```
+#[derive(Clone, Debug)]
+pub struct VpgParser<'g> {
+    vpg: &'g Vpg,
+    tables: RuleTables,
+}
+
+impl<'g> VpgParser<'g> {
+    /// Compiles a parser for `vpg`.
+    #[must_use]
+    pub fn new(vpg: &'g Vpg) -> Self {
+        VpgParser { vpg, tables: RuleTables::new(vpg) }
+    }
+
+    /// The grammar this parser was compiled from.
+    #[must_use]
+    pub fn vpg(&self) -> &'g Vpg {
+        self.vpg
+    }
+
+    /// Returns `true` if the grammar derives `s` (tagged with the grammar's own
+    /// tagging).
+    #[must_use]
+    pub fn recognize(&self, s: &str) -> bool {
+        self.recognize_tagged(&self.vpg.tagging().tag(s))
+    }
+
+    /// Returns `true` if the grammar derives the tagged word.
+    #[must_use]
+    pub fn recognize_tagged(&self, input: &[TaggedChar]) -> bool {
+        self.tables.recognize_tagged(input)
+    }
+
+    /// Parses `s` (tagged with the grammar's own tagging) into a derivation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] locating the failure when `s` is not derivable.
+    pub fn parse(&self, s: &str) -> Result<ParseTree, ParseError> {
+        self.parse_tagged(&self.vpg.tagging().tag(s))
+    }
+
+    /// Parses a tagged word into a derivation of the grammar.
+    ///
+    /// The forward pass is the same derivative computation as
+    /// [`VpgParser::recognize_tagged`] with per-position item sets retained;
+    /// the returned tree is extracted backward from an accepting item and
+    /// always satisfies `tree.validate(self.vpg())` and
+    /// `tree.yielded() == untag(input)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] locating the failure when the word is not
+    /// derivable.
+    pub fn parse_tagged(&self, input: &[TaggedChar]) -> Result<ParseTree, ParseError> {
+        self.tables.parse_tagged(input)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,16 +452,16 @@ mod tests {
         let g = figure1_grammar();
         let p = VpgParser::new(&g);
         // 'x' is not derivable anywhere.
-        assert_eq!(p.parse("cx"), Err(ParseError::Stuck { position: 1 }));
+        assert_eq!(p.parse("cx"), Err(ParseError::stuck(1)));
         // A bare return symbol.
-        assert_eq!(p.parse("b"), Err(ParseError::UnmatchedReturn { position: 0 }));
-        assert_eq!(p.parse("cdb"), Err(ParseError::UnmatchedReturn { position: 2 }));
+        assert_eq!(p.parse("b"), Err(ParseError::unmatched_return(0)));
+        assert_eq!(p.parse("cdb"), Err(ParseError::unmatched_return(2)));
         // An unclosed call.
-        assert_eq!(p.parse("ag"), Err(ParseError::UnmatchedCall { position: 1 }));
+        assert_eq!(p.parse("ag"), Err(ParseError::unmatched_call(1)));
         // "c" must continue with 'd': every symbol consumed, nothing accepting.
-        assert_eq!(p.parse("c"), Err(ParseError::Incomplete));
+        assert_eq!(p.parse("c"), Err(ParseError::incomplete()));
         // ‹a with a body that cannot start: A requires ‹g.
-        assert_eq!(p.parse("ab"), Err(ParseError::Stuck { position: 1 }));
+        assert_eq!(p.parse("ab"), Err(ParseError::stuck(1)));
     }
 
     #[test]
@@ -463,7 +518,7 @@ mod tests {
         let g = b.build(s).unwrap();
         let p = VpgParser::new(&g);
         assert!(!p.recognize(""));
-        assert_eq!(p.parse(""), Err(ParseError::Incomplete));
+        assert_eq!(p.parse(""), Err(ParseError::incomplete()));
         assert!(p.recognize("()"));
     }
 

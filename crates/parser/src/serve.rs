@@ -1,0 +1,324 @@
+//! Serving entry points of a [`CompiledGrammar`]: incremental sessions and
+//! sharded batches.
+//!
+//! * [`Session`] is a zero-allocation-on-the-hot-path incremental recognizer:
+//!   feed it input as it arrives ([`Session::push_bytes`] /
+//!   [`Session::push_str`]) and ask for the verdict at the end
+//!   ([`Session::finish`]). A session holds only the automaton state, the
+//!   stack (whose buffer is reused across [`Session::reset`]) and a 4-byte
+//!   UTF-8 carry buffer, so long-lived serving loops allocate nothing per
+//!   input after warm-up.
+//! * [`CompiledGrammar::parse_batch`] / [`CompiledGrammar::recognize_batch`]
+//!   shard a batch across scoped threads. `CompiledGrammar` is `Send + Sync`,
+//!   so the shards share one artifact without cloning or locking.
+
+use std::thread;
+
+use crate::compiled::CompiledGrammar;
+use crate::error::ParseError;
+use crate::tree::ParseTree;
+
+/// An incremental, resumable recognizer over one [`CompiledGrammar`].
+///
+/// Sessions run at the *word* level (the grammar's own alphabet): for a
+/// character-mode grammar that is the raw input; for a token-mode grammar it
+/// is the converted word (see [`CompiledGrammar::converted_word`]), since
+/// tokenization needs lookahead that contradicts byte-at-a-time streaming.
+///
+/// # Example
+///
+/// ```
+/// use vstar_parser::CompiledGrammar;
+/// use vstar_vpl::grammar::figure1_grammar;
+///
+/// let compiled = CompiledGrammar::from_vpg(&figure1_grammar()).unwrap();
+/// let mut session = compiled.session();
+/// session.push_str("agcd");
+/// session.push_str("cdhbcd");
+/// assert!(session.finish());
+/// session.reset();
+/// session.push_bytes(b"ag");
+/// assert!(!session.finish()); // the call is still open
+/// ```
+#[derive(Clone, Debug)]
+pub struct Session<'c> {
+    grammar: &'c CompiledGrammar,
+    state: u32,
+    stack: Vec<u32>,
+    dead: bool,
+    /// Bytes of an incomplete UTF-8 sequence spanning a `push_bytes` boundary.
+    carry: [u8; 4],
+    carry_len: u8,
+}
+
+impl<'c> Session<'c> {
+    fn new(grammar: &'c CompiledGrammar) -> Self {
+        Session {
+            grammar,
+            state: grammar.word_start(),
+            stack: Vec::new(),
+            dead: false,
+            carry: [0; 4],
+            carry_len: 0,
+        }
+    }
+
+    /// Feeds one decoded character to the automaton.
+    fn step_char(&mut self, ch: char) {
+        if !self.dead && !self.grammar.word_step(&mut self.state, &mut self.stack, ch) {
+            self.dead = true;
+        }
+    }
+
+    /// Feeds a chunk of UTF-8 bytes. Chunks may split multi-byte characters
+    /// anywhere; invalid UTF-8 marks the session dead (it will never accept).
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        let mut rest = bytes;
+        if self.dead {
+            return;
+        }
+        // Complete a character left over from the previous chunk.
+        while self.carry_len > 0 && !rest.is_empty() {
+            let need = match utf8_len(self.carry[0]) {
+                Some(n) => n,
+                None => {
+                    self.dead = true;
+                    return;
+                }
+            };
+            let take = (need - self.carry_len as usize).min(rest.len());
+            self.carry[self.carry_len as usize..self.carry_len as usize + take]
+                .copy_from_slice(&rest[..take]);
+            self.carry_len += take as u8;
+            rest = &rest[take..];
+            if self.carry_len as usize == need {
+                match std::str::from_utf8(&self.carry[..need]) {
+                    Ok(s) => {
+                        let ch = s.chars().next().expect("one complete character");
+                        self.carry_len = 0;
+                        self.step_char(ch);
+                        if self.dead {
+                            return;
+                        }
+                    }
+                    Err(_) => {
+                        self.dead = true;
+                        return;
+                    }
+                }
+            }
+        }
+        // Bulk-decode the rest; stash a trailing incomplete sequence.
+        match std::str::from_utf8(rest) {
+            Ok(s) => {
+                for ch in s.chars() {
+                    self.step_char(ch);
+                    if self.dead {
+                        return;
+                    }
+                }
+            }
+            Err(e) => {
+                let valid = e.valid_up_to();
+                let s = std::str::from_utf8(&rest[..valid]).expect("validated prefix");
+                for ch in s.chars() {
+                    self.step_char(ch);
+                    if self.dead {
+                        return;
+                    }
+                }
+                match e.error_len() {
+                    // Genuinely invalid bytes: the input can never be a word.
+                    Some(_) => self.dead = true,
+                    // An incomplete trailing sequence: carry it over.
+                    None => {
+                        let tail = &rest[valid..];
+                        self.carry[..tail.len()].copy_from_slice(tail);
+                        self.carry_len = tail.len() as u8;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Feeds a chunk of characters.
+    pub fn push_str(&mut self, s: &str) {
+        self.push_bytes(s.as_bytes());
+    }
+
+    /// Whether the fed prefix can still extend to a member (a dead session
+    /// never accepts, whatever is pushed next).
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        !self.dead
+    }
+
+    /// The verdict for everything pushed so far: `true` iff the fed input is
+    /// a complete word of the grammar. Does not consume the session — more
+    /// input may be pushed afterwards.
+    #[must_use]
+    pub fn finish(&self) -> bool {
+        !self.dead
+            && self.carry_len == 0
+            && self.stack.is_empty()
+            && self.grammar.word_accepting(self.state)
+    }
+
+    /// Rewinds to the empty input, keeping the stack buffer (so a reused
+    /// session allocates nothing per input once warmed up).
+    pub fn reset(&mut self) {
+        self.state = self.grammar.word_start();
+        self.stack.clear();
+        self.dead = false;
+        self.carry_len = 0;
+    }
+}
+
+/// Expected byte length of a UTF-8 sequence from its lead byte.
+fn utf8_len(lead: u8) -> Option<usize> {
+    match lead {
+        0x00..=0x7f => Some(1),
+        0xc0..=0xdf => Some(2),
+        0xe0..=0xef => Some(3),
+        0xf0..=0xf7 => Some(4),
+        _ => None,
+    }
+}
+
+impl CompiledGrammar {
+    /// Starts an incremental word-level recognition [`Session`].
+    #[must_use]
+    pub fn session(&self) -> Session<'_> {
+        Session::new(self)
+    }
+
+    /// Parses every input, sharding the batch across scoped threads (the
+    /// artifact is shared by reference — no clones, no locks). Results come
+    /// back in input order; per-input failures are per-input `Err`s.
+    #[must_use]
+    pub fn parse_batch(&self, inputs: &[&str]) -> Vec<Result<ParseTree, ParseError>> {
+        self.shard_batch(inputs, |s| self.parse(s))
+    }
+
+    /// Decides membership of every input, sharding the batch across scoped
+    /// threads. Verdicts come back in input order.
+    #[must_use]
+    pub fn recognize_batch(&self, inputs: &[&str]) -> Vec<bool> {
+        self.shard_batch(inputs, |s| self.recognize(s))
+    }
+
+    /// Runs `work` over `inputs` on up to `available_parallelism` scoped
+    /// threads, preserving input order.
+    fn shard_batch<T: Send>(&self, inputs: &[&str], work: impl Fn(&str) -> T + Sync) -> Vec<T> {
+        let threads = thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(inputs.len());
+        if threads <= 1 {
+            return inputs.iter().map(|s| work(s)).collect();
+        }
+        let chunk_size = inputs.len().div_ceil(threads);
+        let work = &work;
+        let mut results: Vec<Vec<T>> = thread::scope(|scope| {
+            let handles: Vec<_> = inputs
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(|s| work(s)).collect()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("batch shard panicked")).collect()
+        });
+        let mut out = Vec::with_capacity(inputs.len());
+        for shard in &mut results {
+            out.append(shard);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstar_vpl::grammar::figure1_grammar;
+
+    #[test]
+    fn session_agrees_with_whole_string_recognition() {
+        let g = figure1_grammar();
+        let compiled = CompiledGrammar::from_vpg(&g).unwrap();
+        let terminals: Vec<char> = g.terminals().into_iter().collect();
+        let mut session = compiled.session();
+        for w in vstar_vpl::words::all_strings(&terminals, 5) {
+            session.reset();
+            for b in w.as_bytes() {
+                session.push_bytes(std::slice::from_ref(b));
+            }
+            assert_eq!(session.finish(), compiled.recognize_word(&w), "mismatch on {w:?}");
+        }
+    }
+
+    #[test]
+    fn session_handles_split_multibyte_characters() {
+        // Build a grammar whose word alphabet contains multi-byte characters
+        // (the artificial markers of token mode are 3-byte UTF-8).
+        use vstar_vpl::{Tagging, VpgBuilder};
+        let call = vstar::tokenizer::call_marker(0);
+        let ret = vstar::tokenizer::return_marker(0);
+        let tagging = Tagging::from_pairs([(call, ret)]).unwrap();
+        let mut b = VpgBuilder::new(tagging);
+        let s = b.nonterminal("S");
+        let e = b.nonterminal("E");
+        b.match_rule(s, call, e, ret, e);
+        b.empty_rule(e);
+        let g = b.build(s).unwrap();
+        let compiled = CompiledGrammar::from_vpg(&g).unwrap();
+        let word = format!("{call}{ret}");
+        assert!(compiled.recognize_word(&word));
+
+        let mut session = compiled.session();
+        for b in word.as_bytes() {
+            session.push_bytes(std::slice::from_ref(b));
+        }
+        assert!(session.finish());
+
+        // A dangling partial character never accepts.
+        session.reset();
+        session.push_bytes(&word.as_bytes()[..word.len() - 1]);
+        assert!(session.is_alive());
+        assert!(!session.finish());
+
+        // Invalid UTF-8 kills the session.
+        session.reset();
+        session.push_bytes(&[0xff]);
+        assert!(!session.is_alive());
+        session.push_str(&word);
+        assert!(!session.finish());
+    }
+
+    #[test]
+    fn batches_preserve_order_and_agree_with_single_calls() {
+        let g = figure1_grammar();
+        let compiled = CompiledGrammar::from_vpg(&g).unwrap();
+        let inputs: Vec<String> = (0..64)
+            .map(|k| {
+                if k % 3 == 0 {
+                    format!("{}cdcd{}cd", "ag".repeat(k % 5 + 1), "hb".repeat(k % 5 + 1))
+                } else {
+                    format!("cd{}", "x".repeat(k % 2))
+                }
+            })
+            .collect();
+        let refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+        let verdicts = compiled.recognize_batch(&refs);
+        let parses = compiled.parse_batch(&refs);
+        assert_eq!(verdicts.len(), refs.len());
+        assert_eq!(parses.len(), refs.len());
+        for ((s, v), p) in refs.iter().zip(&verdicts).zip(&parses) {
+            assert_eq!(*v, compiled.recognize(s), "verdict order broken at {s:?}");
+            assert_eq!(p.is_ok(), *v, "parse/recognize disagree at {s:?}");
+            if let Ok(tree) = p {
+                assert_eq!(tree.yielded(), *s);
+            }
+        }
+        // Empty batches are fine.
+        assert!(compiled.recognize_batch(&[]).is_empty());
+        assert!(compiled.parse_batch(&[]).is_empty());
+    }
+}

@@ -1,16 +1,21 @@
-//! Property tests for the derivative recognizer/parser and the grammar
-//! sampler (proptest, both directions required by the subsystem's contract):
+//! Property tests for the derivative recognizer/parser, the compiled serving
+//! artifact and the grammar sampler (proptest, both directions required by
+//! the subsystem's contract):
 //!
 //! * on random hypothesis VPAs, the derivative recognizer over the extracted
 //!   VPG agrees with `Vpa::accepts` on random words;
 //! * on random seeded VPGs, every sampler output is accepted by the recognizer
-//!   (and parses to a validating tree that yields the sample back).
+//!   (and parses to a validating tree that yields the sample back);
+//! * on random VPGs, `CompiledGrammar` (table-driven) agrees with the
+//!   uncompiled `VpgParser` (item sets rebuilt per position) on recognition,
+//!   parse trees and serialization round trips, and the byte-at-a-time
+//!   streaming `Session` agrees with whole-string recognition.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use vstar_parser::{GrammarSampler, VpgParser};
+use vstar_parser::{CompiledGrammar, GrammarSampler, VpgParser};
 use vstar_vpl::{vpa_to_vpg, Tagging, Vpa, Vpg, VpgBuilder};
 
 const CALLS: [char; 2] = ['(', '['];
@@ -181,6 +186,54 @@ proptest! {
         for _ in 0..8 {
             let w = random_word(&mut rng, 12);
             prop_assert!(parser.recognize(&w) == vpg.accepts(&w), "word {:?} on vpg seed {}", w, seed);
+        }
+    }
+
+    /// The compiled artifact agrees with the uncompiled parser on random
+    /// grammars and random words — recognition, parse trees and the
+    /// serialization round trip all coincide.
+    #[test]
+    fn compiled_agrees_with_uncompiled(seed in 0u64..4000, word_seed in 0u64..4000) {
+        let vpg = random_vpg(seed);
+        let parser = VpgParser::new(&vpg);
+        let compiled = CompiledGrammar::from_vpg(&vpg).expect("small grammars compile");
+        let reloaded = CompiledGrammar::from_json(&compiled.to_json()).expect("round trip");
+        let mut rng = StdRng::seed_from_u64(word_seed);
+        for _ in 0..8 {
+            let w = random_word(&mut rng, 14);
+            let expected = parser.recognize(&w);
+            prop_assert!(compiled.recognize(&w) == expected, "word {:?} on vpg seed {}", w, seed);
+            prop_assert!(compiled.recognize_word(&w) == expected, "word-level {:?} on seed {}", w, seed);
+            prop_assert!(reloaded.recognize(&w) == expected, "reloaded {:?} on seed {}", w, seed);
+            match (compiled.parse(&w), parser.parse(&w)) {
+                (Ok(a), Ok(b)) => prop_assert!(a == b, "trees differ on {:?} (seed {})", w, seed),
+                (Err(a), Err(b)) => {
+                    prop_assert!(a.kind() == b.kind(), "error kinds differ on {:?}", w);
+                    prop_assert!(a.position() == b.position(), "positions differ on {:?}", w);
+                }
+                (a, b) => prop_assert!(false, "parse verdicts differ on {:?}: {:?} vs {:?}", w, a, b),
+            }
+        }
+    }
+
+    /// The streaming `Session`, fed one byte at a time across arbitrary chunk
+    /// boundaries, agrees with whole-string recognition.
+    #[test]
+    fn session_agrees_with_whole_string(seed in 0u64..4000, word_seed in 0u64..4000) {
+        let vpg = random_vpg(seed);
+        let compiled = CompiledGrammar::from_vpg(&vpg).expect("small grammars compile");
+        let mut rng = StdRng::seed_from_u64(word_seed);
+        let mut session = compiled.session();
+        for _ in 0..8 {
+            let w = random_word(&mut rng, 14);
+            session.reset();
+            for b in w.as_bytes() {
+                session.push_bytes(std::slice::from_ref(b));
+            }
+            prop_assert!(
+                session.finish() == compiled.recognize_word(&w),
+                "streaming mismatch on {:?} (seed {})", w, seed
+            );
         }
     }
 }

@@ -12,8 +12,6 @@
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 
-use rand::Rng;
-
 use crate::error::VplError;
 use crate::nested::matching_positions;
 use crate::symbol::Kind;
@@ -414,12 +412,6 @@ impl Vpg {
         langs[self.start.0].iter().cloned().collect()
     }
 
-    /// Creates a random sampler over this grammar.
-    #[must_use]
-    pub fn sampler(&self) -> VpgSampler<'_> {
-        VpgSampler { vpg: self, min: self.min_lengths() }
-    }
-
     /// The set of terminals occurring in the grammar's rules.
     #[must_use]
     pub fn terminals(&self) -> BTreeSet<char> {
@@ -538,83 +530,6 @@ impl fmt::Display for Vpg {
     }
 }
 
-/// Random sentence sampler for a [`Vpg`], used to build precision datasets and
-/// test-string pools.
-#[derive(Clone, Debug)]
-pub struct VpgSampler<'g> {
-    vpg: &'g Vpg,
-    min: Vec<Option<usize>>,
-}
-
-impl<'g> VpgSampler<'g> {
-    /// Samples one sentence. `budget` bounds the expansion: once the remaining
-    /// budget is lower than the cheapest alternative's cost, the sampler greedily
-    /// picks the shortest completion, guaranteeing termination.
-    ///
-    /// Returns `None` if the start nonterminal is unproductive.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, budget: usize) -> Option<String> {
-        self.min[self.vpg.start.0]?;
-        let mut out = String::new();
-        self.expand(self.vpg.start, rng, budget, &mut out)?;
-        Some(out)
-    }
-
-    /// Samples `count` sentences (duplicates possible), skipping failed expansions.
-    pub fn sample_many<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        budget: usize,
-        count: usize,
-    ) -> Vec<String> {
-        (0..count).filter_map(|_| self.sample(rng, budget)).collect()
-    }
-
-    fn rhs_min(&self, rhs: RuleRhs) -> Option<usize> {
-        match rhs {
-            RuleRhs::Empty => Some(0),
-            RuleRhs::Linear { next, .. } => self.min[next.0].map(|m| m + 1),
-            RuleRhs::Match { inner, next, .. } => match (self.min[inner.0], self.min[next.0]) {
-                (Some(a), Some(b)) => Some(a + b + 2),
-                _ => None,
-            },
-        }
-    }
-
-    fn expand<R: Rng + ?Sized>(
-        &self,
-        nt: NonterminalId,
-        rng: &mut R,
-        budget: usize,
-        out: &mut String,
-    ) -> Option<usize> {
-        let alts: Vec<(RuleRhs, usize)> =
-            self.vpg.rules[nt.0].iter().filter_map(|&r| self.rhs_min(r).map(|m| (r, m))).collect();
-        if alts.is_empty() {
-            return None;
-        }
-        // Alternatives that fit in the budget; otherwise fall back to the cheapest.
-        let fitting: Vec<&(RuleRhs, usize)> = alts.iter().filter(|(_, m)| *m <= budget).collect();
-        let (rhs, _) = if fitting.is_empty() {
-            *alts.iter().min_by_key(|(_, m)| *m).expect("nonempty")
-        } else {
-            *fitting[rng.gen_range(0..fitting.len())]
-        };
-        match rhs {
-            RuleRhs::Empty => Some(budget),
-            RuleRhs::Linear { plain, next } => {
-                out.push(plain);
-                self.expand(next, rng, budget.saturating_sub(1), out)
-            }
-            RuleRhs::Match { call, inner, ret, next } => {
-                out.push(call);
-                let remaining = self.expand(inner, rng, budget.saturating_sub(2), out)?;
-                out.push(ret);
-                self.expand(next, rng, remaining, out)
-            }
-        }
-    }
-}
-
 /// Builds the paper's Figure 1 running-example grammar:
 /// `L → ‹a A b› L | c B | ε`, `A → ‹g L h› E`, `B → d L`, `E → ε`.
 ///
@@ -641,8 +556,6 @@ pub fn figure1_grammar() -> Vpg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn figure1_accepts_seed_string() {
@@ -745,19 +658,6 @@ mod tests {
             let in_enum = words.contains(&w);
             assert_eq!(g.accepts(&w), in_enum, "mismatch on {w:?}");
         }
-    }
-
-    #[test]
-    fn sampler_produces_members() {
-        let g = figure1_grammar();
-        let sampler = g.sampler();
-        let mut rng = StdRng::seed_from_u64(7);
-        for _ in 0..200 {
-            let s = sampler.sample(&mut rng, 30).unwrap();
-            assert!(g.accepts(&s), "sampled string {s:?} must be in the language");
-        }
-        let many = sampler.sample_many(&mut rng, 20, 50);
-        assert_eq!(many.len(), 50);
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! * [`Tagging`] — a tagging function `t : Σ → Σ̂` with uniquely paired call/return
 //!   symbols (paper §4.1, "Unique Pairing" assumption).
 //! * [`Vpg`] — well-matched visibly pushdown grammars (paper Definition 3.1), with a
-//!   recognizer, a random sampler and bounded enumeration.
+//!   recognizer and bounded enumeration (random sampling lives downstream, in
+//!   `vstar_parser`'s `GrammarSampler`).
 //! * [`Vpa`] — deterministic visibly pushdown automata (paper §3.3) with
 //!   configuration-level execution.
 //! * [`nested`] — matching/nesting analysis of tagged strings (well-matchedness,
@@ -50,7 +51,7 @@ pub mod vpa_to_vpg;
 pub mod words;
 
 pub use error::VplError;
-pub use grammar::{NonterminalId, RuleRhs, Vpg, VpgBuilder, VpgSampler};
+pub use grammar::{NonterminalId, RuleRhs, Vpg, VpgBuilder};
 pub use symbol::{Kind, TaggedChar};
 pub use tagging::Tagging;
 pub use vpa::{StateId, Vpa, VpaBuilder};

@@ -35,9 +35,10 @@ fn main() {
     let learned = result.as_learned_language();
     let r = recall(|s| learned.accepts(&mat, s), &corpus);
 
-    let sampler = result.vpg.sampler();
-    let samples: Vec<String> = (0..800)
-        .filter_map(|_| sampler.sample(&mut rng, 18))
+    let sampler = vstar_parser::GrammarSampler::new(&result.vpg);
+    let samples: Vec<String> = sampler
+        .sample_many(&mut rng, 18, 800)
+        .into_iter()
         .map(|s| vstar::tokenizer::strip_markers(&s))
         .take(200)
         .collect();

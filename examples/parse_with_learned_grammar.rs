@@ -2,11 +2,12 @@
 //!
 //! Learns the JSON input language from the bundled black-box recognizer, then
 //! uses `vstar_parser` to turn the learned grammar into a working parser:
-//! raw strings are converted with the inferred tokenizer, parsed with the
-//! derivative-based VPG parser into explicit parse trees, and rejected inputs
-//! come back with a position-carrying parse error. Finally the grammar sampler
-//! generates fresh members — the sample → parse → accept loop that grammar-
-//! directed fuzzing builds on.
+//! raw strings are parsed with the derivative-based VPG parser into explicit
+//! parse trees, and rejected inputs come back with a parse error carrying the
+//! raw-input byte span. Finally the grammar sampler generates fresh members —
+//! the sample → parse → accept loop that grammar-directed fuzzing builds on.
+//! (For the serving-side workflow — compile/save/load/batch — see the
+//! `serve_compiled_grammar` example.)
 //!
 //! Run with: `cargo run --example parse_with_learned_grammar --release`
 
@@ -15,7 +16,7 @@ use rand::SeedableRng;
 
 use vstar::{Mat, VStar, VStarConfig};
 use vstar_oracles::{Json, Language};
-use vstar_parser::{GrammarSampler, LearnedParser};
+use vstar_parser::{CompileLearned, GrammarSampler, LearnedParser};
 
 fn main() {
     let lang = Json::new();
@@ -45,13 +46,23 @@ fn main() {
     );
     assert!(tree.validate(learned.vpg()));
 
-    // Parse errors locate the failure in the converted word.
+    // Parse errors locate the failure in the converted word *and* carry the
+    // raw-input byte span of the offending fragment.
     for bad in ["{\"a\":1", "[1,2,,3]"] {
         match parser.parse(&mat, bad) {
             Ok(_) => println!("unexpectedly parsed {bad:?}"),
             Err(e) => println!("rejected {bad:?}: {e}"),
         }
     }
+
+    // The same grammar compiles into an owned artifact that parses without
+    // the Mat; the uncompiled and compiled paths agree.
+    let compiled = result.compile().expect("learned grammar compiles");
+    assert!(compiled.recognize(doc));
+    println!(
+        "compiled artifact agrees on {doc:?} with {} automaton states",
+        compiled.automaton_states()
+    );
 
     // Sample → parse → accept: grammar-sampler output always parses back.
     let sampler = GrammarSampler::new(learned.vpg());

@@ -64,3 +64,8 @@ fn parse_with_learned_grammar_runs() {
 fn fuzz_learned_grammar_runs() {
     run_example("fuzz_learned_grammar");
 }
+
+#[test]
+fn serve_compiled_grammar_runs() {
+    run_example("serve_compiled_grammar");
+}

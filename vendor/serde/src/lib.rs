@@ -41,6 +41,82 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// The value of an object's field, if `self` is an object that has it.
+    /// When a key repeats, the first occurrence wins.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if `self` is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer as `i64`, if `self` is an integer that fits.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => i64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The integer as `u64`, if `self` is a non-negative integer that fits.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64` (integers convert), if `self` is numeric.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if `self` is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The items, if `self` is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields in declaration order, if `self` is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
 /// Types that can render themselves into a [`Value`] tree.
 ///
 /// Derivable for structs with named fields via `#[derive(Serialize)]`.
@@ -162,6 +238,26 @@ mod tests {
         assert_eq!(fields[0], ("x".to_string(), Value::Int(3)));
         assert_eq!(fields[1], ("y".to_string(), Value::Null));
         assert_eq!(fields[2], ("label".to_string(), Value::Str("origin-ish".into())));
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Object(vec![
+            ("n".into(), Value::Int(7)),
+            ("s".into(), Value::Str("hi".into())),
+            ("xs".into(), Value::Array(vec![Value::Bool(true)])),
+        ]);
+        assert_eq!(v.get("n").and_then(Value::as_i64), Some(7));
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(7));
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(7.0));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("hi"));
+        assert_eq!(v.get("xs").and_then(Value::as_array).map(<[Value]>::len), Some(1));
+        assert_eq!(v.get("xs").unwrap().as_array().unwrap()[0].as_bool(), Some(true));
+        assert!(v.get("missing").is_none());
+        assert_eq!(v.as_object().map(<[(String, Value)]>::len), Some(3));
+        assert!(Value::Null.get("n").is_none());
+        assert!(Value::Int(1).as_str().is_none());
+        assert!(Value::Int(-1).as_u64().is_none());
     }
 
     #[test]

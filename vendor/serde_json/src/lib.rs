@@ -1,9 +1,12 @@
 //! Offline stand-in for the [`serde_json`](https://crates.io/crates/serde_json)
-//! crate: formats the vendored `serde` [`serde::Value`] tree as JSON.
+//! crate: formats the vendored `serde` [`serde::Value`] tree as JSON and
+//! parses JSON text back into a [`serde::Value`] tree.
 //!
 //! Provides [`to_string`] and [`to_string_pretty`] (2-space indent, `": "` key
-//! separator — the same layout the real crate emits), which is the entire
-//! surface the workspace uses.
+//! separator — the same layout the real crate emits) plus [`from_str`], which
+//! is the entire surface the workspace uses. Where the real crate deserializes
+//! through `Deserialize` impls, callers here decode the self-describing
+//! [`serde::Value`] tree with its accessor helpers (`get`, `as_str`, …).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -125,6 +128,296 @@ fn write_sequence(
     Ok(())
 }
 
+/// Parses JSON text into a [`Value`] tree.
+///
+/// Supports the full JSON grammar (objects, arrays, strings with escapes and
+/// `\uXXXX` sequences including surrogate pairs, numbers, booleans, `null`).
+/// Integral numbers that fit an `i128` parse to [`Value::Int`]; everything
+/// else numeric parses to [`Value::Float`]. Duplicate object keys keep their
+/// textual order (the data model stores fields as an ordered list).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the byte offset and what went wrong when
+/// the text is not valid JSON or when anything but whitespace follows the
+/// top-level value.
+pub fn from_str(text: &str) -> Result<Value, ParseError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_whitespace();
+    let value = p.parse_value()?;
+    p.skip_whitespace();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after the top-level value"));
+    }
+    Ok(value)
+}
+
+/// Errors from JSON parsing, carrying the byte offset of the failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where parsing failed.
+    pub offset: usize,
+    /// What the parser expected or found.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError { offset: self.pos, message: message.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {:?}", char::from(c))))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            match c {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(esc) = self.peek() else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.parse_unicode_escape()?),
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                0x00..=0x1f => return Err(self.error("unescaped control character")),
+                _ => {
+                    // Copy one UTF-8 scalar (the input is a &str, so boundaries
+                    // are trustworthy).
+                    let len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let slice = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or_else(|| self.error("truncated UTF-8 sequence"))?;
+                    out.push_str(
+                        std::str::from_utf8(slice)
+                            .map_err(|_| self.error("invalid UTF-8 inside string"))?,
+                    );
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u16, ParseError> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.error("truncated \\u escape"))?;
+        // from_str_radix would also accept a leading '+', which JSON forbids.
+        if !slice.iter().all(u8::is_ascii_hexdigit) {
+            return Err(self.error("bad \\u escape digits"));
+        }
+        let text = std::str::from_utf8(slice).expect("hex digits are ASCII");
+        let v = u16::from_str_radix(text, 16).map_err(|_| self.error("bad \\u escape digits"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn parse_unicode_escape(&mut self) -> Result<char, ParseError> {
+        let hi = self.parse_hex4()?;
+        if (0xd800..0xdc00).contains(&hi) {
+            // High surrogate: a low surrogate escape must follow.
+            if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+                self.pos += 2;
+                let lo = self.parse_hex4()?;
+                if !(0xdc00..0xe000).contains(&lo) {
+                    return Err(self.error("expected a low surrogate"));
+                }
+                let c = 0x10000 + ((u32::from(hi) - 0xd800) << 10) + (u32::from(lo) - 0xdc00);
+                return char::from_u32(c).ok_or_else(|| self.error("invalid surrogate pair"));
+            }
+            return Err(self.error("lone high surrogate"));
+        }
+        if (0xdc00..0xe000).contains(&hi) {
+            return Err(self.error("lone low surrogate"));
+        }
+        char::from_u32(u32::from(hi)).ok_or_else(|| self.error("invalid \\u escape"))
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.error("expected a digit")),
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected a digit after '.'"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected a digit in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number chars are ASCII");
+        if integral {
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        // Rust's f64 FromStr saturates huge literals to infinity; JSON (and
+        // the serializer above, which rejects non-finite floats) cannot
+        // represent those, so refuse them here for a clean round trip.
+        match text.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Value::Float(x)),
+            Ok(_) => Err(ParseError { offset: start, message: "number out of range".to_string() }),
+            Err(_) => Err(ParseError { offset: start, message: "malformed number".to_string() }),
+        }
+    }
+}
+
 fn write_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -189,5 +482,69 @@ mod tests {
     fn non_finite_floats_error() {
         assert!(to_string(&f64::NAN).is_err());
         assert!(to_string(&f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn parse_round_trips_serialized_values() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("v*".into())),
+            ("stats".into(), Value::Array(vec![Value::Int(1), Value::Float(2.5), Value::Null])),
+            ("ok".into(), Value::Bool(true)),
+            ("esc".into(), Value::Str("a\"b\\c\nd\tμ".into())),
+        ]);
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            assert_eq!(from_str(&text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn parse_scalars_and_numbers() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("-42").unwrap(), Value::Int(-42));
+        assert_eq!(from_str("0").unwrap(), Value::Int(0));
+        assert_eq!(from_str("2.5e2").unwrap(), Value::Float(250.0));
+        assert_eq!(from_str("1e-1").unwrap(), Value::Float(0.1));
+        assert_eq!(from_str("\"\\u00e9\"").unwrap(), Value::Str("é".into()));
+        assert_eq!(from_str("\"\\ud83d\\ude00\"").unwrap(), Value::Str("😀".into()));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "01",
+            "1.",
+            "tru",
+            "\"abc",
+            "\"\\q\"",
+            "1 2",
+            "nul",
+            "[1 2]",
+            "{\"a\":1,}",
+            "\"\\ud800x\"",
+            "+1",
+            "\"\\u+fff\"",
+            "\"\\u00g1\"",
+            "1e999",
+            "-1e999",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
+        let err = from_str("[1,").unwrap_err();
+        assert!(err.to_string().contains("byte 3"), "{err}");
+    }
+
+    #[test]
+    fn parse_preserves_object_field_order() {
+        let Value::Object(fields) = from_str("{\"b\":1,\"a\":2}").unwrap() else {
+            panic!("expected an object");
+        };
+        assert_eq!(fields[0].0, "b");
+        assert_eq!(fields[1].0, "a");
     }
 }
