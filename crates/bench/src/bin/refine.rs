@@ -1,0 +1,292 @@
+//! Counterexample-guided refinement across the Table-1 languages.
+//!
+//! For each selected grammar the binary (1) learns the language with the
+//! plain V-Star pipeline and fuzzes the result (the *pre* campaign — the
+//! precision/recall gaps PR 3 exposed), (2) re-learns with the evidence-driven
+//! equivalence oracle (`vstar::refine` + `vstar_fuzz::CampaignEvidence`),
+//! which iterates learn → fuzz → refine until the in-loop campaigns run dry,
+//! and (3) fuzzes the refined grammar at the same gate configuration (the
+//! *post* campaign). The machine-readable summary tracks the shrinkage.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p vstar_bench --bin refine -- \
+//!     [grammar ...] [--seed N] [--iterations N] [--refine-iterations N] \
+//!     [--max-campaigns N] [--budget N] [--check] [--json]
+//! ```
+//!
+//! Defaults: all five grammars, `--seed 42`, `--iterations 150` (the pre/post
+//! gate campaigns, matching CI's fuzz smoke), `--refine-iterations 300`
+//! (in-loop campaigns; at least `REFINE_MIN_ITERATIONS`), `--max-campaigns
+//! 40`, `--budget 24`. The run is fully deterministic; `BENCH_refine.json` is
+//! only (re)written by a full-grammar-set run at the default configuration.
+//!
+//! `--check` turns the run into the CI refinement gate: the process exits
+//! nonzero when any post-refinement campaign still diverges, or when — at the
+//! tracked configuration — the `while`/`json` pre campaigns fail to exhibit
+//! the known gaps the loop is supposed to repair (which would mean the gate
+//! went blind, not that the grammars got better).
+
+use serde::Serialize;
+
+use vstar::refine::{RefineConfig, RefineLog};
+use vstar_bench::cli::Args;
+use vstar_bench::{learn_learned_language, learn_refined_language, REFINE_MIN_ITERATIONS};
+use vstar_eval::DifferentialCounts;
+use vstar_fuzz::{CampaignReport, FuzzCampaign, FuzzConfig};
+use vstar_oracles::{language_by_name, table1_languages};
+
+/// File the machine-readable report is written to (current directory).
+const JSON_REPORT_PATH: &str = "BENCH_refine.json";
+
+const DEFAULT_SEED: u64 = 42;
+/// Pre/post gate-campaign iterations (CI's fuzz smoke budget).
+const DEFAULT_ITERATIONS: usize = 150;
+/// In-loop campaign iterations (the refinement evidence budget).
+const DEFAULT_REFINE_ITERATIONS: usize = REFINE_MIN_ITERATIONS;
+/// Evidence-round budget of one refinement loop.
+const DEFAULT_MAX_CAMPAIGNS: usize = 40;
+/// Sample budget of every campaign involved.
+const DEFAULT_BUDGET: usize = 24;
+
+/// Languages whose pre-refinement campaigns are required (at the tracked
+/// configuration) to exhibit the known gaps — the `--check` proof that the
+/// divergence classes *shrank to empty* rather than never being visible.
+const KNOWN_GAPPED: &[&str] = &["while", "json"];
+
+const USAGE: &str = "refine [grammar ...] [--seed N] [--iterations N] [--refine-iterations N] \
+                     [--max-campaigns N] [--budget N] [--check] [--json]";
+
+/// One campaign boiled down to the fields the refinement trajectory needs.
+#[derive(Serialize)]
+struct CampaignSummary {
+    counts: DifferentialCounts,
+    precision_estimate: f64,
+    recall_estimate: f64,
+    distinct_divergences: usize,
+    divergence_classes: Vec<String>,
+    witnesses: Vec<String>,
+}
+
+impl CampaignSummary {
+    fn of(report: &CampaignReport) -> Self {
+        let mut classes: Vec<String> = report.divergences.iter().map(|d| d.class.clone()).collect();
+        classes.sort();
+        classes.dedup();
+        CampaignSummary {
+            counts: report.counts,
+            precision_estimate: report.precision_estimate,
+            recall_estimate: report.recall_estimate,
+            distinct_divergences: report.distinct_divergences(),
+            divergence_classes: classes,
+            witnesses: report.divergences.iter().map(|d| d.minimized.clone()).collect(),
+        }
+    }
+}
+
+/// Pre/post refinement trajectory of one grammar.
+#[derive(Serialize)]
+struct GrammarRefineReport {
+    language: String,
+    pre: CampaignSummary,
+    refine: RefineLog,
+    post: CampaignSummary,
+    states_before: usize,
+    states_after: usize,
+    rules_before: usize,
+    rules_after: usize,
+}
+
+/// The tracked machine-readable summary (no wall-clock fields: reruns with
+/// the same configuration are byte-identical).
+#[derive(Serialize)]
+struct RefineBenchReport {
+    seed: u64,
+    iterations: usize,
+    refine_iterations: usize,
+    max_campaigns: usize,
+    grammars: Vec<GrammarRefineReport>,
+}
+
+fn main() {
+    let args = Args::parse_or_exit(
+        USAGE,
+        &["seed", "iterations", "refine-iterations", "max-campaigns", "budget"],
+        &["check", "json"],
+    );
+    let fail = |e: String| -> ! {
+        eprintln!("{e}\nusage: {USAGE}");
+        std::process::exit(2);
+    };
+    let seed = args.seed(DEFAULT_SEED).unwrap_or_else(|e| fail(e));
+    let iterations: usize =
+        args.parsed("iterations", DEFAULT_ITERATIONS).unwrap_or_else(|e| fail(e));
+    let refine_iterations: usize =
+        args.parsed("refine-iterations", DEFAULT_REFINE_ITERATIONS).unwrap_or_else(|e| fail(e));
+    let max_campaigns: usize =
+        args.parsed("max-campaigns", DEFAULT_MAX_CAMPAIGNS).unwrap_or_else(|e| fail(e));
+    let budget: usize = args.parsed("budget", DEFAULT_BUDGET).unwrap_or_else(|e| fail(e));
+
+    let all_names: Vec<String> = table1_languages().iter().map(|l| l.name().to_string()).collect();
+    let selected: Vec<String> =
+        if args.positionals().is_empty() { all_names.clone() } else { args.positionals().to_vec() };
+    let full_set = {
+        let mut sorted = selected.clone();
+        sorted.sort();
+        sorted.dedup();
+        let mut all_sorted = all_names.clone();
+        all_sorted.sort();
+        sorted == all_sorted
+    };
+    let tracked_config = seed == DEFAULT_SEED
+        && iterations == DEFAULT_ITERATIONS
+        && refine_iterations == DEFAULT_REFINE_ITERATIONS
+        && max_campaigns == DEFAULT_MAX_CAMPAIGNS
+        && budget == DEFAULT_BUDGET;
+
+    // The in-loop campaigns must dominate the gate campaigns: a fixed point at
+    // `refine_iterations ≥ iterations` (same seed, same budget) certifies the
+    // gate campaign clean by prefix determinism.
+    let gate_config =
+        FuzzConfig { seed, iterations, sample_budget: budget, ..FuzzConfig::default() };
+    let loop_config = FuzzConfig {
+        seed,
+        iterations: refine_iterations.max(iterations),
+        sample_budget: budget,
+        ..FuzzConfig::default()
+    };
+    let refine_config = RefineConfig { max_campaigns, ..RefineConfig::default() };
+
+    let mut grammars: Vec<GrammarRefineReport> = Vec::new();
+    for name in &selected {
+        let Some(lang) = language_by_name(name) else {
+            fail(format!("unknown grammar {name:?}; grammars: {}", all_names.join(" ")));
+        };
+        eprintln!("learning {name} (plain pipeline) …");
+        let base = learn_learned_language(lang.as_ref());
+        let pre = FuzzCampaign::new(&base, lang.as_ref(), gate_config.clone()).run();
+        eprintln!(
+            "refining {name}: pre campaign found {} divergent case(s) in {} iterations",
+            pre.counts.divergences(),
+            pre.iterations
+        );
+        let refined = learn_refined_language(lang.as_ref(), &loop_config, &refine_config);
+        let post = FuzzCampaign::new(&refined.learned, lang.as_ref(), gate_config.clone()).run();
+        eprintln!(
+            "refined {name}: {} campaign(s), {} counterexample(s) replayed, post divergences {}",
+            refined.log.campaigns_run,
+            refined.log.counterexamples_replayed(),
+            post.counts.divergences()
+        );
+        grammars.push(GrammarRefineReport {
+            language: name.clone(),
+            pre: CampaignSummary::of(&pre),
+            refine: refined.log,
+            post: CampaignSummary::of(&post),
+            states_before: base.vpa().state_count(),
+            states_after: refined.learned.vpa().state_count(),
+            rules_before: base.vpg().rule_count(),
+            rules_after: refined.learned.vpg().rule_count(),
+        });
+    }
+
+    println!("Counterexample-guided refinement of learned grammars (seed {seed})");
+    println!();
+    println!("grammar\tpreFP\tpreFN\tcampaigns\tCEs\tpostFP\tpostFN\tstates\trules");
+    for g in &grammars {
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}→{}\t{}→{}",
+            g.language,
+            g.pre.counts.false_positive,
+            g.pre.counts.false_negative,
+            g.refine.campaigns_run,
+            g.refine.counterexamples_replayed(),
+            g.post.counts.false_positive,
+            g.post.counts.false_negative,
+            g.states_before,
+            g.states_after,
+            g.rules_before,
+            g.rules_after,
+        );
+    }
+
+    let bench = RefineBenchReport {
+        seed,
+        iterations,
+        refine_iterations: loop_config.iterations,
+        max_campaigns,
+        grammars,
+    };
+    let json = serde_json::to_string_pretty(&bench).expect("report serialises");
+    if full_set && tracked_config {
+        match std::fs::write(JSON_REPORT_PATH, &json) {
+            Ok(()) => println!("wrote {JSON_REPORT_PATH}"),
+            Err(e) => eprintln!("could not write {JSON_REPORT_PATH}: {e}"),
+        }
+    } else if !full_set {
+        println!("partial grammar selection: {JSON_REPORT_PATH} left untouched");
+    } else {
+        println!("non-default configuration: {JSON_REPORT_PATH} left untouched");
+    }
+    if args.switch("json") {
+        println!("{json}");
+    }
+
+    if args.switch("check") {
+        let mut failed = false;
+        for g in &bench.grammars {
+            if g.post.counts.divergences() > 0 {
+                failed = true;
+                eprintln!(
+                    "FAIL {}: post-refinement campaign still diverges ({} FP, {} FN); \
+                     witnesses: {:?}",
+                    g.language,
+                    g.post.counts.false_positive,
+                    g.post.counts.false_negative,
+                    g.post.witnesses,
+                );
+            }
+            // "Divergence-free" must mean "probed and agreed", not "generated
+            // nothing worth classifying" — same vacuity guards as fuzz --check.
+            if g.post.counts.agree_accept == 0 {
+                failed = true;
+                eprintln!(
+                    "FAIL {}: post-refinement campaign never confirmed a single member",
+                    g.language
+                );
+            }
+            if g.post.counts.total() < iterations / 4 {
+                failed = true;
+                eprintln!(
+                    "FAIL {}: post-refinement generation starved — only {} classifiable case(s) \
+                     in {} iterations",
+                    g.language,
+                    g.post.counts.total(),
+                    iterations,
+                );
+            }
+            if g.refine.budget_exhausted {
+                eprintln!(
+                    "note {}: refinement stopped on the campaign budget, not a fixed point",
+                    g.language
+                );
+            }
+            if tracked_config
+                && KNOWN_GAPPED.contains(&g.language.as_str())
+                && g.pre.counts.divergences() == 0
+            {
+                failed = true;
+                eprintln!(
+                    "FAIL {}: pre-refinement campaign found no divergence — the gate can no \
+                     longer demonstrate the repair of the known gaps",
+                    g.language
+                );
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("check passed: all post-refinement campaigns are divergence-free");
+    }
+}

@@ -16,8 +16,69 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::mat::Mat;
+use crate::pipeline::TokenDiscovery;
 use crate::sevpa_learner::Hypothesis;
 use crate::tokenizer::PartialTokenizer;
+
+/// Everything an equivalence strategy may inspect when asked for a
+/// counterexample: the current hypothesis, the learning-time artifacts that
+/// translate between raw strings and the (converted) alphabet the hypothesis
+/// reads, and the precomputed [`TestPool`].
+///
+/// The pipeline rebuilds this view for every equivalence round, so strategies
+/// always see the *current* hypothesis.
+pub struct EquivalenceContext<'c> {
+    /// The membership teacher.
+    pub mat: &'c Mat<'c>,
+    /// The hypothesis under test.
+    pub hypothesis: &'c Hypothesis,
+    /// The inferred tokenizer (single-character literal tokens in character
+    /// mode); converts raw strings into hypothesis words.
+    pub tokenizer: &'c PartialTokenizer,
+    /// The structure-discovery mode of the run.
+    pub mode: TokenDiscovery,
+    /// The seed-derived test-string pool (the paper's simulated equivalence
+    /// check); strategies are free to consult it, wrap it, or ignore it.
+    pub pool: &'c TestPool,
+}
+
+impl EquivalenceContext<'_> {
+    /// Converts a raw string into the word the hypothesis reads: the identity
+    /// in character mode, `conv_τ(s)` in token mode.
+    #[must_use]
+    pub fn convert(&self, s: &str) -> String {
+        match self.mode {
+            TokenDiscovery::Characters => s.to_owned(),
+            TokenDiscovery::Tokens => self.tokenizer.convert(self.mat, s),
+        }
+    }
+}
+
+/// A pluggable equivalence check for the learning pipeline.
+///
+/// The pipeline's classic behaviour — scan the seed-derived [`TestPool`] for a
+/// disagreement — is [`PoolEquivalence`]; the counterexample-guided refinement
+/// loop ([`crate::refine`]) wraps that same check in an evidence-driven oracle
+/// that keeps interrogating the hypothesis after the pool runs clean.
+///
+/// Implementations return the counterexample in *converted* form (a word over
+/// the hypothesis alphabet on which hypothesis and oracle disagree), or `None`
+/// to declare the hypothesis equivalent and end learning.
+pub trait EquivalenceStrategy {
+    /// Finds a counterexample to the current hypothesis, or `None`.
+    fn find_counterexample(&mut self, cx: &EquivalenceContext<'_>) -> Option<String>;
+}
+
+/// The default strategy: simulate the equivalence query with the test-string
+/// pool exactly as the paper's §6 implementation does.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct PoolEquivalence;
+
+impl EquivalenceStrategy for PoolEquivalence {
+    fn find_counterexample(&mut self, cx: &EquivalenceContext<'_>) -> Option<String> {
+        cx.pool.find_counterexample(cx.mat, cx.hypothesis)
+    }
+}
 
 /// Configuration for test-string generation.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -21,12 +21,17 @@
 //!    Alur et al. (2005).
 //! 5. **Equivalence-query simulation** ([`equivalence`], paper §6): test strings
 //!    assembled from prefixes/infixes/suffixes of the seed strings stand in for
-//!    equivalence queries.
-//! 6. **Grammar extraction**: the learned VPA is converted to a well-matched VPG
+//!    equivalence queries, behind a pluggable [`EquivalenceStrategy`].
+//! 6. **Counterexample-guided refinement** ([`refine`], beyond the paper):
+//!    evidence sources — e.g. the differential fuzz campaigns of `vstar-fuzz` —
+//!    interrogate every pool-clean hypothesis and replay minimized divergences
+//!    into the learner until the evidence runs dry.
+//! 7. **Grammar extraction**: the learned VPA is converted to a well-matched VPG
 //!    via [`vstar_vpl::vpa_to_vpg()`].
 //!
-//! The one-call entry point is [`VStar::learn`]; see `examples/` at the workspace
-//! root for end-to-end usage on JSON, XML and the paper's running examples.
+//! The one-call entry points are [`VStar::learn`] and [`VStar::learn_refined`];
+//! see `examples/` at the workspace root for end-to-end usage on JSON, XML and
+//! the paper's running examples.
 //!
 //! ```
 //! use vstar::{Mat, VStar, VStarConfig};
@@ -62,15 +67,20 @@ mod error;
 pub mod mat;
 pub mod nesting;
 pub mod pipeline;
+pub mod refine;
 pub mod sevpa_learner;
 pub mod tag_infer;
 pub mod token_infer;
 pub mod tokenizer;
 
+pub use equivalence::{EquivalenceContext, EquivalenceStrategy, PoolEquivalence};
 pub use error::VStarError;
 pub use mat::Mat;
 pub use nesting::{candidate_nesting, NestingConfig, NestingPattern};
 pub use pipeline::{LearnedLanguage, TokenDiscovery, VStar, VStarConfig, VStarResult, VStarStats};
+pub use refine::{
+    CorpusEvidence, Evidence, EvidenceEquivalence, EvidenceSource, RefineConfig, RefineLog,
+};
 pub use sevpa_learner::{SevpaLearner, SevpaLearnerConfig, TaggedAlphabet};
 pub use tag_infer::tag_infer;
 pub use token_infer::{token_infer, TokenInferConfig};

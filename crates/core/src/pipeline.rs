@@ -11,9 +11,12 @@ use std::time::{Duration, Instant};
 
 use vstar_vpl::{vpa_to_vpg, Vpa, Vpg};
 
-use crate::equivalence::{TestPool, TestPoolConfig};
+use crate::equivalence::{
+    EquivalenceContext, EquivalenceStrategy, PoolEquivalence, TestPool, TestPoolConfig,
+};
 use crate::error::VStarError;
 use crate::mat::Mat;
+use crate::refine::{EvidenceEquivalence, EvidenceSource, RefineConfig, RefineLog};
 use crate::sevpa_learner::{Hypothesis, SevpaLearner, SevpaLearnerConfig, TaggedAlphabet};
 use crate::tag_infer::{tag_infer, TagInferConfig};
 use crate::token_infer::{token_infer, TokenInferConfig};
@@ -279,6 +282,51 @@ impl VStar {
         alphabet: &[char],
         seeds: &[String],
     ) -> Result<VStarResult, VStarError> {
+        self.learn_with_strategy(mat, alphabet, seeds, &mut PoolEquivalence)
+    }
+
+    /// Runs the full pipeline with counterexample-guided refinement: the
+    /// classic pool check is wrapped in an [`EvidenceEquivalence`] strategy so
+    /// that every pool-clean hypothesis is interrogated by `source` (e.g. a
+    /// differential fuzz campaign) and its divergences are replayed as
+    /// counterexamples, until the evidence runs dry or the budget is spent.
+    ///
+    /// Returns the learned artifacts together with the [`RefineLog`]
+    /// describing what the refinement loop did.
+    ///
+    /// # Errors
+    ///
+    /// As [`VStar::learn`].
+    pub fn learn_refined(
+        &self,
+        mat: &Mat<'_>,
+        alphabet: &[char],
+        seeds: &[String],
+        source: &mut dyn EvidenceSource,
+        refine: RefineConfig,
+    ) -> Result<(VStarResult, RefineLog), VStarError> {
+        let mut strategy = EvidenceEquivalence::new(source, refine);
+        let result = self.learn_with_strategy(mat, alphabet, seeds, &mut strategy)?;
+        Ok((result, strategy.into_log()))
+    }
+
+    /// Runs the full pipeline with a caller-supplied equivalence strategy
+    /// (the pluggable core of [`VStar::learn`] and [`VStar::learn_refined`]).
+    ///
+    /// The pipeline still builds the seed-derived test pool and hands it to
+    /// the strategy via the [`EquivalenceContext`]; what the strategy does
+    /// with it — replay it, wrap it, ignore it — is its own business.
+    ///
+    /// # Errors
+    ///
+    /// As [`VStar::learn`].
+    pub fn learn_with_strategy(
+        &self,
+        mat: &Mat<'_>,
+        alphabet: &[char],
+        seeds: &[String],
+        strategy: &mut dyn EquivalenceStrategy,
+    ) -> Result<VStarResult, VStarError> {
         let start_time = Instant::now();
         if seeds.is_empty() {
             return Err(VStarError::NoSeeds);
@@ -331,7 +379,17 @@ impl VStar {
         };
         let mut learner =
             SevpaLearner::new(&membership, tagged_alphabet, self.config.learner.clone());
-        let hypothesis: Hypothesis = learner.learn(|hyp| pool.find_counterexample(mat, hyp))?;
+        let mode = self.config.token_discovery;
+        let hypothesis: Hypothesis = learner.learn(|hyp| {
+            let cx = EquivalenceContext {
+                mat,
+                hypothesis: hyp,
+                tokenizer: &tokenizer,
+                mode,
+                pool: &pool,
+            };
+            strategy.find_counterexample(&cx)
+        })?;
         let learner_stats = learner.stats();
         let queries_total = mat.unique_queries();
 

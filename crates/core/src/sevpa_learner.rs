@@ -377,26 +377,32 @@ impl<'a> SevpaLearner<'a> {
         let chars: Vec<char> = ce.chars().collect();
         let n = chars.len();
         let ce_member = self.member(ce);
-        if !self.alphabet.tagging().is_well_matched(ce) {
-            if ce_member {
-                return Err(VStarError::IncompatibleCounterexample {
-                    counterexample: ce.to_string(),
-                });
-            }
-            // The hypothesis accepted an ill-matched string: impossible by
-            // construction (acceptance needs an empty stack), so treat as spurious.
-            return Ok(false);
+        // A member that is not pair-matched cannot be represented under the
+        // inferred structure at all. A *non-member* that is not pair-matched
+        // is different: the hypothesis can genuinely accept it — acceptance
+        // only needs an empty stack, and the constructed return transitions
+        // may pop a stack symbol pushed by a different pair's call — and the
+        // standard analysis below handles it (the trace completes, the
+        // contexts are well defined), refining the observation structure
+        // until the cross-pair acceptance is gone. Before counterexample-
+        // guided refinement nothing ever surfaced such words, which is why
+        // they survived into serving artifacts.
+        if ce_member && !self.alphabet.tagging().is_well_matched(ce) {
+            return Err(VStarError::IncompatibleCounterexample { counterexample: ce.to_string() });
         }
         let trace = hyp.vpa.trace_tagged(&tagged);
         if !trace.completed() {
             if std::env::var_os("VSTAR_DEBUG_LEARNER").is_some() {
                 eprintln!("[learner] trace stuck at {:?} on counterexample {ce:?}", trace.stuck_at);
             }
-            // The hypothesis rejects by getting stuck; the counterexample must then
-            // be a member. The stuck prefix still gives us refinement information,
-            // but the simplest sound treatment is to refine at the stuck position's
-            // predecessor via the same analysis on the completed prefix. We fall
-            // back to reporting no progress if even that fails.
+            // The hypothesis rejects by getting stuck; the counterexample is
+            // then a member (or an ill-matched word the strategy should not
+            // have sent — strategies only report disagreements, and a stuck
+            // trace means the hypothesis rejects). The stuck prefix still
+            // gives us refinement information, but the simplest sound
+            // treatment is to refine at the stuck position's predecessor via
+            // the same analysis on the completed prefix. We fall back to
+            // reporting no progress if even that fails.
             return Ok(false);
         }
 

@@ -29,6 +29,16 @@ pub struct ToolRow {
     pub test_strings: Option<usize>,
     /// Wall-clock learning time in seconds.
     pub time_seconds: f64,
+    /// Recall after counterexample-guided refinement (V-Star only, when the
+    /// refinement pass ran; measured on the same dataset as `recall`).
+    pub refined_recall: Option<f64>,
+    /// Precision after counterexample-guided refinement (same dataset as
+    /// `precision`).
+    pub refined_precision: Option<f64>,
+    /// F1 after counterexample-guided refinement.
+    pub refined_f1: Option<f64>,
+    /// Counterexamples the refinement loop replayed into the learner.
+    pub refine_counterexamples: Option<usize>,
 }
 
 impl ToolRow {
@@ -44,6 +54,8 @@ impl ToolRow {
             self.vpa_query_percent.map_or_else(|| "-".into(), |v| format!("{v:.2}%")),
             self.test_strings.map_or_else(|| "-".into(), |v| v.to_string()),
             format!("{:.2}s", self.time_seconds),
+            self.refined_recall.map_or_else(|| "-".into(), |v| format!("{v:.2}")),
+            self.refined_precision.map_or_else(|| "-".into(), |v| format!("{v:.2}")),
         ]
     }
 }
@@ -107,6 +119,8 @@ impl fmt::Display for Table1Report {
             "%Q(VPA)",
             "#TS",
             "Time",
+            "Recall+",
+            "Precision+",
         ];
         let mut tools: Vec<String> = Vec::new();
         for row in &self.rows {
@@ -143,6 +157,10 @@ mod tests {
             vpa_query_percent: Some(97.29),
             test_strings: Some(8043),
             time_seconds: 3.25,
+            refined_recall: Some(1.0),
+            refined_precision: Some(0.995),
+            refined_f1: Some(0.997_493),
+            refine_counterexamples: Some(4),
         }
     }
 

@@ -6,12 +6,12 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use vstar::{Mat, VStar, VStarConfig};
+use vstar::{Mat, VStar, VStarConfig, VStarResult};
 use vstar_baselines::{Arvada, ArvadaConfig, Glade, GladeConfig, LearnedGrammar};
 use vstar_oracles::Language;
 use vstar_parser::{CompileLearned, GrammarSampler};
 
-use crate::metrics::{f1_score, precision, recall};
+use crate::metrics::{f1_score, precision, recall, Accuracy};
 use crate::report::ToolRow;
 
 /// Configuration shared by all evaluation runs.
@@ -55,6 +55,54 @@ pub fn recall_dataset(lang: &dyn Language, config: &EvalConfig) -> Vec<String> {
     lang.generate_corpus(&mut rng, config.generation_budget, config.recall_samples)
 }
 
+/// Measures recall and precision of learned V-Star artifacts against the
+/// oracle, on the same deterministic datasets [`evaluate_vstar`] uses — so the
+/// pre-refinement row and the post-refinement columns of Table 1 are directly
+/// comparable.
+///
+/// Recall is measured against the compiled serving artifact — the thing a
+/// deployment would actually run — rather than against the oracle-backed
+/// learning-time path (the two agree on the evaluation corpora; the compiled
+/// scan resolves every `conv_τ` decision from its tables).
+///
+/// Precision samples from the learned VPG with the grammar sampler of
+/// `vstar_parser` (over the converted alphabet), strips the artificial markers
+/// to obtain raw strings, and asks the oracle. Samples are kept only when the
+/// compiled serving artifact re-accepts the raw string — the `conv ∘ strip`
+/// fixed points, plus the words whose raw form converts to a different but
+/// still accepted word. That is exactly the raw language a deployment serves,
+/// `{s : compiled.recognize(s)}`; derivations outside it are unreachable
+/// words of the converted alphabet, and the filter is oracle-free.
+///
+/// # Panics
+///
+/// Panics when the learned grammar exceeds the serving compilation budget.
+#[must_use]
+pub fn measure_vstar_accuracy(
+    lang: &dyn Language,
+    config: &EvalConfig,
+    result: &VStarResult,
+) -> Accuracy {
+    let corpus = recall_dataset(lang, config);
+    let compiled = result.compile().expect("learned grammar compiles for serving");
+    let recall_value = recall(|s| compiled.recognize(s), &corpus);
+
+    let mut rng = StdRng::seed_from_u64(config.rng_seed ^ 0xA11CE);
+    let sampler = GrammarSampler::new(&result.vpg);
+    let samples: Vec<String> = sampler
+        .sample_many(&mut rng, config.generation_budget, config.precision_samples * 12)
+        .into_iter()
+        .filter_map(|w| {
+            let raw = vstar::tokenizer::strip_markers(&w);
+            compiled.recognize(&raw).then_some(raw)
+        })
+        .take(config.precision_samples)
+        .collect();
+    let precision_value =
+        if samples.is_empty() { 0.0 } else { precision(|s| lang.accepts(s), &samples) };
+    Accuracy::new(recall_value, precision_value)
+}
+
 /// Evaluates V-Star on one language (paper Table 1, bottom block).
 #[must_use]
 pub fn evaluate_vstar(lang: &dyn Language, config: &EvalConfig) -> ToolRow {
@@ -67,46 +115,23 @@ pub fn evaluate_vstar(lang: &dyn Language, config: &EvalConfig) -> ToolRow {
         .expect("V-Star learning should succeed on the bundled grammars");
     let learn_time = start.elapsed();
 
-    // Recall is measured against the compiled serving artifact — the thing a
-    // deployment would actually run — rather than against the oracle-backed
-    // learning-time path (the two agree on the evaluation corpora; the
-    // compiled scan resolves every `conv_τ` decision from its tables).
-    let corpus = recall_dataset(lang, config);
-    let compiled = result.compile().expect("learned grammar compiles for serving");
-    let recall_value = recall(|s| compiled.recognize(s), &corpus);
-
-    // Precision: sample from the learned VPG with the grammar sampler of
-    // `vstar_parser` (over the converted alphabet), strip the artificial markers to
-    // obtain raw strings, and ask the oracle. Samples are kept only when they are
-    // fixed points of conv ∘ strip — i.e. when they correspond to an actual raw
-    // string of the learned language {s : H accepts conv(s)} rather than to an
-    // unreachable word of the converted alphabet.
-    let mut rng = StdRng::seed_from_u64(config.rng_seed ^ 0xA11CE);
-    let sampler = GrammarSampler::new(&result.vpg);
-    let samples: Vec<String> = sampler
-        .sample_many(&mut rng, config.generation_budget, config.precision_samples * 12)
-        .into_iter()
-        .filter_map(|w| {
-            let raw = vstar::tokenizer::strip_markers(&w);
-            (result.tokenizer.convert(&mat, &raw) == w).then_some(raw)
-        })
-        .take(config.precision_samples)
-        .collect();
-    let precision_value =
-        if samples.is_empty() { 0.0 } else { precision(|s| lang.accepts(s), &samples) };
-
+    let accuracy = measure_vstar_accuracy(lang, config, &result);
     ToolRow {
         tool: "vstar".into(),
         grammar: lang.name().into(),
         seeds: seeds.len(),
-        recall: recall_value,
-        precision: precision_value,
-        f1: f1_score(recall_value, precision_value),
+        recall: accuracy.recall,
+        precision: accuracy.precision,
+        f1: accuracy.f1,
         queries: result.stats.queries_total,
         token_query_percent: Some(result.stats.token_query_percent()),
         vpa_query_percent: Some(result.stats.vpa_query_percent()),
         test_strings: Some(result.stats.test_strings),
         time_seconds: learn_time.as_secs_f64(),
+        refined_recall: None,
+        refined_precision: None,
+        refined_f1: None,
+        refine_counterexamples: None,
     }
 }
 
@@ -161,6 +186,10 @@ fn baseline_row(
         vpa_query_percent: None,
         test_strings: None,
         time_seconds,
+        refined_recall: None,
+        refined_precision: None,
+        refined_f1: None,
+        refine_counterexamples: None,
     }
 }
 
@@ -218,40 +247,38 @@ mod tests {
             .learn(&mat, &lang.alphabet(), &lang.seeds())
             .expect("learning succeeds");
 
-        let mut rng = StdRng::seed_from_u64(config.rng_seed ^ 0xA11CE);
-        let grammar_sampler = GrammarSampler::new(&result.vpg);
-        let kept: Vec<String> = grammar_sampler
-            .sample_many(&mut rng, config.generation_budget, config.precision_samples * 12)
-            .into_iter()
-            .filter_map(|w| {
-                let raw = vstar::tokenizer::strip_markers(&w);
-                (result.tokenizer.convert(&mat, &raw) == w).then_some(raw)
-            })
-            .take(config.precision_samples)
-            .collect();
+        let compiled = result.compile().expect("compiles for serving");
+        let dataset = || -> Vec<String> {
+            let mut rng = StdRng::seed_from_u64(config.rng_seed ^ 0xA11CE);
+            GrammarSampler::new(&result.vpg)
+                .sample_many(&mut rng, config.generation_budget, config.precision_samples * 12)
+                .into_iter()
+                .filter_map(|w| {
+                    let raw = vstar::tokenizer::strip_markers(&w);
+                    compiled.recognize(&raw).then_some(raw)
+                })
+                .take(config.precision_samples)
+                .collect()
+        };
+        let kept = dataset();
         assert!(
             kept.len() >= config.precision_samples / 2,
             "sampler produced only {} usable samples",
             kept.len()
         );
-        // The quick-config hypothesis is not exact, so the bar is a sanity
-        // floor, not perfection (the committed BENCH_table1.json tracks the
-        // real numbers at the default configuration).
+        // The quick-config hypothesis is not exact — and the serving-path
+        // filter deliberately keeps its cross-matched over-acceptances in the
+        // dataset — so the bar is a sanity floor, not perfection (the
+        // committed BENCH_table1.json tracks the real numbers at the default
+        // configuration, where refinement drives precision to 1.0).
         let precision_value = precision(|s| lang.accepts(s), &kept);
-        assert!(precision_value >= 0.3, "toy-xml precision {precision_value}");
+        assert!(precision_value >= 0.2, "toy-xml precision {precision_value}");
 
-        // The dataset is deterministic for a fixed seed.
-        let mut rng = StdRng::seed_from_u64(config.rng_seed ^ 0xA11CE);
-        let again: Vec<String> = GrammarSampler::new(&result.vpg)
-            .sample_many(&mut rng, config.generation_budget, config.precision_samples * 12)
-            .into_iter()
-            .filter_map(|w| {
-                let raw = vstar::tokenizer::strip_markers(&w);
-                (result.tokenizer.convert(&mat, &raw) == w).then_some(raw)
-            })
-            .take(config.precision_samples)
-            .collect();
-        assert_eq!(kept, again);
+        // The dataset is deterministic for a fixed seed, and the shared
+        // measurement helper agrees with the inline computation.
+        assert_eq!(kept, dataset());
+        let accuracy = measure_vstar_accuracy(&lang, &config, &result);
+        assert!((accuracy.precision - precision_value).abs() < 1e-12);
     }
 
     #[test]

@@ -19,7 +19,8 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
-use vstar::LearnedLanguage;
+use vstar::refine::Evidence;
+use vstar::{LearnedLanguage, TokenDiscovery};
 use vstar_eval::DifferentialCounts;
 use vstar_oracles::Language;
 use vstar_parser::{CompileLearned, CompiledGrammar, ParseTree};
@@ -97,6 +98,14 @@ pub struct FuzzConfig {
     pub max_corpus_trees: usize,
     /// Cap on `keep`-predicate evaluations per tree minimization.
     pub minimizer_checks: usize,
+    /// In token mode, number of draws spent per iteration looking for a
+    /// generated derivation worth classifying: one whose raw yield the
+    /// compiled artifact re-accepts (the `conv ∘ strip` fixed points and
+    /// their servable closure) or the oracle accepts (a false negative).
+    /// Draws rejected by both sides are guaranteed agree-rejects — grammar
+    /// words that correspond to no servable input — and classifying them
+    /// wastes the iteration. `0` disables the filter.
+    pub fixed_point_attempts: usize,
 }
 
 impl Default for FuzzConfig {
@@ -111,6 +120,7 @@ impl Default for FuzzConfig {
             max_divergences: 32,
             max_corpus_trees: 256,
             minimizer_checks: 400,
+            fixed_point_attempts: 8,
         }
     }
 }
@@ -131,6 +141,23 @@ pub struct DivergenceCase {
     pub minimized: String,
     /// How many evaluated cases minimized to this same witness.
     pub occurrences: usize,
+}
+
+impl DivergenceCase {
+    /// Exports the minimized witness as refinement evidence
+    /// ([`vstar::refine::Evidence`]): the raw string, the direction of the
+    /// disagreement, and a `fuzz:<mutation>` provenance tag — ready to replay
+    /// into the learner as a counterexample.
+    #[must_use]
+    pub fn as_evidence(&self) -> Evidence {
+        let false_positive = self.class == CaseClass::FalsePositive.label();
+        Evidence {
+            raw: self.minimized.clone(),
+            learned_accepts: false_positive,
+            oracle_accepts: !false_positive,
+            source: format!("fuzz:{}", self.mutation),
+        }
+    }
 }
 
 /// The machine-readable outcome of one campaign.
@@ -180,6 +207,13 @@ impl CampaignReport {
     #[must_use]
     pub fn divergences_of(&self, class: CaseClass) -> usize {
         self.divergences.iter().filter(|d| d.class == class.label()).count()
+    }
+
+    /// Exports every distinct minimized divergence as refinement evidence,
+    /// in discovery order ([`DivergenceCase::as_evidence`]).
+    #[must_use]
+    pub fn evidence(&self) -> Vec<Evidence> {
+        self.divergences.iter().map(DivergenceCase::as_evidence).collect()
     }
 }
 
@@ -248,15 +282,49 @@ impl<'a> FuzzCampaign<'a> {
             self.process(&mut st, &compiled, &minimizer, "seed", 0, None, seed);
         }
 
+        // In token mode a derivation of the converted grammar corresponds to
+        // a real serving-path input only when its *raw* yield is re-accepted
+        // by the compiled artifact (the `conv ∘ strip` fixed points, plus
+        // the words whose raw form converts to a different but still
+        // accepted word — exactly where tokenizer-boundary false positives
+        // live). A derivation outside that set is only worth classifying
+        // when the *oracle* accepts its raw yield — then it is a false
+        // negative, not noise. Draws rejected by both sides are guaranteed
+        // agree-rejects and are skipped instead of burning the iteration;
+        // the two membership checks are deterministic, so determinism of the
+        // campaign is untouched.
+        let filter_fixed_points =
+            self.learned.mode() == TokenDiscovery::Tokens && self.config.fixed_point_attempts > 0;
+        let is_fixed_point = |t: &ParseTree| -> bool {
+            let raw = self.learned.strip(&t.yielded());
+            compiled.recognize(&raw) || self.oracle.accepts(&raw)
+        };
+
         let mut iterations_run = 0usize;
         for iteration in 0..self.config.iterations {
+            // Every iteration consumes budget, classified or skipped — the
+            // report's `iterations` must be the denominator a starvation
+            // check can trust, so a tail of filtered-out draws still counts.
+            iterations_run = iteration + 1;
             let draw = rng.gen_range(0..100u32);
             let fresh = self.config.fresh_percent;
             let perturb = fresh + self.config.perturb_percent;
             let (label, tree, raw) = if st.corpus.is_empty() || draw < fresh {
-                let Some(t) = mutator.sampler().sample_tree(&mut rng, self.config.sample_budget)
-                else {
-                    break; // unproductive grammar: nothing to generate, ever
+                let sampled = if filter_fixed_points {
+                    mutator.sampler().sample_tree_where(
+                        &mut rng,
+                        self.config.sample_budget,
+                        self.config.fixed_point_attempts,
+                        is_fixed_point,
+                    )
+                } else {
+                    mutator.sampler().sample_tree(&mut rng, self.config.sample_budget)
+                };
+                let Some(t) = sampled else {
+                    if !mutator.sampler().is_productive() {
+                        break; // unproductive grammar: nothing to generate, ever
+                    }
+                    continue; // no fixed-point derivation found this round
                 };
                 let raw = self.learned.strip(&t.yielded());
                 (MutationKind::FreshSample.label(), Some(t), raw)
@@ -267,14 +335,25 @@ impl<'a> FuzzCampaign<'a> {
                 (MutationKind::PerturbChars.label(), None, raw)
             } else {
                 let t = st.corpus.choose(&mut rng).expect("corpus checked nonempty");
-                let Some((kind, t2)) = mutator.mutate(t, &mut rng, self.config.mutation_budget)
-                else {
+                let attempts =
+                    if filter_fixed_points { self.config.fixed_point_attempts } else { 1 };
+                let mut found = None;
+                for _ in 0..attempts {
+                    if let Some((kind, t2)) =
+                        mutator.mutate(t, &mut rng, self.config.mutation_budget)
+                    {
+                        if !filter_fixed_points || is_fixed_point(&t2) {
+                            found = Some((kind, t2));
+                            break;
+                        }
+                    }
+                }
+                let Some((kind, t2)) = found else {
                     continue;
                 };
                 let raw = self.learned.strip(&t2.yielded());
                 (kind.label(), Some(t2), raw)
             };
-            iterations_run = iteration + 1;
             self.process(&mut st, &compiled, &minimizer, label, iteration, tree, raw);
         }
 

@@ -22,7 +22,12 @@
 //!   that shrinks divergent cases while preserving their classification;
 //! * [`corpus::write_corpus`] — a reproducible on-disk corpus per language;
 //! * [`surgery`] — fault injection (add/remove one grammar rule) so the
-//!   campaign can prove it detects a deliberately weakened grammar.
+//!   campaign can prove it detects a deliberately weakened grammar;
+//! * [`CampaignEvidence`] — the campaign packaged as a
+//!   `vstar::refine::EvidenceSource`, so `VStar::learn_refined` can replay
+//!   minimized divergences into the learner until the campaigns run dry
+//!   (the counterexample-guided refinement loop that *closes* the gaps this
+//!   crate finds).
 //!
 //! # Example
 //!
@@ -62,9 +67,11 @@ pub mod corpus;
 pub mod coverage;
 pub mod minimize;
 pub mod mutate;
+pub mod refine;
 pub mod surgery;
 
 pub use campaign::{CampaignReport, CaseClass, DivergenceCase, FuzzCampaign, FuzzConfig};
 pub use coverage::RuleCoverage;
 pub use minimize::{minimize_string, TreeMinimizer};
 pub use mutate::{MutationKind, Mutator};
+pub use refine::CampaignEvidence;

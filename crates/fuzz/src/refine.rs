@@ -1,0 +1,135 @@
+//! The fuzz campaign as a refinement evidence source.
+//!
+//! [`CampaignEvidence`] plugs a differential [`FuzzCampaign`] into the
+//! counterexample-guided refinement loop of `vstar::refine`: each evidence
+//! round compiles the current hypothesis into the serving artifact, fuzzes it
+//! against the black-box oracle, and hands the minimized divergences back to
+//! the learner as counterexamples. Iterated by
+//! [`vstar::VStar::learn_refined`], this is the learn → fuzz → refine loop
+//! that turns "the fuzzer found precision gaps" into "the gaps are closed".
+//!
+//! Determinism: the campaign seed cycles through a window of
+//! `clean_passes`-many seeds (`base`, `base + 1`, …), so the consecutive
+//! clean rounds that declare a fixed point are genuinely *different*
+//! campaigns against the *same* final hypothesis. In particular, with the
+//! default window the fixed point certifies that the full campaign at the
+//! base seed itself runs divergence-free against the final grammar — which is
+//! exactly what the `fuzz --check` CI gate replays.
+
+use vstar::refine::{Evidence, EvidenceSource};
+use vstar::{LearnedLanguage, Mat};
+use vstar_oracles::Language;
+
+use crate::campaign::{FuzzCampaign, FuzzConfig};
+
+/// An [`EvidenceSource`] that interrogates each hypothesis with a seeded
+/// differential fuzz campaign.
+pub struct CampaignEvidence<'a> {
+    oracle: &'a dyn Language,
+    config: FuzzConfig,
+    seed_window: u64,
+}
+
+impl<'a> CampaignEvidence<'a> {
+    /// Wraps `oracle` with a campaign template; `config.seed` is the base of
+    /// the per-round seed window.
+    ///
+    /// The default seed window tracks
+    /// `vstar::refine::RefineConfig::default().clean_passes` — callers that
+    /// run the loop with a different `clean_passes` should set the window
+    /// with [`CampaignEvidence::with_seed_window`] so every consecutive
+    /// clean pass probes with a distinct seed.
+    #[must_use]
+    pub fn new(oracle: &'a dyn Language, config: FuzzConfig) -> Self {
+        let window = vstar::refine::RefineConfig::default().clean_passes as u64;
+        CampaignEvidence { oracle, config, seed_window: window.max(1) }
+    }
+
+    /// Sets the number of distinct per-round campaign seeds (`base` …
+    /// `base + window - 1`); rounds cycle through them.
+    #[must_use]
+    pub fn with_seed_window(mut self, window: u64) -> Self {
+        self.seed_window = window.max(1);
+        self
+    }
+
+    /// The campaign configuration template (per-round runs override `seed`).
+    #[must_use]
+    pub fn config(&self) -> &FuzzConfig {
+        &self.config
+    }
+
+    /// The campaign seed used for evidence round `round`.
+    #[must_use]
+    pub fn seed_for_round(&self, round: usize) -> u64 {
+        self.config.seed.wrapping_add(round as u64 % self.seed_window)
+    }
+}
+
+impl EvidenceSource for CampaignEvidence<'_> {
+    fn name(&self) -> &'static str {
+        "fuzz-campaign"
+    }
+
+    fn collect(
+        &mut self,
+        round: usize,
+        learned: &LearnedLanguage,
+        _mat: &Mat<'_>,
+    ) -> Vec<Evidence> {
+        let config = FuzzConfig { seed: self.seed_for_round(round), ..self.config.clone() };
+        FuzzCampaign::new(learned, self.oracle, config).run().evidence()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstar::refine::RefineConfig;
+    use vstar::{VStar, VStarConfig};
+    use vstar_oracles::Fig1;
+
+    #[test]
+    fn seed_window_cycles() {
+        let oracle = Fig1::new();
+        let source =
+            CampaignEvidence::new(&oracle, FuzzConfig { seed: 10, ..FuzzConfig::default() });
+        assert_eq!(source.seed_for_round(0), 10);
+        assert_eq!(source.seed_for_round(1), 11);
+        assert_eq!(source.seed_for_round(2), 10);
+        let wide = CampaignEvidence::new(&oracle, FuzzConfig { seed: 10, ..FuzzConfig::default() })
+            .with_seed_window(3);
+        assert_eq!(wide.seed_for_round(2), 12);
+        // A zero window is clamped rather than dividing by zero.
+        let clamped = CampaignEvidence::new(&oracle, FuzzConfig::default()).with_seed_window(0);
+        assert_eq!(clamped.seed_for_round(5), clamped.config().seed);
+        assert_eq!(source.name(), "fuzz-campaign");
+    }
+
+    #[test]
+    fn exactly_learnable_language_reaches_fixed_point_without_evidence() {
+        // Fig1 learns exactly in character mode; the campaign-backed loop
+        // must simply certify that with `clean_passes` clean campaigns.
+        let lang = Fig1::new();
+        let oracle_fn = |s: &str| lang.accepts(s);
+        let mat = Mat::new(&oracle_fn);
+        let mut source =
+            CampaignEvidence::new(&lang, FuzzConfig { iterations: 80, ..FuzzConfig::default() });
+        let config = VStarConfig {
+            token_discovery: vstar::TokenDiscovery::Characters,
+            ..VStarConfig::default()
+        };
+        let (result, log) = VStar::new(config)
+            .learn_refined(
+                &mat,
+                &lang.alphabet(),
+                &lang.seeds(),
+                &mut source,
+                RefineConfig::default(),
+            )
+            .expect("learning succeeds");
+        assert!(log.fixed_point, "{log:?}");
+        assert_eq!(log.counterexamples_replayed(), 0);
+        assert!(result.accepts(&mat, "agcdcdhbcd"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Integration tests of the counterexample-guided refinement loop: campaign
+//! divergences must export as replayable counterexamples, an injected
+//! over-generalization must be *repaired* (not just detected) within the
+//! round budget, the concrete fuzzer-found precision gaps of the bundled
+//! `while`/`json` grammars must close, and a refinement pass must never
+//! decrease recall on held-out corpus words.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vstar::equivalence::TestPoolConfig;
+use vstar::refine::RefineConfig;
+use vstar::tokenizer::PartialTokenizer;
+use vstar::{LearnedLanguage, Mat, TokenDiscovery, VStar, VStarConfig, VStarResult};
+use vstar_fuzz::{surgery, CampaignEvidence, CaseClass, FuzzCampaign, FuzzConfig};
+use vstar_oracles::{Fig1, Json, Language, WhileLang};
+use vstar_parser::CompileLearned;
+use vstar_vpl::grammar::figure1_grammar;
+use vstar_vpl::{NonterminalId, RuleRhs, VpaBuilder, Vpg};
+
+/// Wraps a VPG as a character-mode learned language (as the PR 3 campaign
+/// regression tests do).
+fn char_mode_learned(vpg: Vpg) -> LearnedLanguage {
+    let tagging = vpg.tagging().clone();
+    let mut b = VpaBuilder::new(tagging.clone());
+    let q0 = b.add_state();
+    b.set_initial(q0);
+    LearnedLanguage::new(
+        b.build().unwrap(),
+        vpg,
+        PartialTokenizer::from_tagging(&tagging),
+        TokenDiscovery::Characters,
+    )
+}
+
+/// A Fig1 pipeline whose equivalence pool is crippled to the seeds and their
+/// shortest pieces — the learning-time analogue of grammar surgery: the
+/// learner converges on an over-general hypothesis because the simulated
+/// equivalence check cannot see past length-3 probes.
+fn weak_fig1_pipeline() -> VStar {
+    VStar::new(VStarConfig {
+        token_discovery: TokenDiscovery::Characters,
+        test_pool: TestPoolConfig { max_test_strings: 1, max_length: Some(3), rng_seed: 1 },
+        ..VStarConfig::default()
+    })
+}
+
+#[test]
+fn surgery_divergences_export_as_replayable_counterexamples() {
+    // PR 3's fault injection: the campaign must detect the weakened grammar,
+    // and its report must export every distinct divergence as refinement
+    // evidence with the right direction and provenance.
+    let l = NonterminalId(0);
+    let weak =
+        surgery::with_extra_rule(&figure1_grammar(), l, RuleRhs::Linear { plain: 'd', next: l })
+            .unwrap();
+    let learned = char_mode_learned(weak);
+    let oracle = Fig1::new();
+    let config = FuzzConfig { seed: 42, iterations: 150, ..FuzzConfig::default() };
+    let report = FuzzCampaign::new(&learned, &oracle, config).run();
+    assert!(report.divergences_of(CaseClass::FalsePositive) > 0);
+
+    let evidence = report.evidence();
+    assert_eq!(evidence.len(), report.divergences.len());
+    for (case, ev) in report.divergences.iter().zip(&evidence) {
+        assert_eq!(ev.raw, case.minimized, "evidence replays the minimized witness");
+        assert_eq!(ev.class_label(), case.class);
+        assert_eq!(ev.learned_accepts, case.class == CaseClass::FalsePositive.label());
+        assert_eq!(ev.oracle_accepts, case.class == CaseClass::FalseNegative.label());
+        assert_eq!(ev.source, format!("fuzz:{}", case.mutation));
+    }
+}
+
+#[test]
+fn injected_overgeneralization_is_repaired_within_round_budget() {
+    let lang = Fig1::new();
+    let oracle = |s: &str| lang.accepts(s);
+    let vstar = weak_fig1_pipeline();
+
+    // The injected defect is real: the weakly-equivalence-checked hypothesis
+    // accepts short non-members.
+    let mat = Mat::new(&oracle);
+    let base = vstar.learn(&mat, &lang.alphabet(), &lang.seeds()).expect("base learning succeeds");
+    let probe: Vec<String> = vstar_vpl::words::all_strings(&lang.alphabet(), 5);
+    let base_fp = probe.iter().filter(|w| base.accepts(&mat, w) && !lang.accepts(w)).count();
+    assert!(base_fp > 0, "the crippled pool was expected to over-generalize");
+
+    // One refinement loop with campaign evidence repairs it to exactness on
+    // the probe set, within the default round budget.
+    let mat = Mat::new(&oracle);
+    let mut source = CampaignEvidence::new(
+        &lang,
+        FuzzConfig { seed: 42, iterations: 120, ..FuzzConfig::default() },
+    );
+    let budget = RefineConfig::default();
+    let (refined, log) = vstar
+        .learn_refined(&mat, &lang.alphabet(), &lang.seeds(), &mut source, budget.clone())
+        .expect("refined learning succeeds");
+    assert!(log.fixed_point, "refinement should reach a fixed point: {log:?}");
+    assert!(log.campaigns_run <= budget.max_campaigns);
+    assert!(log.counterexamples_replayed() > 0, "the repair must come from replayed evidence");
+    for w in &probe {
+        assert_eq!(refined.accepts(&mat, w), lang.accepts(w), "refined misjudges {w:?}");
+    }
+
+    // An independent campaign (different seed than the in-loop window) stays
+    // divergence-free against the repaired grammar.
+    let learned = refined.as_learned_language();
+    let post = FuzzCampaign::new(
+        &learned,
+        &lang,
+        FuzzConfig { seed: 977, iterations: 150, ..FuzzConfig::default() },
+    )
+    .run();
+    assert_eq!(post.counts.divergences(), 0, "post-repair campaign diverged: {post:?}");
+}
+
+/// Learns `lang` with the default pipeline plus campaign-backed refinement
+/// (the `refine`/`fuzz` binaries' configuration at a 300-iteration loop).
+fn refine_bundled(lang: &dyn Language) -> (VStarResult, vstar::refine::RefineLog) {
+    let oracle = |s: &str| lang.accepts(s);
+    let mat = Mat::new(&oracle);
+    let mut source = CampaignEvidence::new(
+        lang,
+        FuzzConfig { seed: 42, iterations: 300, ..FuzzConfig::default() },
+    );
+    VStar::new(VStarConfig::default())
+        .learn_refined(&mat, &lang.alphabet(), &lang.seeds(), &mut source, RefineConfig::default())
+        .expect("refined learning succeeds")
+}
+
+#[test]
+fn fuzzer_found_precision_gaps_of_while_and_json_are_repaired() {
+    // The two over-generalizations the PR 3 fuzzer found in the bundled
+    // grammars: learned `while` accepted identifiers in arithmetic positions,
+    // learned `json` accepted number/value concatenations. Refinement must
+    // repair exactly these witnesses and leave the gate campaign clean.
+    let while_lang = WhileLang::new();
+    let base = {
+        let oracle = |s: &str| while_lang.accepts(s);
+        let mat = Mat::new(&oracle);
+        VStar::new(VStarConfig::default())
+            .learn(&mat, &while_lang.alphabet(), &while_lang.seeds())
+            .expect("base learning succeeds")
+    };
+    let base_compiled = base.compile().expect("compiles");
+    assert!(base_compiled.recognize("x:=1-e1"), "the PR 3 witness should reproduce pre-repair");
+    assert!(!while_lang.accepts("x:=1-e1"));
+
+    let (refined, log) = refine_bundled(&while_lang);
+    let compiled = refined.compile().expect("compiles");
+    assert!(!compiled.recognize("x:=1-e1"), "refinement must repair the PR 3 witness");
+    assert!(log.counterexamples_replayed() > 0);
+    let post = FuzzCampaign::new(
+        &refined.as_learned_language(),
+        &while_lang,
+        FuzzConfig { seed: 42, iterations: 150, ..FuzzConfig::default() },
+    )
+    .run();
+    assert_eq!(post.counts.divergences(), 0, "while gate campaign diverged: {post:?}");
+
+    let json_lang = Json::new();
+    let (refined, _log) = refine_bundled(&json_lang);
+    let compiled = refined.compile().expect("compiles");
+    assert!(!compiled.recognize("7{\"\":0}"), "refinement must repair the PR 3 json witness");
+    assert!(compiled.recognize("{\"\":0}"), "repair must not lose valid json");
+    let post = FuzzCampaign::new(
+        &refined.as_learned_language(),
+        &json_lang,
+        FuzzConfig { seed: 42, iterations: 150, ..FuzzConfig::default() },
+    )
+    .run();
+    assert_eq!(post.counts.divergences(), 0, "json gate campaign diverged: {post:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A refinement round never decreases recall on held-out corpus words:
+    /// for any held-out corpus drawn from the oracle's generator, every
+    /// member the weakly-learned hypothesis accepted is still accepted after
+    /// campaign-driven refinement.
+    #[test]
+    fn refinement_never_decreases_recall_on_held_out_corpus(
+        corpus_seed in 0u64..1000,
+        campaign_seed in 0u64..1000,
+    ) {
+        let lang = Fig1::new();
+        let oracle = |s: &str| lang.accepts(s);
+        let vstar = weak_fig1_pipeline();
+        let mut rng = StdRng::seed_from_u64(corpus_seed);
+        let corpus = lang.generate_corpus(&mut rng, 14, 30);
+        prop_assert!(!corpus.is_empty());
+
+        let mat = Mat::new(&oracle);
+        let base = vstar
+            .learn(&mat, &lang.alphabet(), &lang.seeds())
+            .expect("base learning succeeds");
+        let base_recall = corpus.iter().filter(|w| base.accepts(&mat, w)).count();
+
+        let mat = Mat::new(&oracle);
+        let mut source = CampaignEvidence::new(
+            &lang,
+            FuzzConfig { seed: campaign_seed, iterations: 100, ..FuzzConfig::default() },
+        );
+        let (refined, log) = vstar
+            .learn_refined(&mat, &lang.alphabet(), &lang.seeds(), &mut source, RefineConfig::default())
+            .expect("refined learning succeeds");
+        let refined_recall = corpus.iter().filter(|w| refined.accepts(&mat, w)).count();
+        prop_assert!(
+            refined_recall >= base_recall,
+            "refinement decreased recall {base_recall} -> {refined_recall} \
+             (corpus seed {corpus_seed}, campaign seed {campaign_seed}, log {log:?})"
+        );
+    }
+}

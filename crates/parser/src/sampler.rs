@@ -112,6 +112,29 @@ impl<'g> GrammarSampler<'g> {
         Some(self.expand(nt, rng, budget).0)
     }
 
+    /// Samples derivation trees until one satisfies `keep`, drawing at most
+    /// `max_attempts` times. Returns `None` when the start nonterminal is
+    /// unproductive or no draw passed the filter.
+    ///
+    /// This is the fixed-point-aware generation hook for token-mode fuzzing:
+    /// a derivation of the *converted* grammar corresponds to a real raw
+    /// string only when its yield is a fixed point of `conv ∘ strip`, so
+    /// campaigns pass that check as `keep` and skip unreachable words instead
+    /// of burning iterations classifying them.
+    pub fn sample_tree_where<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        budget: usize,
+        max_attempts: usize,
+        keep: impl Fn(&ParseTree) -> bool,
+    ) -> Option<ParseTree> {
+        self.min[self.vpg.start().0]?;
+        (0..max_attempts).find_map(|_| {
+            let tree = self.expand(self.vpg.start(), rng, budget).0;
+            keep(&tree).then_some(tree)
+        })
+    }
+
     /// Samples `count` sentences (duplicates possible); unproductive grammars
     /// yield an empty vector.
     pub fn sample_many<R: Rng + ?Sized>(
@@ -267,6 +290,21 @@ mod tests {
     }
 
     #[test]
+    fn sample_tree_where_filters_draws() {
+        let g = figure1_grammar();
+        let sampler = GrammarSampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(21);
+        // A satisfiable filter returns a tree that satisfies it.
+        let t = sampler
+            .sample_tree_where(&mut rng, 12, 50, |t| t.yielded().starts_with('c'))
+            .expect("'cd…' sentences are common at this budget");
+        assert!(t.yielded().starts_with('c'));
+        assert!(t.validate(&g));
+        // An unsatisfiable filter exhausts the attempts and returns None.
+        assert!(sampler.sample_tree_where(&mut rng, 12, 20, |_| false).is_none());
+    }
+
+    #[test]
     fn sample_many_and_unique() {
         let g = figure1_grammar();
         let sampler = GrammarSampler::new(&g);
@@ -290,6 +328,7 @@ mod tests {
         assert!(!sampler.is_productive());
         let mut rng = StdRng::seed_from_u64(0);
         assert_eq!(sampler.sample(&mut rng, 10), None);
+        assert!(sampler.sample_tree_where(&mut rng, 10, 5, |_| true).is_none());
         assert!(sampler.sample_many(&mut rng, 10, 5).is_empty());
         assert!(sampler.sample_unique(&mut rng, 10, 5, 50).is_empty());
     }
