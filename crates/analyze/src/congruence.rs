@@ -1,0 +1,319 @@
+//! Behavioral congruence report: how many states and stack symbols a learned
+//! VPA could merge without changing any transition outcome.
+//!
+//! The learner (paper §5) produces one state per observation-table row and one
+//! stack symbol per distinguished call context, which is often far more than
+//! the language needs — the refined `json` automaton carries hundreds of
+//! states. This pass runs a joint partition refinement over states and stack
+//! symbols: states start split by acceptance and are separated whenever their
+//! transition rows differ *up to the current classes*; stack symbols start
+//! unified and are separated whenever their return behavior differs over state
+//! classes. At the fixpoint, members of one class are behaviorally
+//! interchangeable under the class-keyed view of the tables.
+//!
+//! The merge counts are a headroom **estimate**, not a proven-safe merge set:
+//! with partial tables, agreeing on class-keyed rows does not always imply
+//! agreeing per raw symbol, so a true bisimulation check could keep slightly
+//! more states apart. The report therefore stays at [`Severity::Info`] — it
+//! points at the ROADMAP state-reduction item, it does not gate anything.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+use vstar_vpl::Vpa;
+
+use crate::report::{AnalysisReport, Severity};
+
+/// How many per-class diagnostics [`analyze_congruence`] emits before
+/// summarizing the remainder in a single `+k more` finding.
+const MAX_CLASS_DIAGNOSTICS: usize = 16;
+
+/// The merge-headroom numbers of one congruence analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct CongruenceSummary {
+    /// Total states in the automaton.
+    pub states: usize,
+    /// Behavioral state classes at the fixpoint.
+    pub state_classes: usize,
+    /// States that could fold into a representative (`states - state_classes`).
+    pub mergeable_states: usize,
+    /// Total stack symbols in the automaton.
+    pub stack_symbols: usize,
+    /// Behavioral stack-symbol classes at the fixpoint.
+    pub stack_symbol_classes: usize,
+    /// Stack symbols that could fold into a representative.
+    pub mergeable_stack_symbols: usize,
+}
+
+/// Computes the joint state/stack-symbol congruence and reports multi-member
+/// classes as `CNG001` (states) and `CNG002` (stack symbols) info findings.
+#[must_use]
+pub fn analyze_congruence(vpa: &Vpa) -> AnalysisReport {
+    let (summary, state_class, sym_class) = congruence(vpa);
+    let mut report = AnalysisReport::new("congruence");
+
+    push_class_findings(&mut report, "CNG001", "state", &state_class);
+    push_class_findings(&mut report, "CNG002", "stack-symbol", &sym_class);
+
+    report.push(
+        "CNG000",
+        Severity::Info,
+        "summary",
+        format!(
+            "{} states fall into {} behavioral classes ({} mergeable); \
+             {} stack symbols into {} classes ({} mergeable)",
+            summary.states,
+            summary.state_classes,
+            summary.mergeable_states,
+            summary.stack_symbols,
+            summary.stack_symbol_classes,
+            summary.mergeable_stack_symbols
+        ),
+    );
+    report
+}
+
+/// Computes just the [`CongruenceSummary`] (used by the bench binary).
+#[must_use]
+pub fn congruence_summary(vpa: &Vpa) -> CongruenceSummary {
+    congruence(vpa).0
+}
+
+fn push_class_findings(
+    report: &mut AnalysisReport,
+    code: &'static str,
+    what: &str,
+    classes: &[usize],
+) {
+    let mut members: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (id, &class) in classes.iter().enumerate() {
+        members.entry(class).or_default().push(id);
+    }
+    let multi: Vec<&Vec<usize>> = members.values().filter(|m| m.len() > 1).collect();
+    for group in multi.iter().take(MAX_CLASS_DIAGNOSTICS) {
+        report.push(
+            code,
+            Severity::Info,
+            format!("{what}-class/{}", group[0]),
+            format!("{} behaviorally equivalent {what}s: {:?}", group.len(), group),
+        );
+    }
+    if multi.len() > MAX_CLASS_DIAGNOSTICS {
+        report.push(
+            code,
+            Severity::Info,
+            format!("{what}-class/more"),
+            format!(
+                "+{} more mergeable {what} classes (capped)",
+                multi.len() - MAX_CLASS_DIAGNOSTICS
+            ),
+        );
+    }
+}
+
+/// Runs the joint refinement; returns the summary plus the per-state and
+/// per-symbol class assignments (class ids are the smallest member's index).
+fn congruence(vpa: &Vpa) -> (CongruenceSummary, Vec<usize>, Vec<usize>) {
+    let n = vpa.state_count();
+    let m = vpa.stack_symbol_count();
+
+    // Initial split: states by acceptance, symbols all together.
+    let mut state_class: Vec<usize> =
+        (0..n).map(|q| usize::from(vpa.is_accepting(vstar_vpl::StateId(q)))).collect();
+    let mut sym_class: Vec<usize> = vec![0; m];
+
+    loop {
+        let next_states = split(n, |q| state_signature(vpa, q, &state_class, &sym_class));
+        let next_syms = split(m, |g| symbol_signature(vpa, g, &state_class));
+        let stable = canonical(&next_states) == canonical(&state_class)
+            && canonical(&next_syms) == canonical(&sym_class);
+        state_class = next_states;
+        sym_class = next_syms;
+        if stable {
+            break;
+        }
+    }
+
+    let state_classes = distinct(&state_class);
+    let sym_classes = distinct(&sym_class);
+    let summary = CongruenceSummary {
+        states: n,
+        state_classes,
+        mergeable_states: n - state_classes,
+        stack_symbols: m,
+        stack_symbol_classes: sym_classes,
+        mergeable_stack_symbols: m - sym_classes,
+    };
+    (summary, state_class, sym_class)
+}
+
+/// One state's transition row with targets and pushed symbols replaced by
+/// their current class ids. `accepting` keeps the initial split stable.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct StateSig {
+    accepting: bool,
+    plain: BTreeMap<char, usize>,
+    call: BTreeMap<char, (usize, usize)>,
+    ret: BTreeMap<(char, usize), usize>,
+    ret_bottom: BTreeMap<char, usize>,
+}
+
+fn state_signature(vpa: &Vpa, q: usize, state_class: &[usize], sym_class: &[usize]) -> StateSig {
+    let q = vstar_vpl::StateId(q);
+    let mut sig = StateSig {
+        accepting: vpa.is_accepting(q),
+        plain: BTreeMap::new(),
+        call: BTreeMap::new(),
+        ret: BTreeMap::new(),
+        ret_bottom: BTreeMap::new(),
+    };
+    for (p, c, t) in vpa.plain_transitions() {
+        if p == q {
+            sig.plain.insert(c, state_class[t.0]);
+        }
+    }
+    for (p, c, t, g) in vpa.call_transitions() {
+        if p == q {
+            sig.call.insert(c, (state_class[t.0], sym_class[g.0]));
+        }
+    }
+    for (p, c, g, t) in vpa.return_transitions() {
+        if p == q {
+            // Class-keyed: distinct raw symbols in one class must agree for
+            // the merge to be exact; insert keeps the first, which is why the
+            // result is an estimate (see module docs).
+            sig.ret.entry((c, sym_class[g.0])).or_insert(state_class[t.0]);
+        }
+    }
+    for (p, c, t) in vpa.bottom_return_transitions() {
+        if p == q {
+            sig.ret_bottom.insert(c, state_class[t.0]);
+        }
+    }
+    sig
+}
+
+/// One stack symbol's return behavior over state classes: who pops it where.
+fn symbol_signature(vpa: &Vpa, g: usize, state_class: &[usize]) -> BTreeMap<(usize, char), usize> {
+    let mut sig = BTreeMap::new();
+    for (q, c, gamma, t) in vpa.return_transitions() {
+        if gamma.0 == g {
+            sig.entry((state_class[q.0], c)).or_insert(state_class[t.0]);
+        }
+    }
+    sig
+}
+
+/// Regroups `0..n` by signature, returning new class ids (smallest member).
+fn split<S: Ord>(n: usize, sig: impl Fn(usize) -> S) -> Vec<usize> {
+    let mut groups: BTreeMap<S, Vec<usize>> = BTreeMap::new();
+    for i in 0..n {
+        groups.entry(sig(i)).or_default().push(i);
+    }
+    let mut class = vec![0; n];
+    for members in groups.values() {
+        for &i in members {
+            class[i] = members[0];
+        }
+    }
+    class
+}
+
+/// Canonical renumbering in first-occurrence order, so two assignments compare
+/// equal iff they induce the same partition.
+fn canonical(classes: &[usize]) -> Vec<usize> {
+    let mut seen: BTreeMap<usize, usize> = BTreeMap::new();
+    classes
+        .iter()
+        .map(|&c| {
+            let fresh = seen.len();
+            *seen.entry(c).or_insert(fresh)
+        })
+        .collect()
+}
+
+fn distinct(classes: &[usize]) -> usize {
+    classes.iter().collect::<std::collections::BTreeSet<_>>().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstar_vpl::{Tagging, VpaBuilder};
+
+    #[test]
+    fn duplicated_states_and_symbols_are_mergeable() {
+        // Two copies of the same Dyck loop, reachable on different calls but
+        // behaviorally identical, plus two interchangeable stack symbols.
+        let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+        let mut b = VpaBuilder::new(tagging);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let g0 = b.add_stack_symbol();
+        let g1 = b.add_stack_symbol();
+        b.set_initial(q0);
+        b.add_accepting(q0);
+        b.add_accepting(q1);
+        b.call(q0, '(', q1, g0).unwrap();
+        b.call(q1, '(', q0, g1).unwrap();
+        b.ret(q0, ')', g0, q0).unwrap();
+        b.ret(q0, ')', g1, q0).unwrap();
+        b.ret(q1, ')', g0, q1).unwrap();
+        b.ret(q1, ')', g1, q1).unwrap();
+        let vpa = b.build().unwrap();
+
+        let summary = congruence_summary(&vpa);
+        assert_eq!(summary.states, 2);
+        assert_eq!(summary.stack_symbols, 2);
+        assert_eq!(summary.stack_symbol_classes, 1, "{summary:?}");
+        assert_eq!(summary.mergeable_stack_symbols, 1);
+        // With the symbols merged the two states have identical rows.
+        assert_eq!(summary.state_classes, 1, "{summary:?}");
+
+        let report = analyze_congruence(&vpa);
+        assert!(report.has("CNG000"));
+        assert!(report.has("CNG001"));
+        assert!(report.has("CNG002"));
+        assert_eq!(report.max_severity(), Some(Severity::Info));
+    }
+
+    #[test]
+    fn distinguishable_states_stay_apart() {
+        // q0 accepts, q1 does not; a plain 'x' toggles between them.
+        let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+        let mut b = VpaBuilder::new(tagging);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(q0);
+        b.plain(q0, 'x', q1).unwrap();
+        b.plain(q1, 'x', q0).unwrap();
+        let vpa = b.build().unwrap();
+        let summary = congruence_summary(&vpa);
+        assert_eq!(summary.state_classes, 2);
+        assert_eq!(summary.mergeable_states, 0);
+        let report = analyze_congruence(&vpa);
+        assert!(!report.has("CNG001"));
+    }
+
+    #[test]
+    fn refinement_propagates_through_successors() {
+        // q1 and q2 both reject, but q1 steps to an accepting state and q2 to
+        // a rejecting one — the second round must separate them.
+        let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+        let mut b = VpaBuilder::new(tagging);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        let q3 = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(q0);
+        b.plain(q1, 'x', q0).unwrap();
+        b.plain(q2, 'x', q3).unwrap();
+        b.plain(q0, 'y', q1).unwrap();
+        b.plain(q3, 'y', q2).unwrap();
+        let vpa = b.build().unwrap();
+        let summary = congruence_summary(&vpa);
+        assert_eq!(summary.state_classes, 4, "{summary:?}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Cross-artifact lints over a whole learned language: does the grammar still
+//! match the automaton it was extracted from, and does the tokenizer agree
+//! with the automaton's tagging?
+//!
+//! These are the checks that catch *reassembled* artifacts: the pipeline
+//! itself always produces a consistent triple, but
+//! [`LearnedLanguage::with_vpg`]-style surgery (or a bug in a future pipeline
+//! stage) can pair a VPA with a grammar describing a different language. The
+//! VPA→VPG extraction is deterministic, so re-running it is a complete
+//! equality oracle for that drift.
+
+use vstar::tokenizer::{call_marker, return_marker};
+use vstar::{LearnedLanguage, TokenDiscovery};
+use vstar_vpl::vpa_to_vpg;
+
+use crate::congruence::analyze_congruence;
+use crate::report::{AnalysisReport, Severity};
+use crate::vpa_lints::analyze_vpa;
+use crate::vpg_lints::analyze_vpg;
+
+/// Runs the grammar, automaton and congruence passes over the components of
+/// `lang` and the cross-artifact lints over their combination.
+///
+/// Component findings keep their codes and gain `grammar/`, `automaton/` and
+/// `congruence/` location prefixes. The combined-layer codes are `LRN001`
+/// (error: the grammar is not the automaton's extraction) and `LRN002`
+/// (error: tokenizer and tagging disagree).
+#[must_use]
+pub fn analyze_learned(lang: &LearnedLanguage) -> AnalysisReport {
+    let mut report = AnalysisReport::new("learned");
+    report.absorb(analyze_vpg(lang.vpg()), "grammar");
+    report.absorb(analyze_vpa(lang.vpa()), "automaton");
+    report.absorb(analyze_congruence(lang.vpa()), "congruence");
+
+    if *lang.vpg() != vpa_to_vpg(lang.vpa()) {
+        report.push(
+            "LRN001",
+            Severity::Error,
+            "grammar-vs-automaton",
+            "the grammar is not the deterministic extraction of the automaton: \
+             the two artifacts describe different languages",
+        );
+    }
+
+    let tagging = lang.vpa().tagging();
+    match lang.mode() {
+        TokenDiscovery::Tokens => {
+            let expected: Vec<(char, char)> = (0..lang.tokenizer().pair_count())
+                .map(|i| (call_marker(i), return_marker(i)))
+                .collect();
+            if tagging.pairs() != expected.as_slice() {
+                report.push(
+                    "LRN002",
+                    Severity::Error,
+                    "tokenizer-vs-tagging",
+                    format!(
+                        "token-mode tagging must pair the tokenizer's marker symbols \
+                         (expected {} marker pair(s), found {:?})",
+                        expected.len(),
+                        tagging.pairs()
+                    ),
+                );
+            }
+        }
+        TokenDiscovery::Characters => {
+            if tagging.pair_count() != lang.tokenizer().pair_count() {
+                report.push(
+                    "LRN002",
+                    Severity::Error,
+                    "tokenizer-vs-tagging",
+                    format!(
+                        "character-mode tokenizer carries {} pair(s) but the tagging has {}",
+                        lang.tokenizer().pair_count(),
+                        tagging.pair_count()
+                    ),
+                );
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstar::{Mat, VStar, VStarConfig};
+    use vstar_vpl::{Tagging, VpgBuilder};
+
+    fn dyck(s: &str) -> bool {
+        let mut depth = 0usize;
+        for c in s.chars() {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    if depth == 0 {
+                        return false;
+                    }
+                    depth -= 1;
+                }
+                'x' => {}
+                _ => return false,
+            }
+        }
+        depth == 0
+    }
+
+    fn learn_dyck() -> LearnedLanguage {
+        let oracle = |s: &str| dyck(s);
+        let mat = Mat::new(&oracle);
+        let config =
+            VStarConfig { token_discovery: TokenDiscovery::Characters, ..VStarConfig::default() };
+        let seeds = ["", "()", "(x)", "x", "(())x"];
+        VStar::new(config)
+            .learn(&mat, &['(', ')', 'x'], &seeds.map(String::from))
+            .expect("dyck learns")
+            .as_learned_language()
+    }
+
+    #[test]
+    fn genuine_learned_language_has_no_errors() {
+        let report = analyze_learned(&learn_dyck());
+        assert!(report.is_clean(Severity::Error), "{:?}", report.at_least(Severity::Error));
+        assert!(report.has("CNG000"));
+    }
+
+    #[test]
+    fn swapped_grammar_is_caught() {
+        let lang = learn_dyck();
+        let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+        let mut b = VpgBuilder::new(tagging);
+        let s = b.nonterminal("S");
+        b.empty_rule(s);
+        b.match_rule(s, '(', s, ')', s);
+        let imposter = b.build(s).unwrap();
+        let report = analyze_learned(&lang.with_vpg(imposter));
+        assert!(report.has("LRN001"), "{:?}", report.diagnostics);
+        assert_eq!(report.max_severity(), Some(Severity::Error));
+    }
+}

@@ -1,0 +1,100 @@
+//! Static analysis and lint passes over V-Star's learned artifacts.
+//!
+//! Learning produces artifacts at three layers — the extracted [`Vpg`], the
+//! learned [`Vpa`] and the compiled serving [`CompiledGrammar`] — and each
+//! layer can silently carry structure that no input ever exercises or, after
+//! fault injection and future pipeline changes, structure that is outright
+//! inconsistent. This crate audits all three statically, without an oracle
+//! and without running a single membership query:
+//!
+//! * [`analyze_vpg`] — grammar lints: unreachable/unproductive nonterminals,
+//!   cross-pair matching rules, empty language (`VPG001`–`VPG004`).
+//! * [`analyze_vpa`] — automaton lints: dead states, unpushed/unpopped stack
+//!   symbols, cross-pair return transitions (the shape of the learner bug
+//!   fixed by counterexample-guided refinement), empty language, bottom
+//!   returns, table-coverage summary (`VPA001`–`VPA007`).
+//! * [`analyze_congruence`] — behaviorally mergeable state and stack-symbol
+//!   classes (`CNG000`–`CNG002`), the headroom estimate for automaton-size
+//!   reduction.
+//! * [`analyze_learned`] — the whole-language view: component passes plus
+//!   grammar-vs-automaton extraction equality and tokenizer-vs-tagging
+//!   consistency (`LRN001`–`LRN002`).
+//! * [`analyze_compiled`] — serving-artifact lints: dense-table geometry and
+//!   cell ranges, orphan interned item-sets, compiled stack-symbol liveness,
+//!   tokenizer decision ambiguity (`CMP001`–`CMP006`).
+//!
+//! Every pass reports through the same [`AnalysisReport`] /
+//! [`Diagnostic`] / [`Severity`] model, so gating is uniform:
+//! `report.is_clean(Severity::Warn)` is the CI bar for refined learned
+//! grammars. The [`Analyze`] trait puts an `analyze()` entry point on each
+//! artifact type.
+//!
+//! # Example
+//!
+//! ```
+//! use vstar_analyze::{Analyze, Severity};
+//! use vstar_vpl::grammar::figure1_grammar;
+//!
+//! let report = figure1_grammar().analyze();
+//! assert!(report.is_clean(Severity::Warn));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compiled_lints;
+pub mod congruence;
+pub mod learned;
+pub mod report;
+pub mod vpa_lints;
+pub mod vpg_lints;
+
+pub use compiled_lints::analyze_compiled;
+pub use congruence::{analyze_congruence, congruence_summary, CongruenceSummary};
+pub use learned::analyze_learned;
+pub use report::{AnalysisReport, Diagnostic, Severity};
+pub use vpa_lints::analyze_vpa;
+pub use vpg_lints::analyze_vpg;
+
+use vstar::{LearnedLanguage, VStarResult};
+use vstar_parser::CompiledGrammar;
+use vstar_vpl::{Vpa, Vpg};
+
+/// Uniform `analyze()` entry point over every artifact layer.
+pub trait Analyze {
+    /// Runs the static passes appropriate for this artifact and returns the
+    /// findings.
+    fn analyze(&self) -> AnalysisReport;
+}
+
+impl Analyze for Vpg {
+    fn analyze(&self) -> AnalysisReport {
+        analyze_vpg(self)
+    }
+}
+
+impl Analyze for Vpa {
+    fn analyze(&self) -> AnalysisReport {
+        let mut report = analyze_vpa(self);
+        report.absorb(analyze_congruence(self), "congruence");
+        report
+    }
+}
+
+impl Analyze for LearnedLanguage {
+    fn analyze(&self) -> AnalysisReport {
+        analyze_learned(self)
+    }
+}
+
+impl Analyze for VStarResult {
+    fn analyze(&self) -> AnalysisReport {
+        analyze_learned(&self.as_learned_language())
+    }
+}
+
+impl Analyze for CompiledGrammar {
+    fn analyze(&self) -> AnalysisReport {
+        analyze_compiled(self)
+    }
+}

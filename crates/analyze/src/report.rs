@@ -1,0 +1,261 @@
+//! The diagnostics data model: severities, diagnostics and analysis reports.
+//!
+//! Every lint pass in this crate reports through these types, so downstream
+//! consumers (the `analyze` bench binary, CI gates, tests) can treat all
+//! passes uniformly: filter by [`Severity`], look up [`Diagnostic::code`]s in
+//! the registry table of the README, and serialize whole reports into
+//! machine-readable JSON via `serde`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Serialize, Value};
+
+/// How many findings of one code a mass lint lists individually before
+/// switching to an explicit remainder count
+/// ([`AnalysisReport::push_each_capped`]).
+pub const MAX_FINDINGS_PER_CODE: usize = 8;
+
+/// How bad a finding is.
+///
+/// Ordered: `Info < Warn < Error`, so severity thresholds compare naturally
+/// ([`AnalysisReport::is_clean`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// A structural observation, not a defect (headroom metrics, allowed but
+    /// never-exercised constructs).
+    Info,
+    /// A suspicious construct that a healthy learned artifact should not
+    /// contain (dead structure, cross-pair discipline violations).
+    Warn,
+    /// A defect: the artifact is inconsistent or useless (empty language,
+    /// grammar/automaton disagreement, out-of-bounds tables).
+    Error,
+}
+
+impl Severity {
+    /// The lowercase label used in reports and messages.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+// The vendored serde derive is struct-only; render the enum by hand.
+impl Serialize for Severity {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_str().to_string())
+    }
+}
+
+/// One finding of a lint pass.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (`VPG001`, `VPA004`, …); the registry
+    /// lives in the README's "Analyzing learned grammars" table.
+    pub code: &'static str,
+    /// How bad the finding is.
+    pub severity: Severity,
+    /// Where in the artifact the finding sits (a nonterminal, state, stack
+    /// symbol, table cell, …), as a human-readable path.
+    pub location: String,
+    /// What was found.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {}: {}", self.severity, self.code, self.location, self.message)
+    }
+}
+
+/// Every finding of one analysis run over one artifact.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct AnalysisReport {
+    /// What was analyzed (`"vpg"`, `"vpa"`, `"learned"`, `"compiled"`).
+    pub subject: String,
+    /// All findings, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AnalysisReport {
+    /// An empty report for `subject`.
+    #[must_use]
+    pub fn new(subject: impl Into<String>) -> Self {
+        AnalysisReport { subject: subject.into(), diagnostics: Vec::new() }
+    }
+
+    /// Records one finding.
+    pub fn push(
+        &mut self,
+        code: &'static str,
+        severity: Severity,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity,
+            location: location.into(),
+            message: message.into(),
+        });
+    }
+
+    /// Records a batch of same-code findings, listing at most
+    /// [`MAX_FINDINGS_PER_CODE`] individually and compressing the rest into
+    /// one explicit remainder finding (no silent truncation: the remainder
+    /// count is part of the report). Mass lints over learned artifacts use
+    /// this — a single extracted grammar can trip the same lint thousands of
+    /// times, which would drown the report and bloat the tracked JSON.
+    pub fn push_each_capped(
+        &mut self,
+        code: &'static str,
+        severity: Severity,
+        findings: impl IntoIterator<Item = (String, String)>,
+        summary_location: &str,
+    ) {
+        let mut beyond_cap = 0usize;
+        for (n, (location, message)) in findings.into_iter().enumerate() {
+            if n < MAX_FINDINGS_PER_CODE {
+                self.push(code, severity, location, message);
+            } else {
+                beyond_cap += 1;
+            }
+        }
+        if beyond_cap > 0 {
+            self.push(
+                code,
+                severity,
+                summary_location.to_string(),
+                format!("… and {beyond_cap} more finding(s) of this kind (list truncated)"),
+            );
+        }
+    }
+
+    /// Absorbs another report's findings, prefixing their locations with
+    /// `prefix/` so component findings stay attributable in a combined
+    /// report.
+    pub fn absorb(&mut self, other: AnalysisReport, prefix: &str) {
+        for mut d in other.diagnostics {
+            d.location = format!("{prefix}/{}", d.location);
+            self.diagnostics.push(d);
+        }
+    }
+
+    /// Number of findings at exactly `severity`.
+    #[must_use]
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// The worst severity present, or `None` for a finding-free report.
+    #[must_use]
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// `true` when no finding reaches `threshold` (e.g.
+    /// `is_clean(Severity::Warn)`: no warnings and no errors).
+    #[must_use]
+    pub fn is_clean(&self, threshold: Severity) -> bool {
+        self.diagnostics.iter().all(|d| d.severity < threshold)
+    }
+
+    /// `true` when at least one finding carries `code`.
+    #[must_use]
+    pub fn has(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// The distinct codes present, sorted.
+    #[must_use]
+    pub fn codes(&self) -> BTreeSet<&'static str> {
+        self.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    /// The findings at or above `threshold`, for failure summaries.
+    #[must_use]
+    pub fn at_least(&self, threshold: Severity) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity >= threshold).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_prints() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+        assert_eq!(Severity::Warn.to_string(), "warn");
+        assert_eq!(Severity::Error.to_value(), Value::Str("error".into()));
+    }
+
+    #[test]
+    fn report_accounting() {
+        let mut r = AnalysisReport::new("vpg");
+        assert!(r.is_clean(Severity::Info));
+        assert_eq!(r.max_severity(), None);
+        r.push("VPG001", Severity::Warn, "nt/3", "unreachable");
+        r.push("VPG004", Severity::Error, "start", "empty language");
+        r.push("CNG001", Severity::Info, "states", "2 mergeable");
+        assert_eq!(r.count(Severity::Warn), 1);
+        assert_eq!(r.max_severity(), Some(Severity::Error));
+        assert!(!r.is_clean(Severity::Error));
+        assert!(r.has("VPG004"));
+        assert!(!r.has("VPA001"));
+        assert_eq!(r.at_least(Severity::Warn).len(), 2);
+        assert_eq!(r.codes().len(), 3);
+
+        let mut combined = AnalysisReport::new("learned");
+        combined.absorb(r, "grammar");
+        assert_eq!(combined.diagnostics[0].location, "grammar/nt/3");
+    }
+
+    #[test]
+    fn capped_batches_keep_an_explicit_remainder() {
+        let mut r = AnalysisReport::new("vpg");
+        r.push_each_capped(
+            "VPG003",
+            Severity::Info,
+            (0..20).map(|i| (format!("rule/{i}"), "crossing".to_string())),
+            "rules",
+        );
+        assert_eq!(r.diagnostics.len(), MAX_FINDINGS_PER_CODE + 1);
+        let last = r.diagnostics.last().unwrap();
+        assert_eq!(last.location, "rules");
+        assert!(last.message.contains("12 more"), "{}", last.message);
+
+        let mut small = AnalysisReport::new("vpg");
+        small.push_each_capped(
+            "VPG001",
+            Severity::Info,
+            (0..3).map(|i| (format!("nt/{i}"), "dead".to_string())),
+            "nts",
+        );
+        assert_eq!(small.diagnostics.len(), 3);
+        assert!(small.diagnostics.iter().all(|d| !d.message.contains("truncated")));
+    }
+
+    #[test]
+    fn diagnostics_render_with_code_and_location() {
+        let d = Diagnostic {
+            code: "VPA004",
+            severity: Severity::Warn,
+            location: "ret/q1".into(),
+            message: "cross-pair return".into(),
+        };
+        assert_eq!(d.to_string(), "warn [VPA004] ret/q1: cross-pair return");
+    }
+}

@@ -1,0 +1,344 @@
+//! Lint passes over deterministic partial VPAs (paper §3.3).
+//!
+//! Nondeterminism and kind violations are impossible by construction
+//! ([`vstar_vpl::VpaBuilder`] rejects them), so the automaton layer lints
+//! target what the builder cannot see: structure no run ever touches (dead
+//! states, unpushed or unpopped stack symbols), an empty language, return
+//! transitions that cross tagging pairs — the exact shape of the PR 5 learner
+//! bug — and the deliberate partiality of the transition tables, summarized
+//! rather than judged.
+
+use std::collections::BTreeSet;
+
+use vstar_vpl::{StackSymId, StateId, Vpa};
+
+use crate::report::{AnalysisReport, Severity};
+
+/// Runs every VPA lint and returns the findings.
+///
+/// Codes: `VPA001` unreachable state (warn), `VPA002` stack symbol never
+/// pushed (warn), `VPA003` stack symbol pushed but never popped (info),
+/// `VPA004` cross-pair return transition (info — learned token-mode automata
+/// legitimately contain them in quantity, mirroring the grammar-side
+/// `VPG003` calibration; the message still distinguishes live from dead
+/// crossings), `VPA005` no reachable accepting state (error), `VPA006`
+/// bottom-return transitions present (info), `VPA007` transition-table
+/// coverage summary (info).
+#[must_use]
+pub fn analyze_vpa(vpa: &Vpa) -> AnalysisReport {
+    let mut report = AnalysisReport::new("vpa");
+    let reachable = reachable_states(vpa);
+    let coreachable = coreachable_states(vpa);
+
+    report.push_each_capped(
+        "VPA001",
+        Severity::Warn,
+        (0..vpa.state_count()).map(StateId).filter(|q| !reachable.contains(q)).map(|q| {
+            (
+                format!("state/{q}"),
+                "unreachable from the initial state; no run ever enters it".to_string(),
+            )
+        }),
+        "states",
+    );
+
+    let mut pushed: Vec<BTreeSet<char>> = vec![BTreeSet::new(); vpa.stack_symbol_count()];
+    let mut pushed_reachably = vec![false; vpa.stack_symbol_count()];
+    for (p, a, _, gamma) in vpa.call_transitions() {
+        pushed[gamma.0].insert(a);
+        if reachable.contains(&p) {
+            pushed_reachably[gamma.0] = true;
+        }
+    }
+    let mut popped = vec![false; vpa.stack_symbol_count()];
+    for (_, _, gamma, _) in vpa.return_transitions() {
+        popped[gamma.0] = true;
+    }
+    report.push_each_capped(
+        "VPA002",
+        Severity::Warn,
+        (0..vpa.stack_symbol_count()).filter(|&sym| pushed[sym].is_empty()).map(|sym| {
+            (
+                format!("stack-symbol/{sym}"),
+                "declared but never pushed by any call transition".to_string(),
+            )
+        }),
+        "stack-symbols",
+    );
+    report.push_each_capped(
+        "VPA003",
+        Severity::Info,
+        (0..vpa.stack_symbol_count()).filter(|&sym| !pushed[sym].is_empty() && !popped[sym]).map(
+            |sym| {
+                (
+                    format!("stack-symbol/{sym}"),
+                    "pushed but never popped: every level opened with it gets stuck".to_string(),
+                )
+            },
+        ),
+        "stack-symbols",
+    );
+
+    report.push_each_capped(
+        "VPA004",
+        Severity::Info,
+        vpa.return_transitions().filter_map(|(q1, b, gamma, p2)| {
+            let pushers = &pushed[gamma.0];
+            if pushers.is_empty() {
+                return None; // already VPA002: there is no pair to cross.
+            }
+            let crosses = pushers.iter().all(|&a| vpa.tagging().matching_return(a) != Some(b));
+            if !crosses {
+                return None;
+            }
+            let live =
+                reachable.contains(&q1) && pushed_reachably[gamma.0] && coreachable.contains(&p2);
+            Some((
+                format!("return/{q1}/{b}/g{}", gamma.0),
+                format!(
+                    "pops a symbol pushed only by {pushers:?} with the cross-pair return {b:?}{}",
+                    if live { "; the transition is on a live accepting path" } else { " (dead)" }
+                ),
+            ))
+        }),
+        "returns",
+    );
+
+    if !vpa.accepting().iter().any(|q| reachable.contains(q)) {
+        report.push(
+            "VPA005",
+            Severity::Error,
+            "accepting",
+            "no accepting state is reachable: the language is empty",
+        );
+    }
+
+    let bottom: Vec<_> = vpa.bottom_return_transitions().collect();
+    if !bottom.is_empty() {
+        report.push(
+            "VPA006",
+            Severity::Info,
+            "return-on-empty",
+            format!(
+                "{} return-on-empty-stack transition(s) present; well-matched acceptance never \
+                 exercises them",
+                bottom.len()
+            ),
+        );
+    }
+
+    let tagging = vpa.tagging();
+    let n = vpa.state_count();
+    let call_cells = n * tagging.call_symbols().count();
+    let ret_cells = n * tagging.return_symbols().count() * vpa.stack_symbol_count();
+    let call_defined = vpa.call_transitions().count();
+    let ret_defined = vpa.return_transitions().count();
+    report.push(
+        "VPA007",
+        Severity::Info,
+        "tables",
+        format!(
+            "partial transition coverage: {call_defined}/{call_cells} call cells, \
+             {ret_defined}/{ret_cells} return cells defined (missing cells reject)"
+        ),
+    );
+
+    report
+}
+
+/// States reachable from the initial state, over-approximating the stack (any
+/// symbol pushed from a reachable state is considered poppable anywhere).
+///
+/// The reachable-state set and the pushable-symbol set grow each other —
+/// newly reachable states push new symbols, and a grown symbol set enables
+/// return transitions out of states visited *earlier* — so the iteration must
+/// re-sweep every transition until neither set changes, not just drain a
+/// one-shot worklist.
+pub(crate) fn reachable_states(vpa: &Vpa) -> BTreeSet<StateId> {
+    let mut reachable = BTreeSet::new();
+    reachable.insert(vpa.initial());
+    let mut pushable: BTreeSet<StackSymId> = BTreeSet::new();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (p, _, t) in vpa.plain_transitions() {
+            if reachable.contains(&p) && reachable.insert(t) {
+                changed = true;
+            }
+        }
+        for (p, _, t, g) in vpa.call_transitions() {
+            if reachable.contains(&p) {
+                changed |= reachable.insert(t);
+                changed |= pushable.insert(g);
+            }
+        }
+        for (p, _, g, t) in vpa.return_transitions() {
+            if reachable.contains(&p) && pushable.contains(&g) && reachable.insert(t) {
+                changed = true;
+            }
+        }
+        for (p, _, t) in vpa.bottom_return_transitions() {
+            if reachable.contains(&p) && reachable.insert(t) {
+                changed = true;
+            }
+        }
+    }
+    reachable
+}
+
+/// States from which some accepting state is reachable (same stack
+/// over-approximation as [`reachable_states`], edges reversed).
+fn coreachable_states(vpa: &Vpa) -> BTreeSet<StateId> {
+    let mut coreachable: BTreeSet<StateId> = vpa.accepting().iter().copied().collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let step = |from: StateId, to: StateId, coreachable: &mut BTreeSet<StateId>| {
+            if coreachable.contains(&to) && coreachable.insert(from) {
+                return true;
+            }
+            false
+        };
+        for (p, _, t) in vpa.plain_transitions() {
+            changed |= step(p, t, &mut coreachable);
+        }
+        for (p, _, t, _) in vpa.call_transitions() {
+            changed |= step(p, t, &mut coreachable);
+        }
+        for (p, _, _, t) in vpa.return_transitions() {
+            changed |= step(p, t, &mut coreachable);
+        }
+        for (p, _, t) in vpa.bottom_return_transitions() {
+            changed |= step(p, t, &mut coreachable);
+        }
+    }
+    coreachable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstar_vpl::{Tagging, VpaBuilder};
+
+    fn dyck_vpa() -> Vpa {
+        let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+        let mut b = VpaBuilder::new(tagging);
+        let q0 = b.add_state();
+        let g = b.add_stack_symbol();
+        b.set_initial(q0);
+        b.add_accepting(q0);
+        b.call(q0, '(', q0, g).unwrap();
+        b.ret(q0, ')', g, q0).unwrap();
+        b.plain(q0, 'x', q0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dyck_is_clean() {
+        let report = analyze_vpa(&dyck_vpa());
+        assert!(report.is_clean(Severity::Warn), "{:?}", report.diagnostics);
+        assert!(report.has("VPA007")); // the coverage summary is always there
+    }
+
+    #[test]
+    fn dead_structure_is_flagged() {
+        let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+        let mut b = VpaBuilder::new(tagging);
+        let q0 = b.add_state();
+        let dead = b.add_state();
+        let g = b.add_stack_symbol();
+        let unpushed = b.add_stack_symbol();
+        let unpopped = b.add_stack_symbol();
+        b.set_initial(q0);
+        b.add_accepting(q0);
+        b.call(q0, '(', q0, g).unwrap();
+        b.ret(q0, ')', g, q0).unwrap();
+        b.ret(dead, ')', unpushed, dead).unwrap();
+        b.call(dead, '(', dead, unpopped).unwrap();
+        let vpa = b.build().unwrap();
+        let report = analyze_vpa(&vpa);
+        assert!(report.has("VPA001"), "{:?}", report.diagnostics);
+        assert!(report.has("VPA002"), "{:?}", report.diagnostics);
+        assert!(report.has("VPA003"), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn cross_pair_returns_are_flagged_live_and_dead() {
+        let tagging = Tagging::from_pairs([('a', 'b'), ('c', 'd')]).unwrap();
+        let mut bld = VpaBuilder::new(tagging);
+        let q0 = bld.add_state();
+        let q1 = bld.add_state();
+        let qf = bld.add_state();
+        let ga = bld.add_stack_symbol();
+        bld.set_initial(q0);
+        bld.add_accepting(qf);
+        bld.call(q0, 'a', q1, ga).unwrap();
+        bld.plain(q1, 'x', q1).unwrap();
+        // The crossing return: γ pushed by 'a' popped by 'd'.
+        bld.ret(q1, 'd', ga, qf).unwrap();
+        let vpa = bld.build().unwrap();
+        assert!(vpa.accepts("axd"));
+        let report = analyze_vpa(&vpa);
+        let cross: Vec<_> = report.diagnostics.iter().filter(|d| d.code == "VPA004").collect();
+        assert_eq!(cross.len(), 1, "{:?}", report.diagnostics);
+        assert_eq!(cross[0].severity, Severity::Info);
+        assert!(cross[0].message.contains("live accepting path"), "{}", cross[0].message);
+    }
+
+    #[test]
+    fn returns_enabled_by_later_pushes_are_reached() {
+        // q1's return pops a symbol that only becomes pushable once q1 itself
+        // is reachable — a one-shot worklist that freezes the pushable set
+        // early misses q2/qf and mis-reports an empty language (the learned
+        // xml automaton has exactly this shape).
+        let tagging = Tagging::from_pairs([('a', 'b')]).unwrap();
+        let mut b = VpaBuilder::new(tagging);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        let qf = b.add_state();
+        let g0 = b.add_stack_symbol();
+        let g1 = b.add_stack_symbol();
+        b.set_initial(q0);
+        b.add_accepting(qf);
+        b.call(q0, 'a', q1, g0).unwrap();
+        b.call(q1, 'a', q1, g1).unwrap();
+        b.ret(q1, 'b', g1, q2).unwrap();
+        b.ret(q2, 'b', g0, qf).unwrap();
+        let vpa = b.build().unwrap();
+        assert!(vpa.accepts("aabb"));
+        let report = analyze_vpa(&vpa);
+        assert!(!report.has("VPA001"), "{:?}", report.diagnostics);
+        assert!(!report.has("VPA005"), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn empty_language_is_an_error() {
+        let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+        let mut b = VpaBuilder::new(tagging);
+        let q0 = b.add_state();
+        let island = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(island); // accepting but unreachable
+        b.plain(q0, 'x', q0).unwrap();
+        let vpa = b.build().unwrap();
+        let report = analyze_vpa(&vpa);
+        assert!(report.has("VPA005"));
+        assert_eq!(report.max_severity(), Some(Severity::Error));
+    }
+
+    #[test]
+    fn bottom_returns_are_reported_as_info() {
+        let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+        let mut b = VpaBuilder::new(tagging);
+        let q0 = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(q0);
+        b.ret_on_empty(q0, ')', q0).unwrap();
+        let vpa = b.build().unwrap();
+        let report = analyze_vpa(&vpa);
+        assert!(report.has("VPA006"));
+        let d = report.diagnostics.iter().find(|d| d.code == "VPA006").unwrap();
+        assert_eq!(d.severity, Severity::Info);
+    }
+}

@@ -1,0 +1,169 @@
+//! Lint passes over well-matched VPGs (paper Definition 3.1).
+//!
+//! The grammar layer is where learned-language defects are easiest to read
+//! off: a nonterminal nobody derives, a rule that can never terminate, a
+//! matching rule whose call and return belong to different tagging pairs (the
+//! grammar-side shadow of the PR 5 cross-pair learner bug), or a start symbol
+//! with no productive alternative at all.
+
+use std::collections::BTreeSet;
+
+use vstar_vpl::{NonterminalId, RuleRhs, Vpg};
+
+use crate::report::{AnalysisReport, Severity};
+
+/// Runs every VPG lint and returns the findings.
+///
+/// Codes: `VPG001` unreachable nonterminal (info — extraction from a learned
+/// automaton routinely leaves a few), `VPG002` unproductive nonterminal
+/// (warn), `VPG003` cross-pair matching rule (info — see below), `VPG004`
+/// empty language (error).
+///
+/// `VPG003` is informational by empirical calibration: grammars extracted
+/// from learned token-mode automata legitimately contain thousands of
+/// cross-pair matching rules (the oracle language itself pairs the tokens of
+/// different pairs positionally), so crossing alone is not a defect marker.
+/// An *injected* crossing is still caught — statically by the
+/// grammar-vs-automaton extraction-equality lint (`LRN001`, error) when the
+/// grammar was tampered with, and dynamically by the differential fuzz gates.
+#[must_use]
+pub fn analyze_vpg(vpg: &Vpg) -> AnalysisReport {
+    let mut report = AnalysisReport::new("vpg");
+    let reachable = reachable_nonterminals(vpg);
+    let min_lengths = vpg.min_lengths();
+
+    let nts = || (0..vpg.nonterminal_count()).map(NonterminalId);
+    report.push_each_capped(
+        "VPG001",
+        Severity::Info,
+        nts().filter(|nt| !reachable.contains(nt)).map(|nt| {
+            (
+                format!("nonterminal/{}", vpg.name(nt)),
+                "unreachable from the start symbol; no derivation ever uses its rules".to_string(),
+            )
+        }),
+        "nonterminals",
+    );
+    report.push_each_capped(
+        "VPG002",
+        Severity::Warn,
+        nts().filter(|nt| min_lengths[nt.0].is_none()).map(|nt| {
+            (
+                format!("nonterminal/{}", vpg.name(nt)),
+                "unproductive: no finite derivation from it terminates".to_string(),
+            )
+        }),
+        "nonterminals",
+    );
+
+    report.push_each_capped(
+        "VPG003",
+        Severity::Info,
+        vpg.rules().filter_map(|(lhs, rhs)| {
+            let RuleRhs::Match { call, ret, .. } = rhs else { return None };
+            let expected = vpg.tagging().matching_return(call);
+            if expected == Some(ret) {
+                return None;
+            }
+            Some((
+                format!("rule/{}", vpg.name(lhs)),
+                format!(
+                    "matching rule pairs call {call:?} with return {ret:?}, but the tagging \
+                     pairs it with {expected:?}: the grammar derives cross-pair nesting"
+                ),
+            ))
+        }),
+        "rules",
+    );
+
+    if min_lengths[vpg.start().0].is_none() {
+        report.push(
+            "VPG004",
+            Severity::Error,
+            format!("start/{}", vpg.name(vpg.start())),
+            "the start symbol derives no terminal string: the language is empty",
+        );
+    }
+
+    report
+}
+
+/// Nonterminals reachable from the start symbol through any rule.
+fn reachable_nonterminals(vpg: &Vpg) -> BTreeSet<NonterminalId> {
+    let mut reachable = BTreeSet::new();
+    let mut work = vec![vpg.start()];
+    reachable.insert(vpg.start());
+    while let Some(nt) = work.pop() {
+        for rhs in vpg.alternatives(nt) {
+            let successors: &[NonterminalId] = match *rhs {
+                RuleRhs::Empty => &[],
+                RuleRhs::Linear { next, .. } => &[next],
+                RuleRhs::Match { inner, next, .. } => &[inner, next],
+            };
+            for &succ in successors {
+                if reachable.insert(succ) {
+                    work.push(succ);
+                }
+            }
+        }
+    }
+    reachable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstar_vpl::grammar::figure1_grammar;
+    use vstar_vpl::{Tagging, VpgBuilder};
+
+    #[test]
+    fn figure1_is_clean() {
+        let report = analyze_vpg(&figure1_grammar());
+        assert!(report.is_clean(Severity::Warn), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn unreachable_and_unproductive_nonterminals_are_flagged() {
+        let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+        let mut b = VpgBuilder::new(tagging);
+        let s = b.nonterminal("S");
+        let orphan = b.nonterminal("Orphan");
+        let loopy = b.nonterminal("Loop");
+        b.empty_rule(s);
+        b.linear_rule(s, 'x', loopy);
+        b.empty_rule(orphan);
+        b.linear_rule(loopy, 'x', loopy); // productive never: only self-loops
+        let g = b.build(s).unwrap();
+        let report = analyze_vpg(&g);
+        assert!(report.has("VPG001"), "{:?}", report.diagnostics);
+        assert!(report.has("VPG002"), "{:?}", report.diagnostics);
+        assert!(!report.has("VPG004"));
+    }
+
+    #[test]
+    fn cross_pair_match_rules_are_flagged() {
+        let tagging = Tagging::from_pairs([('(', ')'), ('[', ']')]).unwrap();
+        let mut b = VpgBuilder::new(tagging);
+        let s = b.nonterminal("S");
+        b.empty_rule(s);
+        b.match_rule(s, '(', s, ']', s); // crosses the pairs
+        let g = b.build(s).unwrap();
+        let report = analyze_vpg(&g);
+        assert!(report.has("VPG003"), "{:?}", report.diagnostics);
+        // Calibrated as informational: genuine learned grammars cross pairs.
+        assert_eq!(report.count(Severity::Info), 1);
+        assert!(report.is_clean(Severity::Warn));
+    }
+
+    #[test]
+    fn empty_language_is_an_error() {
+        let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+        let mut b = VpgBuilder::new(tagging);
+        let s = b.nonterminal("S");
+        b.linear_rule(s, 'x', s); // no terminating alternative anywhere
+        let g = b.build(s).unwrap();
+        let report = analyze_vpg(&g);
+        assert!(report.has("VPG004"));
+        assert_eq!(report.max_severity(), Some(Severity::Error));
+    }
+}

@@ -1,0 +1,79 @@
+//! Pipeline property: whatever the learn → refine pipeline produces, the
+//! static analyzer reports no error-severity finding on it. Errors are
+//! reserved for artifacts the pipeline cannot emit (inconsistent pairings,
+//! empty languages, broken tables) — if this property fails, either the
+//! pipeline produced a genuinely broken artifact or an error lint is
+//! miscalibrated; both need a human.
+
+use proptest::prelude::*;
+
+use vstar::equivalence::TestPoolConfig;
+use vstar::{CorpusEvidence, Mat, RefineConfig, VStar, VStarConfig};
+use vstar_analyze::{Analyze, Severity};
+use vstar_parser::CompileLearned;
+
+fn dyck(s: &str) -> bool {
+    let mut depth = 0i64;
+    for c in s.chars() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth -= 1,
+            'x' => {}
+            _ => return false,
+        }
+        if depth < 0 {
+            return false;
+        }
+    }
+    depth == 0
+}
+
+fn dyck_even(s: &str) -> bool {
+    dyck(s) && s.chars().filter(|&c| c == 'x').count() % 2 == 0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Learn with a seed-dependent (sometimes deliberately weak) test pool,
+    /// refine against a held-out corpus, and lint everything that comes out.
+    #[test]
+    fn refined_pipeline_output_never_lints_at_error(seed in 0u64..1000) {
+        let parity = seed % 2 == 0;
+        let oracle = move |s: &str| if parity { dyck_even(s) } else { dyck(s) };
+        let mat = Mat::new(&oracle);
+
+        // Alternate between a healthy pool and the crippled one that forces
+        // the refinement loop to do real work (the core crate's regression
+        // setup), so both code paths feed the analyzer.
+        let test_pool = if seed % 3 == 0 {
+            TestPoolConfig { max_test_strings: 1, max_length: Some(2), rng_seed: seed }
+        } else {
+            TestPoolConfig { rng_seed: seed, ..TestPoolConfig::default() }
+        };
+        let config = VStarConfig { test_pool, ..VStarConfig::default() };
+        let seeds = vec!["(xx)".to_string(), "()".to_string(), "(())xx".to_string()];
+        let corpus = vstar_vpl::words::all_strings(&['(', ')', 'x'], 5);
+        let mut source = CorpusEvidence::new(corpus);
+
+        let (result, _log) = VStar::new(config)
+            .learn_refined(&mat, &['(', ')', 'x'], &seeds, &mut source, RefineConfig::default())
+            .expect("refined learning succeeds");
+
+        let learned = result.as_learned_language();
+        let report = learned.analyze();
+        prop_assert!(
+            report.is_clean(Severity::Error),
+            "learned-language errors: {:?}",
+            report.at_least(Severity::Error)
+        );
+
+        let compiled = result.compile().expect("pipeline output compiles");
+        let report = compiled.analyze();
+        prop_assert!(
+            report.is_clean(Severity::Error),
+            "compiled-artifact errors: {:?}",
+            report.at_least(Severity::Error)
+        );
+    }
+}

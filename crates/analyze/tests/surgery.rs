@@ -1,0 +1,141 @@
+//! Negative-path acceptance tests: every fault `vstar_fuzz::surgery` can
+//! inject must light up the matching diagnostic code. Without these, a
+//! lint-clean report is indistinguishable from a lint that looks at nothing —
+//! the same blindness argument the differential fuzzer's self-check makes.
+
+use vstar::{Mat, VStar, VStarConfig};
+use vstar_analyze::{Analyze, Severity};
+use vstar_fuzz::surgery::{with_crossed_returns, with_extra_rule, without_rule};
+use vstar_parser::CompileLearned;
+use vstar_vpl::grammar::figure1_grammar;
+use vstar_vpl::{NonterminalId, RuleRhs};
+
+#[test]
+fn crossed_returns_trigger_the_discipline_lint() {
+    let g = figure1_grammar();
+    assert!(g.analyze().is_clean(Severity::Warn));
+    let crossed = with_crossed_returns(&g).expect("figure 1 has two pairs");
+    let report = crossed.analyze();
+    assert!(report.has("VPG003"), "{:?}", report.diagnostics);
+    assert!(!report.is_clean(Severity::Info));
+}
+
+#[test]
+fn removed_rules_trigger_reachability_and_emptiness_lints() {
+    let g = figure1_grammar();
+    // Removing `B → d L` strands nonterminal B unproductive and takes every
+    // derivation through `L → c B` with it.
+    let (l, b_nt) = (NonterminalId(0), NonterminalId(2));
+    let strict = without_rule(&g, b_nt, &RuleRhs::Linear { plain: 'd', next: l }).unwrap();
+    let report = strict.analyze();
+    assert!(report.has("VPG002"), "{:?}", report.diagnostics);
+
+    // Removing every terminating alternative of the start symbol empties the
+    // language: the error-severity lint.
+    let no_empty = without_rule(&g, l, &RuleRhs::Empty).unwrap();
+    let no_c = without_rule(&no_empty, l, &RuleRhs::Linear { plain: 'c', next: b_nt }).unwrap();
+    let report = no_c.analyze();
+    assert!(report.has("VPG004"), "{:?}", report.diagnostics);
+    assert_eq!(report.max_severity(), Some(Severity::Error));
+}
+
+#[test]
+fn extra_rules_leave_orphans_behind() {
+    let g = figure1_grammar();
+    // Surgery keeps the nonterminal set fixed, so orphan a real one: give E a
+    // self-loop, then strip the only rule that reaches it.
+    let orphaned = with_extra_rule(
+        &g,
+        NonterminalId(3),
+        RuleRhs::Linear { plain: 'c', next: NonterminalId(3) },
+    )
+    .unwrap();
+    let without_e = without_rule(
+        &orphaned,
+        NonterminalId(1),
+        &RuleRhs::Match { call: 'g', inner: NonterminalId(0), ret: 'h', next: NonterminalId(3) },
+    )
+    .unwrap();
+    let report = without_e.analyze();
+    assert!(report.has("VPG001"), "{:?}", report.diagnostics);
+    assert!(report.has("VPG002"), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn surgered_learned_language_fails_the_extraction_equality_lint() {
+    let dyck = |s: &str| {
+        let mut depth = 0i64;
+        for c in s.chars() {
+            match c {
+                '(' => depth += 1,
+                ')' => depth -= 1,
+                'x' => {}
+                _ => return false,
+            }
+            if depth < 0 {
+                return false;
+            }
+        }
+        depth == 0
+    };
+    let oracle = |s: &str| dyck(s);
+    let mat = Mat::new(&oracle);
+    let seeds = vec!["(x)".to_string(), "()".to_string(), "(())x".to_string()];
+    let result = VStar::new(VStarConfig::default())
+        .learn(&mat, &['(', ')', 'x'], &seeds)
+        .expect("dyck learns");
+    let learned = result.as_learned_language();
+
+    // The genuine pipeline output carries no errors...
+    let clean = learned.analyze();
+    assert!(clean.is_clean(Severity::Error), "{:?}", clean.at_least(Severity::Error));
+    assert!(!clean.has("LRN001"));
+
+    // ...but any grammar surgery breaks grammar/automaton extraction
+    // equality, and the combined lint pins it as an error.
+    let weak_vpg = with_extra_rule(
+        learned.vpg(),
+        learned.vpg().start(),
+        RuleRhs::Linear { plain: 'x', next: learned.vpg().start() },
+    )
+    .unwrap();
+    let report = learned.clone().with_vpg(weak_vpg).analyze();
+    assert!(report.has("LRN001"), "{:?}", report.codes());
+    assert_eq!(report.max_severity(), Some(Severity::Error));
+}
+
+#[test]
+fn compiled_artifact_of_a_surgered_grammar_inherits_grammar_findings() {
+    let g = figure1_grammar();
+    let crossed = with_crossed_returns(&g).expect("two pairs");
+    let compiled = vstar_parser::CompiledGrammar::from_vpg(&crossed).unwrap();
+    let report = compiled.analyze();
+    assert!(report.has("VPG003"), "{:?}", report.codes());
+    assert!(report.diagnostics.iter().any(|d| d.location.starts_with("grammar/")));
+}
+
+#[test]
+fn genuine_compiled_artifact_is_gate_clean() {
+    let dyck = |s: &str| {
+        let mut depth = 0i64;
+        for c in s.chars() {
+            match c {
+                '(' => depth += 1,
+                ')' => depth -= 1,
+                _ => return false,
+            }
+            if depth < 0 {
+                return false;
+            }
+        }
+        depth == 0
+    };
+    let oracle = |s: &str| dyck(s);
+    let mat = Mat::new(&oracle);
+    let seeds = vec!["()".to_string(), "(())".to_string(), "()()".to_string()];
+    let result =
+        VStar::new(VStarConfig::default()).learn(&mat, &['(', ')'], &seeds).expect("dyck learns");
+    let compiled = result.compile().expect("compiles");
+    let report = compiled.analyze();
+    assert!(report.is_clean(Severity::Warn), "{:?}", report.at_least(Severity::Warn));
+}

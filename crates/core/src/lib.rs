@@ -79,7 +79,8 @@ pub use mat::Mat;
 pub use nesting::{candidate_nesting, NestingConfig, NestingPattern};
 pub use pipeline::{LearnedLanguage, TokenDiscovery, VStar, VStarConfig, VStarResult, VStarStats};
 pub use refine::{
-    CorpusEvidence, Evidence, EvidenceEquivalence, EvidenceSource, RefineConfig, RefineLog,
+    rule_liveness, CorpusEvidence, Evidence, EvidenceEquivalence, EvidenceSource, RefineConfig,
+    RefineLog, RuleLiveness,
 };
 pub use sevpa_learner::{SevpaLearner, SevpaLearnerConfig, TaggedAlphabet};
 pub use tag_infer::tag_infer;

@@ -23,7 +23,7 @@ use std::collections::VecDeque;
 
 use serde::Serialize;
 
-use vstar_vpl::vpa_to_vpg;
+use vstar_vpl::{vpa_to_vpg, Vpg};
 
 use crate::equivalence::{EquivalenceContext, EquivalenceStrategy};
 use crate::mat::Mat;
@@ -106,6 +106,65 @@ pub struct CounterexampleRecord {
     pub source: String,
 }
 
+/// Rule-liveness counts of one hypothesis grammar: how much of it actually
+/// participates in finite derivations from the start symbol.
+///
+/// A rule is *live* when its left-hand side is reachable from the start
+/// symbol and every nonterminal on its right-hand side is productive; only
+/// live rules can appear in a derivation of a member string. Learned grammars
+/// carry large dead regions (the `while` grammar shrinks from tens of
+/// thousands of rules to ~a quarter under refinement), and these counts make
+/// that shrinkage auditable per evidence round instead of anecdotal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct RuleLiveness {
+    /// Nonterminals in the grammar.
+    pub nonterminals: usize,
+    /// Total rules in the grammar.
+    pub rules: usize,
+    /// Rules on some finite derivation from the start symbol.
+    pub live_rules: usize,
+}
+
+/// Computes the [`RuleLiveness`] counts of `vpg`.
+#[must_use]
+pub fn rule_liveness(vpg: &Vpg) -> RuleLiveness {
+    use std::collections::BTreeSet;
+    use vstar_vpl::{NonterminalId, RuleRhs};
+
+    let mut reachable = BTreeSet::new();
+    let mut work = vec![vpg.start()];
+    reachable.insert(vpg.start());
+    while let Some(nt) = work.pop() {
+        for rhs in vpg.alternatives(nt) {
+            let succs: &[NonterminalId] = match *rhs {
+                RuleRhs::Empty => &[],
+                RuleRhs::Linear { next, .. } => &[next],
+                RuleRhs::Match { inner, next, .. } => &[inner, next],
+            };
+            for &s in succs {
+                if reachable.insert(s) {
+                    work.push(s);
+                }
+            }
+        }
+    }
+    let productive: Vec<bool> = vpg.min_lengths().iter().map(Option::is_some).collect();
+    let mut rules = 0usize;
+    let mut live = 0usize;
+    for (lhs, rhs) in vpg.rules() {
+        rules += 1;
+        let rhs_productive = match rhs {
+            RuleRhs::Empty => true,
+            RuleRhs::Linear { next, .. } => productive[next.0],
+            RuleRhs::Match { inner, next, .. } => productive[inner.0] && productive[next.0],
+        };
+        if reachable.contains(&lhs) && rhs_productive {
+            live += 1;
+        }
+    }
+    RuleLiveness { nonterminals: vpg.nonterminal_count(), rules, live_rules: live }
+}
+
 /// What a refinement loop did: every counterexample replayed, plus how the
 /// loop ended. Serialisable so bench reports can track refinement across
 /// commits (deliberately no wall-clock fields).
@@ -131,6 +190,12 @@ pub struct RefineLog {
     /// `true` when [`RefineConfig::max_campaigns`] rounds were spent without
     /// reaching a fixed point.
     pub budget_exhausted: bool,
+    /// Rule liveness of the hypothesis at the *first* evidence round — the
+    /// grammar refinement started from. `None` when no evidence round ran.
+    pub pre_liveness: Option<RuleLiveness>,
+    /// Rule liveness of the hypothesis at the *latest* evidence round. `None`
+    /// when no evidence round ran.
+    pub post_liveness: Option<RuleLiveness>,
 }
 
 impl RefineLog {
@@ -250,6 +315,9 @@ impl EquivalenceStrategy for EvidenceEquivalence<'_> {
             let round = self.log.campaigns_run;
             self.log.campaigns_run += 1;
             let learned = hypothesis_language(cx);
+            let liveness = rule_liveness(learned.vpg());
+            self.log.pre_liveness.get_or_insert(liveness);
+            self.log.post_liveness = Some(liveness);
             let evidence = self.source.collect(round, &learned, cx.mat);
             if evidence.is_empty() {
                 self.clean_streak += 1;
@@ -372,6 +440,13 @@ mod tests {
         assert!(log.fixed_point, "evidence should run dry: {log:?}");
         assert!(!log.budget_exhausted);
         assert!(log.counterexamples_replayed() > 0, "refinement should replay evidence");
+        // Every evidence round snapshots hypothesis rule liveness, making the
+        // refinement's grammar-size trajectory auditable.
+        let pre = log.pre_liveness.expect("evidence rounds ran");
+        let post = log.post_liveness.expect("evidence rounds ran");
+        assert!(pre.live_rules <= pre.rules);
+        assert!(post.live_rules <= post.rules);
+        assert!(post.rules > 0 && post.live_rules > 0);
         for w in &probe {
             assert_eq!(refined.accepts(&mat, w), dyck_even(w), "refined misjudges {w:?}");
         }
@@ -437,6 +512,24 @@ mod tests {
         assert_eq!(log.campaigns_run, 3);
         assert_eq!(log.skipped_ill_matched, 3);
         assert_eq!(log.counterexamples_replayed(), 0);
+    }
+
+    #[test]
+    fn rule_liveness_counts_only_derivable_rules() {
+        use vstar_vpl::{Tagging, VpgBuilder};
+        let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+        let mut b = VpgBuilder::new(tagging);
+        let s = b.nonterminal("S");
+        let orphan = b.nonterminal("Orphan");
+        let stuck = b.nonterminal("Stuck");
+        b.empty_rule(s); // live
+        b.match_rule(s, '(', s, ')', s); // live
+        b.linear_rule(s, 'x', stuck); // dead: Stuck is unproductive
+        b.empty_rule(orphan); // dead: Orphan is unreachable
+        b.linear_rule(stuck, 'x', stuck); // dead on both counts
+        let vpg = b.build(s).unwrap();
+        let live = rule_liveness(&vpg);
+        assert_eq!(live, RuleLiveness { nonterminals: 3, rules: 5, live_rules: 2 }, "{live:?}");
     }
 
     #[test]

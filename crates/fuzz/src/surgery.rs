@@ -56,6 +56,39 @@ pub fn without_rule(
     b.build(vpg.start())
 }
 
+/// Rebuilds `vpg` with the first matching rule's return symbol swapped for a
+/// return of a *different* tagging pair — the cross-pair discipline fault the
+/// static analyzer's `VPG003` lint exists for (the grammar-side shape of the
+/// learner bug counterexample-guided refinement fixes).
+///
+/// Returns `None` when the grammar has no matching rule or its tagging has
+/// fewer than two pairs (no foreign return to cross with).
+#[must_use]
+pub fn with_crossed_returns(vpg: &Vpg) -> Option<Vpg> {
+    let tagging = vpg.tagging();
+    let target = vpg.rules().find_map(|(lhs, rhs)| match rhs {
+        RuleRhs::Match { call, inner, ret, next } => {
+            let foreign = tagging.pairs().iter().map(|&(_, r)| r).find(|&r| r != ret)?;
+            Some((lhs, RuleRhs::Match { call, inner, ret, next }, foreign))
+        }
+        _ => None,
+    })?;
+    let (lhs, original, foreign) = target;
+    let crossed = match original {
+        RuleRhs::Match { call, inner, next, .. } => {
+            RuleRhs::Match { call, inner, ret: foreign, next }
+        }
+        _ => unreachable!("target is a match rule"),
+    };
+    let swapped = rebuild(vpg, |b| {
+        push_rule(b, lhs, crossed);
+    })
+    .expect("a foreign return symbol is still return-kinded");
+    // Replace rather than add: drop the original rule so the crossed variant
+    // is the only way to derive that nesting.
+    without_rule(&swapped, lhs, &original).ok()
+}
+
 fn rebuild(vpg: &Vpg, extra: impl FnOnce(&mut VpgBuilder)) -> Result<Vpg, VplError> {
     let n = vpg.nonterminal_count();
     let mut b = VpgBuilder::new(vpg.tagging().clone());
@@ -101,6 +134,28 @@ mod tests {
         assert!(weak.accepts("agcdcdhbcd"));
         // Ill-kinded rules are rejected (`a` is a call symbol).
         assert!(with_extra_rule(&g, l, RuleRhs::Linear { plain: 'a', next: l }).is_err());
+    }
+
+    #[test]
+    fn crossed_returns_break_the_pair_discipline() {
+        let g = figure1_grammar(); // pairs (a,b) and (g,h)
+        let crossed = with_crossed_returns(&g).expect("two pairs available");
+        assert_eq!(crossed.rule_count(), g.rule_count());
+        // Some match rule now pairs a call with the other pair's return.
+        let has_cross = crossed.rules().any(|(_, rhs)| match rhs {
+            RuleRhs::Match { call, ret, .. } => {
+                crossed.tagging().matching_return(call) != Some(ret)
+            }
+            _ => false,
+        });
+        assert!(has_cross, "surgery must produce a cross-pair match rule");
+        // A single-pair grammar offers nothing to cross with.
+        let tagging = vstar_vpl::Tagging::from_pairs([('(', ')')]).unwrap();
+        let mut b = VpgBuilder::new(tagging);
+        let s = b.nonterminal("S");
+        b.empty_rule(s);
+        b.match_rule(s, '(', s, ')', s);
+        assert!(with_crossed_returns(&b.build(s).unwrap()).is_none());
     }
 
     #[test]

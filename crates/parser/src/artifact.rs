@@ -50,6 +50,14 @@ pub enum ArtifactError {
     },
     /// The decoded grammar failed to recompile into an automaton.
     Compile(CompileError),
+    /// Each field is well-formed but the document is internally inconsistent
+    /// or exceeds a resource bound (a declared DFA size past
+    /// [`MAX_MATCHER_STATES`], a tagging that does not correspond to the
+    /// tokenizer it ships with).
+    Integrity {
+        /// What was inconsistent.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ArtifactError {
@@ -62,6 +70,9 @@ impl fmt::Display for ArtifactError {
                 write!(f, "unsupported artifact version {found} (this build reads {supported})")
             }
             ArtifactError::Compile(e) => write!(f, "artifact failed to recompile: {e}"),
+            ArtifactError::Integrity { reason } => {
+                write!(f, "artifact failed integrity checks: {reason}")
+            }
         }
     }
 }
@@ -92,6 +103,16 @@ impl From<CompileError> for ArtifactError {
 fn format_err(reason: impl Into<String>) -> ArtifactError {
     ArtifactError::Format { reason: reason.into() }
 }
+
+fn integrity_err(reason: impl Into<String>) -> ArtifactError {
+    ArtifactError::Integrity { reason: reason.into() }
+}
+
+/// Cap on the declared state count of a serialized matcher DFA. Learned
+/// matchers are tiny (tokens are short regular fragments); a document
+/// declaring more states than this is hostile or corrupt, and accepting it
+/// would make later re-serialization materialize the full declared range.
+pub const MAX_MATCHER_STATES: usize = 1 << 16;
 
 impl CompiledGrammar {
     /// Serializes the artifact to its versioned JSON document.
@@ -296,6 +317,11 @@ fn decode_matcher(v: &Value) -> Result<TokenMatcher, ArtifactError> {
     if states == 0 {
         return Err(format_err("a DFA needs at least one state"));
     }
+    if states > MAX_MATCHER_STATES {
+        return Err(integrity_err(format!(
+            "matcher DFA declares {states} states (limit {MAX_MATCHER_STATES})"
+        )));
+    }
     let initial = usize::try_from(u64_field(dfa, "initial")?)
         .map_err(|_| format_err("\"initial\" out of range"))?;
     if initial >= states {
@@ -433,6 +459,35 @@ fn decode(doc: &Value) -> Result<CompiledGrammar, ArtifactError> {
             call: decode_matcher(field(pair, "call")?)?,
             ret: decode_matcher(field(pair, "ret")?)?,
         });
+    }
+
+    // Cross-layer integrity: the grammar's tagging and the tokenizer are
+    // produced together by the pipeline, so a document where they disagree
+    // was not produced by `save` — reject it instead of serving artifacts
+    // whose conversion layer and automaton speak different alphabets.
+    match mode {
+        TokenDiscovery::Tokens => {
+            let expected: Vec<(char, char)> = (0..tokenizer.pair_count())
+                .map(|i| (vstar::tokenizer::call_marker(i), vstar::tokenizer::return_marker(i)))
+                .collect();
+            if vpg.tagging().pairs() != expected.as_slice() {
+                return Err(integrity_err(format!(
+                    "token-mode tagging must be the tokenizer's marker pairs \
+                     (tokenizer has {} pair(s), tagging has {})",
+                    tokenizer.pair_count(),
+                    vpg.tagging().pair_count()
+                )));
+            }
+        }
+        TokenDiscovery::Characters => {
+            if vpg.tagging().pair_count() != tokenizer.pair_count() {
+                return Err(integrity_err(format!(
+                    "character-mode tokenizer carries {} pair(s) but the tagging has {}",
+                    tokenizer.pair_count(),
+                    vpg.tagging().pair_count()
+                )));
+            }
+        }
     }
 
     Ok(CompiledGrammar::assemble(vpg, tokenizer, mode, CompileOptions::default())?)

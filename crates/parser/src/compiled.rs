@@ -534,6 +534,87 @@ const _: () = {
     assert_serving_artifact::<CompiledGrammar>();
 };
 
+/// Read-only access to a [`CompiledGrammar`]'s dense transition tables.
+///
+/// The automaton representation stays private; this view hands static
+/// analyses (the `vstar-analyze` compiled-layer lints) exactly the table
+/// geometry and cell contents they need to audit bounds, reachability and
+/// stack-symbol liveness. All slices use the layout documented on the
+/// accessors; [`TableView::DEAD`] marks the absent transition.
+#[derive(Clone, Copy, Debug)]
+pub struct TableView<'a> {
+    auto: &'a Automaton,
+}
+
+impl TableView<'_> {
+    /// The sentinel state id meaning "no transition" in every table.
+    pub const DEAD: u32 = DEAD;
+
+    /// Number of interned item-set states.
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.auto.accepting.len()
+    }
+
+    /// Number of interned stack symbols.
+    #[must_use]
+    pub fn stack_symbol_count(&self) -> usize {
+        self.auto.n_syms
+    }
+
+    /// The start state.
+    #[must_use]
+    pub fn start(&self) -> u32 {
+        self.auto.start
+    }
+
+    /// Per-state acceptance flags (`accepting()[state]`).
+    #[must_use]
+    pub fn accepting(&self) -> &[bool] {
+        &self.auto.accepting
+    }
+
+    /// The plain characters, sorted; a plain id is an index into this slice.
+    #[must_use]
+    pub fn plain_chars(&self) -> &[char] {
+        &self.auto.plain_chars
+    }
+
+    /// The call characters, sorted.
+    #[must_use]
+    pub fn call_chars(&self) -> &[char] {
+        &self.auto.call_chars
+    }
+
+    /// The return characters, sorted.
+    #[must_use]
+    pub fn ret_chars(&self) -> &[char] {
+        &self.auto.ret_chars
+    }
+
+    /// The plain table: `[state * plain_chars().len() + plain_id] → state`
+    /// (or [`TableView::DEAD`]).
+    #[must_use]
+    pub fn plain_table(&self) -> &[u32] {
+        &self.auto.plain_trans
+    }
+
+    /// The call table: `[state * call_chars().len() + call_id] →
+    /// (body state, pushed stack symbol)` (body [`TableView::DEAD`] when
+    /// absent).
+    #[must_use]
+    pub fn call_table(&self) -> &[(u32, u32)] {
+        &self.auto.call_trans
+    }
+
+    /// The return table: `[(state * stack_symbol_count() + sym) *
+    /// ret_chars().len() + ret_id] → state` (or [`TableView::DEAD`]).
+    #[must_use]
+    pub fn ret_table(&self) -> &[u32] {
+        &self.auto.ret_trans
+    }
+}
+
 /// Cap on tokenization configurations explored per input; exceeding it treats
 /// the input as rejected (a defensive bound — live configurations are
 /// deduplicated on `(position, state, stack)` and die fast in practice).
@@ -642,6 +723,14 @@ impl CompiledGrammar {
     #[must_use]
     pub fn stack_symbols(&self) -> usize {
         self.auto.n_syms
+    }
+
+    /// A read-only view of the dense transition tables, for external audits
+    /// (the `vstar-analyze` compiled-layer lints) without exposing the
+    /// automaton's representation as API.
+    #[must_use]
+    pub fn table_view(&self) -> TableView<'_> {
+        TableView { auto: &self.auto }
     }
 
     pub(crate) fn word_accepting(&self, state: u32) -> bool {

@@ -61,8 +61,8 @@ pub mod sampler;
 pub mod serve;
 pub mod tree;
 
-pub use artifact::{ArtifactError, ARTIFACT_VERSION};
-pub use compiled::{CompileError, CompileLearned, CompileOptions, CompiledGrammar};
+pub use artifact::{ArtifactError, ARTIFACT_VERSION, MAX_MATCHER_STATES};
+pub use compiled::{CompileError, CompileLearned, CompileOptions, CompiledGrammar, TableView};
 pub use error::{ParseError, ParseErrorKind};
 pub use learned::LearnedParser;
 pub use recognizer::VpgParser;

@@ -149,3 +149,39 @@ fn corrupted_artifacts_fail_with_typed_errors() {
     let e = CompiledGrammar::from_json(&vandalized);
     assert!(matches!(e, Err(ArtifactError::Format { .. })), "{e:?}");
 }
+
+#[test]
+fn inconsistent_artifacts_fail_integrity_checks() {
+    use vstar_parser::MAX_MATCHER_STATES;
+    use vstar_vpl::grammar::figure1_grammar;
+
+    let compiled = CompiledGrammar::from_vpg(&figure1_grammar()).unwrap();
+    let json = compiled.to_json();
+
+    // A matcher DFA declaring an absurd state count: each index is in range,
+    // so the per-field bounds checks pass, but accepting the document would
+    // let a later re-save materialize the full declared range. The load must
+    // reject it up front, and quickly.
+    let huge = format!(
+        "\"dfa\": {{\"alphabet\":[\"a\"],\"states\":{},\"initial\":0,\
+         \"accepting\":[],\"transitions\":[]}}",
+        MAX_MATCHER_STATES + 1
+    );
+    let inflated = json.replacen("\"literal\": \"a\"", &huge, 1);
+    assert_ne!(inflated, json, "the figure-1 artifact should carry a literal 'a' matcher");
+    let e = CompiledGrammar::from_json(&inflated);
+    assert!(matches!(e, Err(ArtifactError::Integrity { .. })), "{e:?}");
+
+    // A tokenizer with an extra pair the tagging knows nothing about: every
+    // field is well-formed in isolation, only the cross-layer view is broken.
+    let extra_pair = json.replacen(
+        "\"pairs\": [",
+        "\"pairs\": [{\"call\": {\"literal\": \"q\"}, \"ret\": {\"literal\": \"z\"}},",
+        1,
+    );
+    assert_ne!(extra_pair, json);
+    let e = CompiledGrammar::from_json(&extra_pair);
+    assert!(matches!(e, Err(ArtifactError::Integrity { .. })), "{e:?}");
+    let text = e.unwrap_err().to_string();
+    assert!(text.contains("integrity"), "{text}");
+}

@@ -54,5 +54,5 @@ pub use error::VplError;
 pub use grammar::{NonterminalId, RuleRhs, Vpg, VpgBuilder};
 pub use symbol::{Kind, TaggedChar};
 pub use tagging::Tagging;
-pub use vpa::{StateId, Vpa, VpaBuilder};
+pub use vpa::{StackSymId, StateId, Vpa, VpaBuilder};
 pub use vpa_to_vpg::vpa_to_vpg;

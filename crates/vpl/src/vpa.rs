@@ -142,6 +142,12 @@ impl Vpa {
         self.plain_tr.iter().map(|(&(q, c), &q2)| (q, c, q2))
     }
 
+    /// Iterates over all return-on-empty-stack transitions `(from, ret) → to`
+    /// (the paper allows them; well-matched languages never exercise them).
+    pub fn bottom_return_transitions(&self) -> impl Iterator<Item = (StateId, char, StateId)> + '_ {
+        self.ret_bottom_tr.iter().map(|(&(q, c), &q2)| (q, c, q2))
+    }
+
     /// Performs one configuration step (paper §3.3). Returns `None` when the
     /// required transition is missing.
     #[must_use]
@@ -556,6 +562,7 @@ mod tests {
         // empty stack, so it is accepted under the paper's VPA semantics.
         assert!(vpa.accepts(")"));
         assert!(!vpa.accepts("))"));
+        assert_eq!(vpa.bottom_return_transitions().collect::<Vec<_>>(), vec![(q0, ')', q1)]);
     }
 
     #[test]
