@@ -11,6 +11,13 @@
 
 use std::collections::HashMap;
 
+/// Pre-built telemetry counter names of one labelled cache site, so the hot
+/// query path never formats strings.
+struct SiteCounters {
+    hit: String,
+    miss: String,
+}
+
 /// A caching membership-query store counting unique and total queries.
 ///
 /// [`QueryCache::query`] is the single lookup/record path shared by every
@@ -18,18 +25,41 @@ use std::collections::HashMap;
 /// allocation-free hash probe, and only the miss path — whose cost is
 /// dominated by the oracle invocation itself — touches the table a second
 /// time to record the fresh answer.
+///
+/// A cache built with [`QueryCache::for_site`] additionally reports every
+/// lookup to `vstar_telemetry` as `query.<site>.hit` / `query.<site>.miss`
+/// counters. The site label is what keeps *stacked* caches honest: when an
+/// L\* table caches over a closure that itself queries a `Mat` (which caches
+/// over the real oracle), each layer increments only its own counters, so a
+/// hit anywhere is never double-counted as an oracle query — the innermost
+/// labelled miss count (`query.oracle.miss` or `query.mat.miss`) is the
+/// ground truth for "how often did the black box actually run".
 #[derive(Default)]
 pub struct QueryCache {
     cache: HashMap<String, bool>,
     unique_queries: usize,
     total_queries: usize,
+    site: Option<SiteCounters>,
 }
 
 impl QueryCache {
-    /// An empty cache with zeroed counters.
+    /// An empty cache with zeroed counters and no telemetry site label.
     #[must_use]
     pub fn new() -> Self {
         QueryCache::default()
+    }
+
+    /// An empty cache that reports its lookups to telemetry as
+    /// `query.<site>.hit` / `query.<site>.miss`.
+    #[must_use]
+    pub fn for_site(site: &str) -> Self {
+        QueryCache {
+            site: Some(SiteCounters {
+                hit: format!("query.{site}.hit"),
+                miss: format!("query.{site}.miss"),
+            }),
+            ..QueryCache::default()
+        }
     }
 
     /// Answers a membership query: counts a total query, returns the cached
@@ -43,7 +73,16 @@ impl QueryCache {
         // Hits (the overwhelmingly common case — that is why the cache exists)
         // stay allocation-free; the owned key is only built on a miss.
         if let Some(&v) = self.cache.get(input) {
+            if let Some(site) = &self.site {
+                vstar_telemetry::counter(&site.hit, 1);
+            }
             return v;
+        }
+        if let Some(site) = &self.site {
+            // Counted *before* the oracle runs so that queries the oracle
+            // issues transitively (stacked caches) nest inside this one in
+            // journal order; the count itself is unaffected by ordering.
+            vstar_telemetry::counter(&site.miss, 1);
         }
         let v = oracle(input);
         self.unique_queries += 1;
@@ -61,6 +100,12 @@ impl QueryCache {
     #[must_use]
     pub fn total_queries(&self) -> usize {
         self.total_queries
+    }
+
+    /// Number of cache hits so far (total minus unique queries).
+    #[must_use]
+    pub fn hits(&self) -> usize {
+        self.total_queries - self.unique_queries
     }
 
     /// Number of cached answers.
@@ -132,5 +177,86 @@ mod tests {
     fn debug_shows_counters() {
         let cache = QueryCache::new();
         assert!(format!("{cache:?}").contains("unique_queries"));
+    }
+
+    #[test]
+    fn hits_is_total_minus_unique() {
+        let mut cache = QueryCache::new();
+        let _ = cache.query("a", |_| true);
+        let _ = cache.query("a", |_| true);
+        let _ = cache.query("a", |_| true);
+        let _ = cache.query("b", |_| false);
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    fn site_labelled_cache_reports_hits_and_misses_to_telemetry() {
+        let guard = vstar_telemetry::install();
+        let mut cache = QueryCache::for_site("mat");
+        let _ = cache.query("a", |_| true);
+        let _ = cache.query("a", |_| true);
+        let _ = cache.query("b", |_| false);
+        // The legacy counters and the telemetry counters are two views of the
+        // same single lookup path, so they must agree exactly.
+        assert_eq!(vstar_telemetry::counter_total("query.mat.miss"), cache.unique_queries() as u64);
+        assert_eq!(vstar_telemetry::counter_total("query.mat.hit"), cache.hits() as u64);
+        let report = guard.finish();
+        assert_eq!(report.facts.counter("query.mat.miss"), 2);
+        assert_eq!(report.facts.counter("query.mat.hit"), 1);
+    }
+
+    #[test]
+    fn unlabelled_cache_stays_silent() {
+        let guard = vstar_telemetry::install();
+        let mut cache = QueryCache::new();
+        let _ = cache.query("a", |_| true);
+        let report = guard.finish();
+        assert!(report.facts.counters.is_empty(), "{:?}", report.facts.counters);
+    }
+
+    #[test]
+    fn stacked_caches_never_double_count_a_hit_as_an_oracle_query() {
+        // Regression test for the shared entry-style lookup: an L*-layer
+        // cache stacked over a Mat-layer cache (the token-inference shape,
+        // where LStar's membership closure delegates to `Mat::member`). A
+        // string the inner layer has already answered must surface as an
+        // inner *hit* even when the outer layer misses — only genuinely
+        // fresh strings may increment the inner miss counter, which is the
+        // "real oracle invocations" ground truth.
+        let guard = vstar_telemetry::install();
+        let raw_calls = std::cell::Cell::new(0usize);
+        let mut inner = QueryCache::for_site("mat");
+        let mut outer = QueryCache::for_site("lstar");
+
+        // Warm the inner layer directly (as a previous per-token learner
+        // sharing the same Mat would).
+        let _ = inner.query("shared", |_| {
+            raw_calls.set(raw_calls.get() + 1);
+            true
+        });
+        // The outer layer now sees "shared" (outer miss, inner hit) and
+        // "fresh" (miss at both layers).
+        for input in ["shared", "fresh", "shared"] {
+            let _ = outer.query(input, |s| {
+                inner.query(s, |_| {
+                    raw_calls.set(raw_calls.get() + 1);
+                    s.len() > 4
+                })
+            });
+        }
+        let report = guard.finish();
+        assert_eq!(raw_calls.get(), 2, "the black box ran once per unique string");
+        assert_eq!(
+            report.facts.counter("query.mat.miss"),
+            raw_calls.get() as u64,
+            "inner misses are exactly the oracle invocations"
+        );
+        assert_eq!(report.facts.counter("query.mat.hit"), 1, "the warm string is an inner hit");
+        assert_eq!(report.facts.counter("query.lstar.miss"), 2);
+        assert_eq!(report.facts.counter("query.lstar.hit"), 1);
+        // Per-site legacy counters agree with their telemetry views.
+        assert_eq!(inner.unique_queries(), 2);
+        assert_eq!(outer.unique_queries(), 2);
+        assert_eq!(outer.total_queries(), 3);
     }
 }

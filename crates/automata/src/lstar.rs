@@ -92,7 +92,7 @@ impl<'a> LStar<'a> {
             config,
             s: vec![String::new()],
             e: vec![String::new()],
-            cache: QueryCache::new(),
+            cache: QueryCache::for_site("lstar"),
             stats: LStarStats::default(),
         }
     }

@@ -35,7 +35,7 @@ use vstar_bench::cli::Args;
 use vstar_bench::{learn_learned_language, learn_refined_language, REFINE_MIN_ITERATIONS};
 use vstar_eval::DifferentialCounts;
 use vstar_fuzz::{CampaignReport, FuzzCampaign, FuzzConfig};
-use vstar_oracles::{language_by_name, table1_languages};
+use vstar_oracles::{language_by_name, table1_languages, CountedLanguage, CountingOracle};
 
 /// File the machine-readable report is written to (current directory).
 const JSON_REPORT_PATH: &str = "BENCH_refine.json";
@@ -163,16 +163,26 @@ fn main() {
         let Some(lang) = language_by_name(name) else {
             fail(format!("unknown grammar {name:?}; grammars: {}", all_names.join(" ")));
         };
+        // Route every membership query of the run — learning, in-loop
+        // campaigns, gate campaigns — through one shared CountingOracle under
+        // an installed telemetry collector, so the per-round query/cache
+        // snapshots embedded in the refinement log are live (they read the
+        // telemetry `query.oracle.*` counters). Caching changes no answers,
+        // so the campaign trajectories are unaffected.
+        let telemetry = vstar_telemetry::install();
+        let counting = CountingOracle::new(|s: &str| lang.accepts(s));
+        let counted = CountedLanguage::new(lang.as_ref(), &counting);
         eprintln!("learning {name} (plain pipeline) …");
-        let base = learn_learned_language(lang.as_ref());
-        let pre = FuzzCampaign::new(&base, lang.as_ref(), gate_config.clone()).run();
+        let base = learn_learned_language(&counted);
+        let pre = FuzzCampaign::new(&base, &counted, gate_config.clone()).run();
         eprintln!(
             "refining {name}: pre campaign found {} divergent case(s) in {} iterations",
             pre.counts.divergences(),
             pre.iterations
         );
-        let refined = learn_refined_language(lang.as_ref(), &loop_config, &refine_config);
-        let post = FuzzCampaign::new(&refined.learned, lang.as_ref(), gate_config.clone()).run();
+        let refined = learn_refined_language(&counted, &loop_config, &refine_config);
+        let post = FuzzCampaign::new(&refined.learned, &counted, gate_config.clone()).run();
+        drop(telemetry);
         eprintln!(
             "refined {name}: {} campaign(s), {} counterexample(s) replayed, post divergences {}",
             refined.log.campaigns_run,

@@ -27,7 +27,7 @@ impl<'a> Mat<'a> {
     /// this `Mat` itself, as the cache is borrowed while it runs.
     #[must_use]
     pub fn new(oracle: &'a dyn Fn(&str) -> bool) -> Self {
-        Mat { oracle, state: RefCell::new(QueryCache::new()) }
+        Mat { oracle, state: RefCell::new(QueryCache::for_site("mat")) }
     }
 
     /// The membership query `χ_L(s)`: a single entry-style cache lookup that
@@ -47,6 +47,12 @@ impl<'a> Mat<'a> {
     #[must_use]
     pub fn total_queries(&self) -> usize {
         self.state.borrow().total_queries()
+    }
+
+    /// Number of cache hits (total minus unique queries).
+    #[must_use]
+    pub fn cache_hits(&self) -> usize {
+        self.state.borrow().hits()
     }
 
     /// Clears the cache and the counters.
@@ -118,6 +124,20 @@ mod tests {
         mat.reset();
         assert_eq!(mat.unique_queries(), 0);
         assert_eq!(mat.total_queries(), 0);
+    }
+
+    #[test]
+    fn telemetry_counters_mirror_the_legacy_counters() {
+        let guard = vstar_telemetry::install();
+        let oracle = |s: &str| s.len() < 2;
+        let mat = Mat::new(&oracle);
+        for s in ["a", "bb", "a", "a", "c"] {
+            let _ = mat.member(s);
+        }
+        let report = guard.finish();
+        assert_eq!(report.facts.counter("query.mat.miss"), mat.unique_queries() as u64);
+        assert_eq!(report.facts.counter("query.mat.hit"), mat.cache_hits() as u64);
+        assert_eq!(mat.cache_hits(), 2);
     }
 
     #[test]

@@ -328,17 +328,22 @@ impl VStar {
         strategy: &mut dyn EquivalenceStrategy,
     ) -> Result<VStarResult, VStarError> {
         let start_time = Instant::now();
+        let _learn_span = vstar_telemetry::span("learn");
         if seeds.is_empty() {
             return Err(VStarError::NoSeeds);
         }
-        for seed in seeds {
-            if !mat.member(seed) {
-                return Err(VStarError::InvalidSeed { seed: seed.clone() });
+        {
+            let _seed_check = vstar_telemetry::span("seed-check");
+            for seed in seeds {
+                if !mat.member(seed) {
+                    return Err(VStarError::InvalidSeed { seed: seed.clone() });
+                }
             }
         }
         let queries_at_start = mat.unique_queries();
 
         // Phase 1: structure inference (tagging or tokenizer).
+        let token_inference = vstar_telemetry::span("token-inference");
         let (tokenizer, tagged_alphabet, char_mode_tagging) = match self.config.token_discovery {
             TokenDiscovery::Characters => {
                 let tagging = tag_infer(mat, seeds, &self.config.tag_config).ok_or(
@@ -357,9 +362,11 @@ impl VStar {
                 (tokenizer, alpha, None)
             }
         };
+        drop(token_inference);
         let queries_after_tokens = mat.unique_queries();
 
         // Phase 2: test-string pool for simulated equivalence queries.
+        let pool_build = vstar_telemetry::span("pool-build");
         let pool = match self.config.token_discovery {
             TokenDiscovery::Characters => {
                 let tagging = char_mode_tagging.clone().expect("set in character mode");
@@ -371,8 +378,10 @@ impl VStar {
                 TestPool::build(mat, &tokenizer, seeds, &self.config.test_pool)
             }
         };
+        drop(pool_build);
 
         // Phase 3: VPA learning over the (converted) alphabet.
+        let vpa_learning = vstar_telemetry::span("vpa-learning");
         let membership: Box<dyn Fn(&str) -> bool> = match self.config.token_discovery {
             TokenDiscovery::Characters => Box::new(move |w: &str| mat.member(w)),
             TokenDiscovery::Tokens => Box::new(move |w: &str| mat.member(&strip_markers(w))),
@@ -392,9 +401,12 @@ impl VStar {
         })?;
         let learner_stats = learner.stats();
         let queries_total = mat.unique_queries();
+        drop(vpa_learning);
 
         // Phase 4: grammar extraction.
+        let extraction = vstar_telemetry::span("extraction");
         let vpg = vpa_to_vpg(&hypothesis.vpa);
+        drop(extraction);
 
         let stats = VStarStats {
             queries_total: queries_total - queries_at_start,

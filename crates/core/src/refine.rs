@@ -165,6 +165,32 @@ pub fn rule_liveness(vpg: &Vpg) -> RuleLiveness {
     RuleLiveness { nonterminals: vpg.nonterminal_count(), rules, live_rules: live }
 }
 
+/// Query and cache economics of one evidence round, snapshotted from the
+/// telemetry `query.<site>.{hit,miss}` counters — the same source of truth
+/// the paper's "#Queries" metric is measured from, so the bench tallies and
+/// the telemetry counters can never drift apart. The snapshot reads the
+/// *innermost* query site that moved during the round's collection: the
+/// shared `oracle` site when the evidence source drives a
+/// `CountingOracle`-backed language (`vstar_oracles`), else the learner's
+/// `mat` cache. All fields are zero when no telemetry collector is
+/// installed for the run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct RefineRoundSnapshot {
+    /// The evidence round (0-based campaign number).
+    pub round: usize,
+    /// Divergence evidence items the round produced.
+    pub evidence: usize,
+    /// Unique membership queries (cache misses) spent collecting the round's
+    /// evidence.
+    pub unique_queries: usize,
+    /// Total membership calls (hits included) during the round's collection.
+    pub total_queries: usize,
+    /// Cache hits during the round's collection.
+    pub cache_hits: usize,
+    /// `cache_hits / total_queries` for this round (0 when no calls).
+    pub cache_hit_rate: f64,
+}
+
 /// What a refinement loop did: every counterexample replayed, plus how the
 /// loop ended. Serialisable so bench reports can track refinement across
 /// commits (deliberately no wall-clock fields).
@@ -196,6 +222,9 @@ pub struct RefineLog {
     /// Rule liveness of the hypothesis at the *latest* evidence round. `None`
     /// when no evidence round ran.
     pub post_liveness: Option<RuleLiveness>,
+    /// Per-evidence-round query/cache snapshot (the embedded telemetry view):
+    /// one entry per campaign, in round order.
+    pub rounds: Vec<RefineRoundSnapshot>,
 }
 
 impl RefineLog {
@@ -203,6 +232,24 @@ impl RefineLog {
     #[must_use]
     pub fn counterexamples_replayed(&self) -> usize {
         self.counterexamples.len()
+    }
+
+    /// Unique membership queries spent across all evidence rounds.
+    #[must_use]
+    pub fn unique_queries(&self) -> usize {
+        self.rounds.iter().map(|r| r.unique_queries).sum()
+    }
+
+    /// Cache hit rate across all evidence rounds (0 when no calls were made).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits: usize = self.rounds.iter().map(|r| r.cache_hits).sum();
+        let total: usize = self.rounds.iter().map(|r| r.total_queries).sum();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
     }
 }
 
@@ -285,7 +332,11 @@ impl EquivalenceStrategy for EvidenceEquivalence<'_> {
     fn find_counterexample(&mut self, cx: &EquivalenceContext<'_>) -> Option<String> {
         // The cheap simulated equivalence query first: the pool must run
         // clean before an evidence round is worth paying for.
-        if let Some(ce) = cx.pool.find_counterexample(cx.mat, cx.hypothesis) {
+        let pool_ce = {
+            let _pool_check = vstar_telemetry::span("pool-check");
+            cx.pool.find_counterexample(cx.mat, cx.hypothesis)
+        };
+        if let Some(ce) = pool_ce {
             self.clean_streak = 0;
             return Some(ce);
         }
@@ -293,9 +344,14 @@ impl EquivalenceStrategy for EvidenceEquivalence<'_> {
             // Replay queued evidence one counterexample per equivalence
             // round, dropping items an earlier refinement already fixed.
             while let Some(evidence) = self.pending.pop_front() {
-                match Self::confirm(cx, &evidence) {
+                let confirmation = {
+                    let _replay = vstar_telemetry::span("evidence-replay");
+                    Self::confirm(cx, &evidence)
+                };
+                match confirmation {
                     Confirmation::Confirmed(conv) => {
                         self.clean_streak = 0;
+                        vstar_telemetry::counter("refine.counterexamples_replayed", 1);
                         self.log.counterexamples.push(CounterexampleRecord {
                             campaign: self.log.campaigns_run,
                             raw: evidence.raw.clone(),
@@ -304,8 +360,14 @@ impl EquivalenceStrategy for EvidenceEquivalence<'_> {
                         });
                         return Some(conv);
                     }
-                    Confirmation::Stale => self.log.stale_evidence += 1,
-                    Confirmation::IllMatched => self.log.skipped_ill_matched += 1,
+                    Confirmation::Stale => {
+                        vstar_telemetry::counter("refine.stale_evidence", 1);
+                        self.log.stale_evidence += 1;
+                    }
+                    Confirmation::IllMatched => {
+                        vstar_telemetry::counter("refine.skipped_ill_matched", 1);
+                        self.log.skipped_ill_matched += 1;
+                    }
                 }
             }
             if self.log.campaigns_run >= self.config.max_campaigns {
@@ -314,11 +376,61 @@ impl EquivalenceStrategy for EvidenceEquivalence<'_> {
             }
             let round = self.log.campaigns_run;
             self.log.campaigns_run += 1;
+            vstar_telemetry::counter("refine.campaigns", 1);
             let learned = hypothesis_language(cx);
             let liveness = rule_liveness(learned.vpg());
             self.log.pre_liveness.get_or_insert(liveness);
             self.log.post_liveness = Some(liveness);
-            let evidence = self.source.collect(round, &learned, cx.mat);
+            // Snapshot the telemetry query counters around the collection so
+            // the round's query budget and cache economics land in the log.
+            // The `oracle` site is the innermost cache when the evidence
+            // source drives a CountingOracle-backed language; sources that
+            // only query through the learner's Mat move the `mat` site
+            // instead, so prefer whichever innermost site actually moved.
+            let oracle_miss_before = vstar_telemetry::counter_total("query.oracle.miss");
+            let oracle_hit_before = vstar_telemetry::counter_total("query.oracle.hit");
+            let mat_miss_before = vstar_telemetry::counter_total("query.mat.miss");
+            let mat_hit_before = vstar_telemetry::counter_total("query.mat.hit");
+            let evidence = {
+                let _campaign = vstar_telemetry::span("evidence-campaign");
+                self.source.collect(round, &learned, cx.mat)
+            };
+            let oracle_miss =
+                (vstar_telemetry::counter_total("query.oracle.miss") - oracle_miss_before) as usize;
+            let oracle_hit =
+                (vstar_telemetry::counter_total("query.oracle.hit") - oracle_hit_before) as usize;
+            let mat_miss =
+                (vstar_telemetry::counter_total("query.mat.miss") - mat_miss_before) as usize;
+            let mat_hit =
+                (vstar_telemetry::counter_total("query.mat.hit") - mat_hit_before) as usize;
+            let (unique_queries, cache_hits) = if oracle_miss + oracle_hit > 0 {
+                (oracle_miss, oracle_hit)
+            } else {
+                (mat_miss, mat_hit)
+            };
+            let total_queries = unique_queries + cache_hits;
+            self.log.rounds.push(RefineRoundSnapshot {
+                round,
+                evidence: evidence.len(),
+                unique_queries,
+                total_queries,
+                cache_hits,
+                cache_hit_rate: if total_queries == 0 {
+                    0.0
+                } else {
+                    cache_hits as f64 / total_queries as f64
+                },
+            });
+            vstar_telemetry::counter("refine.evidence_collected", evidence.len() as u64);
+            vstar_telemetry::event(
+                "refine.round",
+                &[
+                    ("round", round as u64),
+                    ("evidence", evidence.len() as u64),
+                    ("unique_queries", unique_queries as u64),
+                    ("total_queries", total_queries as u64),
+                ],
+            );
             if evidence.is_empty() {
                 self.clean_streak += 1;
                 if self.clean_streak >= self.config.clean_passes {

@@ -504,26 +504,68 @@ impl<'a> SevpaLearner<'a> {
         &mut self,
         mut equivalence: impl FnMut(&Hypothesis) -> Option<String>,
     ) -> Result<Hypothesis, VStarError> {
-        self.close();
-        for _ in 0..self.config.max_ce_rounds {
-            let hypothesis = self.construct_vpa();
+        {
+            let _row_fill = vstar_telemetry::span("row-fill");
+            self.close();
+        }
+        for round in 0..self.config.max_ce_rounds {
+            vstar_telemetry::counter("learner.rounds", 1);
+            let hypothesis = {
+                let _construct = vstar_telemetry::span("hypothesis-construction");
+                self.construct_vpa()
+            };
+            self.observe_hypothesis(round, &hypothesis);
             self.stats.equivalence_queries += 1;
-            match equivalence(&hypothesis) {
+            vstar_telemetry::counter("learner.equivalence_queries", 1);
+            let counterexample = {
+                let _equivalence = vstar_telemetry::span("pool-equivalence");
+                equivalence(&hypothesis)
+            };
+            match counterexample {
                 None => return Ok(hypothesis),
                 Some(ce) => {
                     self.stats.counterexamples += 1;
-                    let progressed = self.process_counterexample(&hypothesis, &ce)?;
+                    vstar_telemetry::counter("learner.counterexamples", 1);
+                    let progressed = {
+                        let _ce_processing = vstar_telemetry::span("ce-processing");
+                        self.process_counterexample(&hypothesis, &ce)?
+                    };
                     if !progressed {
                         // Spurious counterexample (an artifact of approximate
                         // equivalence): returning the current hypothesis is the
                         // best we can do.
+                        vstar_telemetry::counter("learner.spurious_counterexamples", 1);
                         return Ok(hypothesis);
                     }
+                    let _row_fill = vstar_telemetry::span("row-fill");
                     self.close();
                 }
             }
         }
         Err(VStarError::LearnerDidNotConverge { rounds: self.config.max_ce_rounds })
+    }
+
+    /// Journals the dimensions of a freshly constructed hypothesis: the
+    /// observation-table growth curve (access and test words per round) and
+    /// the hypothesis sizes, as deterministic telemetry facts.
+    fn observe_hypothesis(&self, round: usize, hypothesis: &Hypothesis) {
+        if !vstar_telemetry::enabled() {
+            return;
+        }
+        let access_words: usize = self.modules.iter().map(|m| m.access.len()).sum();
+        let test_words: usize = self.modules.iter().map(|m| m.tests.len()).sum();
+        vstar_telemetry::record("learner.hypothesis_states", hypothesis.vpa.state_count() as u64);
+        vstar_telemetry::event(
+            "learner.hypothesis",
+            &[
+                ("round", round as u64),
+                ("states", hypothesis.vpa.state_count() as u64),
+                ("stack_symbols", hypothesis.stack_syms.len() as u64),
+                ("modules", self.modules.len() as u64),
+                ("access_words", access_words as u64),
+                ("test_words", test_words as u64),
+            ],
+        );
     }
 
     /// Convenience: learn with equivalence simulated over a fixed pool of test

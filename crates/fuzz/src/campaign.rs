@@ -70,6 +70,17 @@ impl CaseClass {
             CaseClass::FalseNegative => "false-negative",
         }
     }
+
+    /// Telemetry counter name for this class (`fuzz.<class>` with underscores).
+    #[must_use]
+    pub fn counter(self) -> &'static str {
+        match self {
+            CaseClass::AgreeAccept => "fuzz.agree_accept",
+            CaseClass::AgreeReject => "fuzz.agree_reject",
+            CaseClass::FalsePositive => "fuzz.false_positive",
+            CaseClass::FalseNegative => "fuzz.false_negative",
+        }
+    }
 }
 
 /// Knobs of a [`FuzzCampaign`]. All percentages are in `0..=100` and drive one
@@ -261,6 +272,7 @@ impl<'a> FuzzCampaign<'a> {
     /// campaigns fuzz grammars the serving path could actually ship.
     #[must_use]
     pub fn run(&self) -> CampaignReport {
+        let _campaign_span = vstar_telemetry::span("fuzz-campaign");
         let vpg = self.learned.vpg();
         let compiled = self.learned.compile().expect("learned grammar compiles for serving");
         let mutator = Mutator::new(vpg);
@@ -324,6 +336,7 @@ impl<'a> FuzzCampaign<'a> {
                     if !mutator.sampler().is_productive() {
                         break; // unproductive grammar: nothing to generate, ever
                     }
+                    vstar_telemetry::counter("fuzz.skipped", 1);
                     continue; // no fixed-point derivation found this round
                 };
                 let raw = self.learned.strip(&t.yielded());
@@ -349,6 +362,7 @@ impl<'a> FuzzCampaign<'a> {
                     }
                 }
                 let Some((kind, t2)) = found else {
+                    vstar_telemetry::counter("fuzz.skipped", 1);
                     continue;
                 };
                 let raw = self.learned.strip(&t2.yielded());
@@ -390,6 +404,7 @@ impl<'a> FuzzCampaign<'a> {
         let oracle_ok = self.oracle.accepts(&raw);
         st.counts.record(learned_ok, oracle_ok);
         let class = CaseClass::from_flags(learned_ok, oracle_ok);
+        vstar_telemetry::counter(class.counter(), 1);
 
         // Coverage feedback: the generating derivation if there was one,
         // otherwise (for accepted perturbations) the parse of the raw input.
@@ -399,6 +414,17 @@ impl<'a> FuzzCampaign<'a> {
         if let Some(t) = tree {
             let fp = st.coverage.footprint(&t);
             let new_bits = st.coverage.merge(&fp);
+            if new_bits > 0 {
+                // One journal point per step of the coverage growth curve.
+                vstar_telemetry::event(
+                    "fuzz.coverage",
+                    &[
+                        ("iteration", iteration as u64),
+                        ("covered", st.coverage.covered() as u64),
+                        ("total", st.coverage.total() as u64),
+                    ],
+                );
+            }
             let novel_shape = st.footprints.insert(fp);
             if (new_bits > 0 || novel_shape) && st.corpus.len() < self.config.max_corpus_trees {
                 st.corpus.push(t);

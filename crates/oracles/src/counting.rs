@@ -12,7 +12,12 @@ use vstar_automata::QueryCache;
 
 /// A caching, counting membership oracle.
 ///
-/// The cache/counter policy is the shared [`QueryCache`]. Cloning is
+/// The cache/counter policy is the shared [`QueryCache`]: `CountingOracle` is
+/// a thin interior-mutability adapter over a cache labelled with the
+/// telemetry site `oracle`, so every lookup is also reported as
+/// `query.oracle.hit` / `query.oracle.miss` when a `vstar_telemetry`
+/// collector is installed — the public counters below and the telemetry
+/// counters are two views of the same single lookup path. Cloning is
 /// intentionally not provided: all users of a learning run should share one
 /// `CountingOracle` (by reference) so that the query count is global.
 pub struct CountingOracle<'a> {
@@ -24,7 +29,7 @@ impl<'a> CountingOracle<'a> {
     /// Wraps a membership function. The function must not (transitively) query
     /// this `CountingOracle` itself, as the cache is borrowed while it runs.
     pub fn new(f: impl Fn(&str) -> bool + 'a) -> Self {
-        CountingOracle { inner: Box::new(f), state: RefCell::new(QueryCache::new()) }
+        CountingOracle { inner: Box::new(f), state: RefCell::new(QueryCache::for_site("oracle")) }
     }
 
     /// Answers a membership query, consulting the cache first.
@@ -45,9 +50,64 @@ impl<'a> CountingOracle<'a> {
         self.state.borrow().total_queries()
     }
 
+    /// Number of cache hits (total minus unique queries).
+    #[must_use]
+    pub fn cache_hits(&self) -> usize {
+        self.state.borrow().hits()
+    }
+
     /// Clears counters and the cache (the wrapped function is kept).
     pub fn reset(&self) {
         self.state.borrow_mut().reset();
+    }
+}
+
+/// A [`Language`](crate::Language) view whose membership answers route
+/// through a shared [`CountingOracle`].
+///
+/// Every consumer that judges strings through this view — a learner's MAT, a
+/// differential fuzz campaign, an evidence-collection loop — draws on the
+/// *same* cache and the same unique-query counter, so the oracle's
+/// `unique_queries()` is the ground-truth count of distinct strings the
+/// underlying program ever answered, across all phases of a run. Everything
+/// else (name, alphabet, seeds, generation) delegates to the wrapped
+/// language untouched.
+pub struct CountedLanguage<'a> {
+    inner: &'a dyn crate::Language,
+    oracle: &'a CountingOracle<'a>,
+}
+
+impl<'a> CountedLanguage<'a> {
+    /// Wraps `inner` so its membership answers are served by `oracle`.
+    ///
+    /// `oracle` should wrap `inner.accepts` (or an equivalent function);
+    /// nothing enforces that, but a mismatched pair answers queries for a
+    /// different language than it reports metadata for.
+    #[must_use]
+    pub fn new(inner: &'a dyn crate::Language, oracle: &'a CountingOracle<'a>) -> Self {
+        CountedLanguage { inner, oracle }
+    }
+}
+
+impl crate::Language for CountedLanguage<'_> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn accepts(&self, input: &str) -> bool {
+        self.oracle.member(input)
+    }
+
+    fn alphabet(&self) -> Vec<char> {
+        self.inner.alphabet()
+    }
+
+    fn seeds(&self) -> Vec<String> {
+        self.inner.seeds()
+    }
+
+    fn generate(&self, rng: &mut dyn rand::RngCore, budget: usize) -> String {
+        self.inner.generate(rng, budget)
     }
 }
 
@@ -89,6 +149,57 @@ mod tests {
         assert_eq!(oracle.total_queries(), 0);
         let _ = oracle.member("x");
         assert_eq!(oracle.unique_queries(), 1);
+    }
+
+    #[test]
+    fn adapter_counters_match_telemetry_counters() {
+        // Regression test for the unification of the query-counting
+        // mechanisms: the adapter's public counter semantics are unchanged,
+        // and they agree exactly with the telemetry `query.oracle.*` view.
+        let guard = vstar_telemetry::install();
+        let oracle = CountingOracle::new(|s: &str| s.len() < 2);
+        for input in ["a", "bb", "a", "ccc", "bb", "a"] {
+            let _ = oracle.member(input);
+        }
+        assert_eq!(oracle.unique_queries(), 3);
+        assert_eq!(oracle.total_queries(), 6);
+        assert_eq!(oracle.cache_hits(), 3);
+        let report = guard.finish();
+        assert_eq!(report.facts.counter("query.oracle.miss"), oracle.unique_queries() as u64);
+        assert_eq!(report.facts.counter("query.oracle.hit"), oracle.cache_hits() as u64);
+    }
+
+    #[test]
+    fn reset_preserves_the_telemetry_site() {
+        let oracle = CountingOracle::new(|_: &str| true);
+        let _ = oracle.member("x");
+        oracle.reset();
+        let guard = vstar_telemetry::install();
+        let _ = oracle.member("x");
+        let report = guard.finish();
+        assert_eq!(report.facts.counter("query.oracle.miss"), 1, "site label survives reset");
+        assert_eq!(oracle.cache_hits(), 0);
+    }
+
+    #[test]
+    fn counted_language_routes_membership_through_the_shared_oracle() {
+        use crate::Language;
+        use rand::SeedableRng;
+        let lang = crate::Lisp::new();
+        let oracle = CountingOracle::new(|s: &str| lang.accepts(s));
+        let counted = CountedLanguage::new(&lang, &oracle);
+        assert_eq!(counted.name(), lang.name());
+        assert_eq!(counted.alphabet(), lang.alphabet());
+        assert_eq!(counted.seeds(), lang.seeds());
+        for seed in counted.seeds() {
+            assert!(counted.accepts(&seed));
+            assert!(counted.accepts(&seed)); // second ask is a cache hit
+        }
+        assert_eq!(oracle.unique_queries(), counted.seeds().len());
+        assert_eq!(oracle.cache_hits(), counted.seeds().len());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let s = counted.generate(&mut rng, 12);
+        assert!(lang.accepts(&s), "delegated generator must produce members");
     }
 
     #[test]

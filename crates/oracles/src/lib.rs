@@ -30,7 +30,7 @@ pub mod toy;
 pub mod while_lang;
 pub mod xml;
 
-pub use counting::CountingOracle;
+pub use counting::{CountedLanguage, CountingOracle};
 pub use json::Json;
 pub use lisp::Lisp;
 pub use mathexpr::MathExpr;

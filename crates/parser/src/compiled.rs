@@ -688,8 +688,23 @@ impl CompiledGrammar {
         mode: TokenDiscovery,
         options: CompileOptions,
     ) -> Result<Self, CompileError> {
+        let _compile_span = vstar_telemetry::span("compile");
         let tables = RuleTables::new(&vpg);
         let auto = Builder::new(&tables, &vpg, options.max_states).build()?;
+        vstar_telemetry::counter("compile.grammars", 1);
+        vstar_telemetry::counter("compile.states_interned", auto.accepting.len() as u64);
+        vstar_telemetry::counter("compile.stack_symbols", auto.n_syms as u64);
+        vstar_telemetry::event(
+            "parser.compile",
+            &[
+                ("states", auto.accepting.len() as u64),
+                ("stack_symbols", auto.n_syms as u64),
+                ("plain_chars", auto.plain_chars.len() as u64),
+                ("call_chars", auto.call_chars.len() as u64),
+                ("ret_chars", auto.ret_chars.len() as u64),
+                ("nonterminals", vpg.nonterminal_count() as u64),
+            ],
+        );
         Ok(CompiledGrammar { vpg, tables, auto, tokenizer, mode })
     }
 
@@ -783,6 +798,13 @@ impl CompiledGrammar {
     /// table-lookup runs of the automaton itself.
     #[must_use]
     pub fn recognize(&self, s: &str) -> bool {
+        // Per-call attribution only — never per character — so the
+        // uninstrumented hot path stays a single atomic load away from the
+        // plain table walk.
+        if vstar_telemetry::enabled() {
+            vstar_telemetry::counter("serve.recognitions", 1);
+            vstar_telemetry::record("serve.steps_per_parse", s.chars().count() as u64);
+        }
         match self.mode {
             TokenDiscovery::Characters => self.recognize_word(s),
             TokenDiscovery::Tokens => {
@@ -805,6 +827,10 @@ impl CompiledGrammar {
     /// when no tokenization survives at all — then it is the furthest *raw
     /// character* index any reading reached.
     pub fn parse(&self, s: &str) -> Result<ParseTree, ParseError> {
+        if vstar_telemetry::enabled() {
+            vstar_telemetry::counter("serve.parses", 1);
+            vstar_telemetry::record("serve.steps_per_parse", s.chars().count() as u64);
+        }
         match self.mode {
             TokenDiscovery::Characters => self.parse_word(s),
             TokenDiscovery::Tokens => {

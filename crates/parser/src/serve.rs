@@ -49,6 +49,10 @@ pub struct Session<'c> {
     /// Bytes of an incomplete UTF-8 sequence spanning a `push_bytes` boundary.
     carry: [u8; 4],
     carry_len: u8,
+    /// Automaton steps taken since the last [`Session::reset`] (one plain
+    /// integer add per character — kept unconditionally, it is cheaper than
+    /// the branch that would gate it).
+    steps: u64,
 }
 
 impl<'c> Session<'c> {
@@ -60,19 +64,28 @@ impl<'c> Session<'c> {
             dead: false,
             carry: [0; 4],
             carry_len: 0,
+            steps: 0,
         }
     }
 
     /// Feeds one decoded character to the automaton.
     fn step_char(&mut self, ch: char) {
-        if !self.dead && !self.grammar.word_step(&mut self.state, &mut self.stack, ch) {
-            self.dead = true;
+        if !self.dead {
+            self.steps += 1;
+            if !self.grammar.word_step(&mut self.state, &mut self.stack, ch) {
+                self.dead = true;
+            }
         }
     }
 
     /// Feeds a chunk of UTF-8 bytes. Chunks may split multi-byte characters
     /// anywhere; invalid UTF-8 marks the session dead (it will never accept).
+    ///
+    /// Telemetry is attributed per call (`serve.bytes_pushed`), never per
+    /// byte — with no collector installed the cost is one relaxed atomic
+    /// load.
     pub fn push_bytes(&mut self, bytes: &[u8]) {
+        vstar_telemetry::counter("serve.bytes_pushed", bytes.len() as u64);
         let mut rest = bytes;
         if self.dead {
             return;
@@ -156,12 +169,24 @@ impl<'c> Session<'c> {
     /// The verdict for everything pushed so far: `true` iff the fed input is
     /// a complete word of the grammar. Does not consume the session — more
     /// input may be pushed afterwards.
+    ///
+    /// With a telemetry collector installed, each call counts one finished
+    /// word (`serve.words_finished` / `serve.words_accepted`) and records the
+    /// session's step count in the `serve.steps_per_parse` histogram.
     #[must_use]
     pub fn finish(&self) -> bool {
-        !self.dead
+        let accepted = !self.dead
             && self.carry_len == 0
             && self.stack.is_empty()
-            && self.grammar.word_accepting(self.state)
+            && self.grammar.word_accepting(self.state);
+        if vstar_telemetry::enabled() {
+            vstar_telemetry::counter("serve.words_finished", 1);
+            if accepted {
+                vstar_telemetry::counter("serve.words_accepted", 1);
+            }
+            vstar_telemetry::record("serve.steps_per_parse", self.steps);
+        }
+        accepted
     }
 
     /// Rewinds to the empty input, keeping the stack buffer (so a reused
@@ -171,6 +196,7 @@ impl<'c> Session<'c> {
         self.stack.clear();
         self.dead = false;
         self.carry_len = 0;
+        self.steps = 0;
     }
 }
 

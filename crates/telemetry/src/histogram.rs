@@ -1,0 +1,239 @@
+//! Count-bucketed histograms over power-of-two buckets.
+//!
+//! Telemetry histograms record *counts* (characters per parse, evidence items
+//! per round, …), so the bucket layout is the classic power-of-two scheme:
+//! bucket 0 holds the value `0`, bucket `b ≥ 1` holds the values in
+//! `[2^(b-1), 2^b - 1]`. Bucket indices are a pure function of the value, so
+//! two runs that observe the same values produce byte-identical snapshots —
+//! histograms are deterministic facts, never wall-clock measurements.
+
+use serde::Serialize;
+
+/// A count-bucketed histogram with power-of-two buckets.
+///
+/// Only non-empty buckets are materialized in [`Histogram::rows`]; an empty
+/// histogram has no rows and reports `min`/`max` of zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// `buckets[i]` counts the recorded values with [`Histogram::bucket_index`] `i`.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// One non-empty histogram bucket: the closed value range `[lo, hi]` and how
+/// many recorded values fell into it.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct BucketRow {
+    /// Smallest value of the bucket's range.
+    pub lo: u64,
+    /// Largest value of the bucket's range.
+    pub hi: u64,
+    /// Number of recorded values in `[lo, hi]`.
+    pub count: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// The bucket index of `value`: 0 for the value zero, otherwise the bit
+    /// length of `value` (so bucket `b` spans `[2^(b-1), 2^b - 1]`).
+    #[must_use]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The closed value range `[lo, hi]` of bucket `index`.
+    #[must_use]
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        match index {
+            0 => (0, 0),
+            1..=63 => (1u64 << (index - 1), (1u64 << index) - 1),
+            _ => (1u64 << 63, u64::MAX),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::bucket_index(value);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Merges another histogram into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest recorded value (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The non-empty buckets in ascending value order.
+    #[must_use]
+    pub fn rows(&self) -> Vec<BucketRow> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(idx, &count)| {
+                let (lo, hi) = Self::bucket_bounds(idx);
+                BucketRow { lo, hi, count }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(7), 3);
+        assert_eq!(Histogram::bucket_index(8), 4);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+        assert_eq!(Histogram::bucket_bounds(1), (1, 1));
+        assert_eq!(Histogram::bucket_bounds(2), (2, 3));
+        assert_eq!(Histogram::bucket_bounds(3), (4, 7));
+        assert_eq!(Histogram::bucket_bounds(64), (1u64 << 63, u64::MAX));
+        // Every value lands inside the bounds of its own bucket.
+        for v in [0u64, 1, 2, 3, 4, 5, 100, 1023, 1024, u64::MAX] {
+            let (lo, hi) = Histogram::bucket_bounds(Histogram::bucket_index(v));
+            assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 3, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 18);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 9);
+        let rows = h.rows();
+        assert_eq!(
+            rows,
+            vec![
+                BucketRow { lo: 0, hi: 0, count: 1 },
+                BucketRow { lo: 1, hi: 1, count: 1 },
+                BucketRow { lo: 2, hi: 3, count: 3 },
+                BucketRow { lo: 8, hi: 15, count: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_count_buckets_are_skipped() {
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(1024);
+        // The buckets between 1 and 1024 exist internally but are empty; the
+        // snapshot must skip them.
+        let rows = h.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], BucketRow { lo: 1, hi: 1, count: 1 });
+        assert_eq!(rows[1], BucketRow { lo: 1024, hi: 2047, count: 1 });
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert!(h.rows().is_empty());
+    }
+
+    #[test]
+    fn merge_combines_disjoint_and_overlapping_buckets() {
+        let mut a = Histogram::new();
+        a.record(1);
+        a.record(5);
+        let mut b = Histogram::new();
+        b.record(5);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 111);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 100);
+        let rows = a.rows();
+        assert_eq!(rows[1], BucketRow { lo: 4, hi: 7, count: 2 });
+        // Merging an empty histogram changes nothing, in either direction.
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before);
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+}

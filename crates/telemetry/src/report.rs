@@ -1,0 +1,180 @@
+//! Serializable views of a finished telemetry collection.
+//!
+//! A [`TelemetryReport`] is split along the repository's determinism
+//! convention (the `BENCH_serve.json` pattern): [`DeterministicFacts`] holds
+//! everything that is a pure function of the run's inputs — counters, span
+//! structure, histograms, the event journal — and is safe to commit and diff
+//! byte-for-byte across same-seed runs; [`Timings`] holds the wall-clock span
+//! durations, which are reported but excluded from determinism gates.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use crate::histogram::BucketRow;
+
+/// One entry of the deterministic event journal.
+///
+/// Journal entries are ordered by `seq` and rendered one-per-line as JSON
+/// (JSONL). Three kinds exist: `"open"` / `"close"` mark span entries and
+/// exits (a `close` carries the counter deltas attributed to that entry), and
+/// `"event"` is an explicit point-in-time record with caller-chosen fields.
+/// No entry carries wall-clock data.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct JournalEvent {
+    /// Position in the journal (0-based, dense).
+    pub seq: u64,
+    /// `"open"`, `"close"` or `"event"`.
+    pub kind: String,
+    /// Full span path (`"learn/vpa-learning/row-fill"`); for `"event"` kinds,
+    /// the path of the span the event was recorded under.
+    pub path: String,
+    /// Span name for `"open"`/`"close"`, event name for `"event"`.
+    pub name: String,
+    /// Deterministic integer payload (counter deltas for `"close"`,
+    /// caller-supplied fields for `"event"`, empty for `"open"`).
+    pub fields: BTreeMap<String, u64>,
+}
+
+/// A histogram snapshot labelled with its name, in bucket form.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct NamedHistogram {
+    /// The histogram name (`"serve.steps_per_parse"`, …).
+    pub name: String,
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// The non-empty power-of-two buckets in ascending order.
+    pub buckets: Vec<BucketRow>,
+}
+
+/// The deterministic facts of one span: entry count, attributed counters and
+/// histograms, and the same for every child span.
+///
+/// Same-name sibling spans are merged (a loop entering `span("row-fill")`
+/// fifty times produces one node with `entered == 50`), so the tree is
+/// bounded by the *structure* of the instrumented code, not by how often it
+/// runs. Counters increment the innermost open span, which makes sibling
+/// subtrees disjoint: per-phase attribution is exact, never double counted.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct SpanFacts {
+    /// Last path segment (the name passed to `span()`).
+    pub name: String,
+    /// Full `/`-separated path from the root.
+    pub path: String,
+    /// Number of times this span was entered.
+    pub entered: u64,
+    /// Counter increments attributed to this span itself (children excluded).
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram observations attributed to this span itself.
+    pub histograms: Vec<NamedHistogram>,
+    /// Child spans in first-entry order.
+    pub children: Vec<SpanFacts>,
+}
+
+impl SpanFacts {
+    /// The value of counter `name` attributed to this span itself.
+    #[must_use]
+    pub fn own_counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The value of counter `name` summed over this span and its descendants.
+    #[must_use]
+    pub fn subtree_counter(&self, name: &str) -> u64 {
+        self.own_counter(name) + self.children.iter().map(|c| c.subtree_counter(name)).sum::<u64>()
+    }
+
+    /// Finds the descendant span at `path` relative to this span (an empty
+    /// path returns `self`).
+    #[must_use]
+    pub fn descendant(&self, path: &str) -> Option<&SpanFacts> {
+        let mut node = self;
+        for segment in path.split('/').filter(|s| !s.is_empty()) {
+            node = node.children.iter().find(|c| c.name == segment)?;
+        }
+        Some(node)
+    }
+}
+
+/// Everything deterministic a collection produced: grand-total counters, the
+/// span tree, and the event journal. Byte-identical across same-seed runs.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct DeterministicFacts {
+    /// Grand totals of every counter, across all spans.
+    pub counters: BTreeMap<String, u64>,
+    /// The span tree. The root is synthetic (name and path are empty) and
+    /// holds whatever was recorded outside any span; real top-level spans are
+    /// its children.
+    pub root: SpanFacts,
+    /// The bounded deterministic event journal, in `seq` order.
+    pub journal: Vec<JournalEvent>,
+    /// Number of journal entries dropped after the journal bound was hit.
+    pub journal_dropped: u64,
+}
+
+impl DeterministicFacts {
+    /// Grand total of counter `name`.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The span at the `/`-separated `path`, if it was ever entered.
+    #[must_use]
+    pub fn span(&self, path: &str) -> Option<&SpanFacts> {
+        self.root.descendant(path)
+    }
+
+    /// The value of counter `counter` summed over the subtree rooted at
+    /// `path` (0 when the span does not exist).
+    #[must_use]
+    pub fn subtree_counter(&self, path: &str, counter: &str) -> u64 {
+        self.span(path).map_or(0, |s| s.subtree_counter(counter))
+    }
+
+    /// Renders the journal as JSONL (one JSON object per line).
+    #[must_use]
+    pub fn journal_lines(&self) -> Vec<String> {
+        self.journal
+            .iter()
+            .map(|e| serde_json::to_string(e).expect("journal entries serialize"))
+            .collect()
+    }
+}
+
+/// Wall-clock duration of one span subtree entry, in nanoseconds.
+///
+/// Excluded from the determinism convention: two same-seed runs agree on
+/// every [`DeterministicFacts`] byte but never on these.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct SpanTiming {
+    /// Full `/`-separated span path.
+    pub path: String,
+    /// Total wall-clock nanoseconds spent in this span (children included),
+    /// summed over all entries.
+    pub nanos: u64,
+}
+
+/// The wall-clock side of a collection: per-span durations in pre-order.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct Timings {
+    /// One row per span, pre-order, children included in parents.
+    pub spans: Vec<SpanTiming>,
+}
+
+/// A finished telemetry collection: the deterministic facts plus the
+/// wall-clock timings, separated so consumers can commit the former and
+/// merely report the latter.
+#[derive(Clone, Debug, Serialize)]
+pub struct TelemetryReport {
+    /// Deterministic, diffable facts (counters, spans, histograms, journal).
+    pub facts: DeterministicFacts,
+    /// Wall-clock span durations (reported, never gated on).
+    pub timings: Timings,
+}

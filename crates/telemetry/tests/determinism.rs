@@ -1,0 +1,109 @@
+//! The determinism contract of the telemetry crate, property-tested: two
+//! runs of the *same* instrumented workload emit byte-identical deterministic
+//! facts — counters, span tree, histograms, and the JSONL journal — while the
+//! wall-clock timings are free to differ.
+//!
+//! The workload is a small interpreter over a script of telemetry
+//! operations, so proptest explores arbitrary interleavings of span
+//! entries/exits (including nested same-name phases), counter bumps
+//! (including zero deltas), histogram records and journal events. The
+//! script is decoded from a flat vector of opcodes, which keeps the
+//! strategy simple while still producing nested span structure.
+
+use proptest::prelude::*;
+
+/// One telemetry operation of the scripted workload.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Enter a span by name index and run a sub-script inside it.
+    Span(usize, Vec<Op>),
+    /// Bump a counter by a (possibly zero) delta.
+    Counter(usize, u64),
+    /// Record a histogram observation.
+    Record(usize, u64),
+    /// Emit a journal event with one field.
+    Event(usize, u64),
+}
+
+const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "alpha.copy"];
+const MAX_DEPTH: usize = 3;
+
+/// Decodes a flat opcode stream into a nested script. Each code selects an
+/// operation kind, a name, and a payload; "open span" recurses (bounded
+/// depth) and "close span" returns to the parent, so nesting emerges from
+/// the flat vector deterministically.
+fn decode(codes: &mut std::slice::Iter<'_, u64>, depth: usize) -> Vec<Op> {
+    let mut ops = Vec::new();
+    while let Some(&code) = codes.next() {
+        let name = (code >> 3) as usize % NAMES.len();
+        let payload = code >> 5;
+        match code & 0b111 {
+            0 | 1 if depth < MAX_DEPTH => ops.push(Op::Span(name, decode(codes, depth + 1))),
+            2 if depth > 0 => return ops,
+            3 | 4 => ops.push(Op::Counter(name, payload % 1000)),
+            5 | 6 => ops.push(Op::Record(name, payload)),
+            _ => ops.push(Op::Event(name, payload % 1000)),
+        }
+    }
+    ops
+}
+
+fn run_script(ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Span(n, body) => {
+                let _guard = vstar_telemetry::span(NAMES[*n]);
+                run_script(body);
+            }
+            Op::Counter(n, delta) => vstar_telemetry::counter(NAMES[*n], *delta),
+            Op::Record(n, value) => vstar_telemetry::record(NAMES[*n], *value),
+            Op::Event(n, value) => vstar_telemetry::event(NAMES[*n], &[("value", *value)]),
+        }
+    }
+}
+
+fn collect(ops: &[Op]) -> vstar_telemetry::TelemetryReport {
+    let guard = vstar_telemetry::install();
+    run_script(ops);
+    guard.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Two same-script runs produce byte-identical deterministic facts: the
+    /// serialized facts document and every JSONL journal line agree exactly.
+    #[test]
+    fn same_workload_emits_byte_identical_deterministic_facts(
+        codes in proptest::collection::vec(0u64..u64::MAX, 0..48)
+    ) {
+        let ops = decode(&mut codes.iter(), 0);
+        let first = collect(&ops);
+        let second = collect(&ops);
+        let first_doc = serde_json::to_string(&first.facts).unwrap();
+        let second_doc = serde_json::to_string(&second.facts).unwrap();
+        prop_assert_eq!(first_doc, second_doc);
+        prop_assert_eq!(first.facts.journal_lines(), second.facts.journal_lines());
+        // The structured views agree too (PartialEq, not just serialization).
+        prop_assert_eq!(&first.facts, &second.facts);
+        // Timings are present for every span entered, but their values are
+        // wall clock — only the deterministic *paths* must agree.
+        let paths = |t: &vstar_telemetry::Timings| -> Vec<String> {
+            t.spans.iter().map(|s| s.path.clone()).collect()
+        };
+        prop_assert_eq!(paths(&first.timings), paths(&second.timings));
+    }
+
+    /// Counter grand totals are the sum of every per-span attribution —
+    /// whatever the nesting, nothing is lost or double counted.
+    #[test]
+    fn span_attribution_partitions_counter_totals(
+        codes in proptest::collection::vec(0u64..u64::MAX, 0..48)
+    ) {
+        let ops = decode(&mut codes.iter(), 0);
+        let report = collect(&ops);
+        for (name, total) in &report.facts.counters {
+            prop_assert_eq!(report.facts.root.subtree_counter(name), *total);
+        }
+    }
+}
