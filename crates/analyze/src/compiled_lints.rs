@@ -25,16 +25,42 @@ const MAX_LISTED: usize = 16;
 /// Runs every compiled-artifact lint and returns the findings.
 ///
 /// The source grammar's lints run too, prefixed `grammar/`. Compiled-layer
-/// codes: `CMP001` table-geometry or cell-range violation (error), `CMP002`
-/// start-state inconsistency (error), `CMP003` orphan interned item-set
-/// states (info), `CMP004` compiled stack symbols never pushed or never
-/// popped from reachable states (info), `CMP005` two different pairs with
-/// identical same-kind token languages (warn), `CMP006` overlapping same-kind
-/// token languages (info).
+/// codes: `CMP000` artifact stats card (info, always emitted), `CMP001`
+/// table-geometry or cell-range violation (error), `CMP002` start-state
+/// inconsistency (error), `CMP003` orphan interned item-set states (info),
+/// `CMP004` compiled stack symbols never pushed or never popped from
+/// reachable states (info), `CMP005` two different pairs with identical
+/// same-kind token languages (warn), `CMP006` overlapping same-kind token
+/// languages (info).
 #[must_use]
 pub fn analyze_compiled(cg: &CompiledGrammar) -> AnalysisReport {
     let mut report = AnalysisReport::new("compiled");
     report.absorb(analyze_vpg(cg.vpg()), "grammar");
+
+    // The stats card first: the same identity block the serving daemon's
+    // `/grammars` endpoint reports, so an artifact can be matched to a lint
+    // report by version + fingerprint alone.
+    let stats = cg.stats();
+    report.push(
+        "CMP000",
+        Severity::Info,
+        "stats",
+        format!(
+            "artifact v{} {} ({} mode): {} states, {} stack symbols, {} table cells \
+             ({} plain / {} call / {} ret), {} nonterminals, {} rules",
+            stats.artifact_version,
+            stats.artifact_hash,
+            stats.mode,
+            stats.automaton_states,
+            stats.stack_symbols,
+            stats.plain_table_cells + stats.call_table_cells + stats.ret_table_cells,
+            stats.plain_table_cells,
+            stats.call_table_cells,
+            stats.ret_table_cells,
+            stats.nonterminals,
+            stats.rules,
+        ),
+    );
 
     let view = cg.table_view();
     table_integrity(&view, &mut report);
@@ -341,6 +367,17 @@ mod tests {
         let cg = CompiledGrammar::from_vpg(&figure1_grammar()).unwrap();
         let report = analyze_compiled(&cg);
         assert!(report.is_clean(Severity::Warn), "{:?}", report.at_least(Severity::Warn));
+    }
+
+    #[test]
+    fn stats_card_is_always_emitted_and_names_the_artifact() {
+        let cg = CompiledGrammar::from_vpg(&figure1_grammar()).unwrap();
+        let report = analyze_compiled(&cg);
+        assert!(report.has("CMP000"), "{:?}", report.diagnostics);
+        let stats = cg.stats();
+        let card = report.diagnostics.iter().find(|d| d.code == "CMP000").unwrap();
+        assert!(card.message.contains(&stats.artifact_hash), "{card:?}");
+        assert!(card.message.contains(&format!("{} states", stats.automaton_states)), "{card:?}");
     }
 
     #[test]

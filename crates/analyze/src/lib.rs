@@ -21,7 +21,8 @@
 //!   consistency (`LRN001`–`LRN002`).
 //! * [`analyze_compiled`] — serving-artifact lints: dense-table geometry and
 //!   cell ranges, orphan interned item-sets, compiled stack-symbol liveness,
-//!   tokenizer decision ambiguity (`CMP001`–`CMP006`).
+//!   tokenizer decision ambiguity, led by an always-on artifact stats card
+//!   (`CMP000`–`CMP006`).
 //!
 //! Every pass reports through the same [`AnalysisReport`] /
 //! [`Diagnostic`] / [`Severity`] model, so gating is uniform:

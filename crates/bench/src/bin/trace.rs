@@ -17,11 +17,12 @@
 //!
 //! ```text
 //! cargo run --release -p vstar_bench --bin trace -- \
-//!     [grammar ...] [--seed N] [--iterations N] [--refine-iterations N] \
+//!     [grammar ...] [--lang NAME] [--seed N] [--iterations N] [--refine-iterations N] \
 //!     [--max-campaigns N] [--budget N] [--serve-samples N] [--check] [--json]
 //! ```
 //!
-//! Defaults: all five grammars, `--seed 42`, `--iterations 150` (the gate
+//! Defaults: all five grammars (`--lang NAME` traces exactly one; it cannot
+//! be combined with positional grammar names), `--seed 42`, `--iterations 150` (the gate
 //! campaign), `--refine-iterations 300`, `--max-campaigns 40`, `--budget 24`,
 //! `--serve-samples 120`. A full-set run at the default configuration
 //! rewrites the tracked `BENCH_trace.json` (deterministic facts: counters,
@@ -65,8 +66,9 @@ const DEFAULT_SERVE_SAMPLES: usize = 120;
 /// Size budget of serving-corpus samples.
 const SERVE_SAMPLE_BUDGET: usize = 40;
 
-const USAGE: &str = "trace [grammar ...] [--seed N] [--iterations N] [--refine-iterations N] \
-                     [--max-campaigns N] [--budget N] [--serve-samples N] [--check] [--json]";
+const USAGE: &str = "trace [grammar ...] [--lang NAME] [--seed N] [--iterations N] \
+                     [--refine-iterations N] [--max-campaigns N] [--budget N] [--serve-samples N] \
+                     [--check] [--json]";
 
 /// One row of the per-phase query-budget profile: the membership queries a
 /// span itself issued (children excluded — rows partition the grand total).
@@ -141,7 +143,15 @@ fn phase_profile(root: &SpanFacts) -> Vec<PhaseRow> {
 fn main() {
     let args = Args::parse_or_exit(
         USAGE,
-        &["seed", "iterations", "refine-iterations", "max-campaigns", "budget", "serve-samples"],
+        &[
+            "lang",
+            "seed",
+            "iterations",
+            "refine-iterations",
+            "max-campaigns",
+            "budget",
+            "serve-samples",
+        ],
         &["check", "json"],
     );
     let fail = |e: String| -> ! {
@@ -160,8 +170,14 @@ fn main() {
         args.parsed("serve-samples", DEFAULT_SERVE_SAMPLES).unwrap_or_else(|e| fail(e));
 
     let all_names: Vec<String> = table1_languages().iter().map(|l| l.name().to_string()).collect();
-    let selected: Vec<String> =
-        if args.positionals().is_empty() { all_names.clone() } else { args.positionals().to_vec() };
+    let selected: Vec<String> = match args.value("lang") {
+        Some(lang) if !args.positionals().is_empty() => {
+            fail(format!("--lang {lang:?} cannot be combined with positional grammar names"))
+        }
+        Some(lang) => vec![lang.to_string()],
+        None if args.positionals().is_empty() => all_names.clone(),
+        None => args.positionals().to_vec(),
+    };
     let full_set = {
         let mut sorted = selected.clone();
         sorted.sort();
@@ -308,6 +324,20 @@ fn main() {
             row.phase_profile.iter().map(|p| p.unique_queries).sum::<u64>(),
             100.0,
         );
+        // Quantiles of automaton steps per served parse: a deterministic
+        // shape summary of the serving workload (steps count input
+        // characters, not wall clock).
+        if let Some(steps) = row
+            .facts
+            .span("serve")
+            .and_then(|s| s.histograms.iter().find(|h| h.name == "serve.steps_per_parse"))
+        {
+            let q = steps.summary();
+            println!(
+                "  serve steps/parse: p50={} p90={} p99={} max={} over {} parses",
+                q.p50, q.p90, q.p99, q.max, q.count,
+            );
+        }
     }
 
     // Wall-clock timings go to stderr only: reported, never part of the

@@ -121,6 +121,16 @@ impl CompiledGrammar {
         serde_json::to_string_pretty(&encode(self)).expect("artifact documents contain no NaN")
     }
 
+    /// FNV-1a 64-bit hash of the canonical artifact document
+    /// ([`CompiledGrammar::to_json`], whose rendering is byte-stable), so two
+    /// artifacts fingerprint equal exactly when their persisted form is
+    /// byte-identical. This is the identity the serving registry logs on hot
+    /// reload and exposes per grammar.
+    #[must_use]
+    pub fn artifact_fingerprint(&self) -> u64 {
+        fnv1a_64(self.to_json().as_bytes())
+    }
+
     /// Deserializes an artifact from its versioned JSON document, rebuilding
     /// the automaton tables.
     ///
@@ -154,6 +164,18 @@ impl CompiledGrammar {
         let text = std::fs::read_to_string(path)?;
         Self::from_json(&text)
     }
+}
+
+/// FNV-1a 64-bit over `bytes` (the offset-basis/prime pair of the reference
+/// implementation) — a stable, dependency-free content hash for artifact
+/// identity; not collision-resistant against adversaries.
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 fn char_value(c: char) -> Value {

@@ -41,6 +41,8 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 
+use serde::Serialize;
+
 use vstar::tokenizer::{call_marker, return_marker, TokenKind, TokenMatcher};
 use vstar::{LearnedLanguage, PartialTokenizer, TokenDiscovery, VStarResult};
 use vstar_vpl::{NonterminalId, TaggedChar, Vpg};
@@ -615,6 +617,45 @@ impl TableView<'_> {
     }
 }
 
+/// A serializable size-and-identity card for one [`CompiledGrammar`]:
+/// automaton geometry, alphabet partition, grammar size, and the versioned
+/// artifact identity. Everything here is a pure function of the artifact, so
+/// the card is safe to commit, diff and expose (the serving daemon's
+/// `/grammars` endpoint, the `vstar-analyze` compiled-layer summary).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct GrammarStats {
+    /// Interned item-set states of the derivative automaton.
+    pub automaton_states: u64,
+    /// Interned stack symbols (one per live `(state, call)` pair).
+    pub stack_symbols: u64,
+    /// Plain characters of the word alphabet.
+    pub plain_chars: u64,
+    /// Call characters of the word alphabet.
+    pub call_chars: u64,
+    /// Return characters of the word alphabet.
+    pub ret_chars: u64,
+    /// Cells of the dense plain transition table (`states × plain_chars`).
+    pub plain_table_cells: u64,
+    /// Cells of the dense call transition table (`states × call_chars`).
+    pub call_table_cells: u64,
+    /// Cells of the dense return table (`states × stack_symbols × ret_chars`).
+    pub ret_table_cells: u64,
+    /// Nonterminals of the source grammar.
+    pub nonterminals: u64,
+    /// Rules of the source grammar.
+    pub rules: u64,
+    /// Token pairs of the compiled tokenizer (token-class count; 0 in
+    /// character mode unless the tagging itself defines pairs).
+    pub token_pairs: u64,
+    /// Discovery mode: `"characters"` or `"tokens"`.
+    pub mode: String,
+    /// On-disk format version the artifact serializes as
+    /// ([`crate::ARTIFACT_VERSION`]).
+    pub artifact_version: u64,
+    /// [`CompiledGrammar::artifact_fingerprint`] as 16 lowercase hex digits.
+    pub artifact_hash: String,
+}
+
 /// Cap on tokenization configurations explored per input; exceeding it treats
 /// the input as rejected (a defensive bound — live configurations are
 /// deduplicated on `(position, state, stack)` and die fast in practice).
@@ -738,6 +779,33 @@ impl CompiledGrammar {
     #[must_use]
     pub fn stack_symbols(&self) -> usize {
         self.auto.n_syms
+    }
+
+    /// The artifact's [`GrammarStats`] card: automaton geometry, grammar
+    /// size, and versioned identity (the artifact fingerprint, so two cards
+    /// with equal `artifact_hash` describe byte-identical persisted
+    /// artifacts).
+    #[must_use]
+    pub fn stats(&self) -> GrammarStats {
+        GrammarStats {
+            automaton_states: self.auto.accepting.len() as u64,
+            stack_symbols: self.auto.n_syms as u64,
+            plain_chars: self.auto.plain_chars.len() as u64,
+            call_chars: self.auto.call_chars.len() as u64,
+            ret_chars: self.auto.ret_chars.len() as u64,
+            plain_table_cells: self.auto.plain_trans.len() as u64,
+            call_table_cells: self.auto.call_trans.len() as u64,
+            ret_table_cells: self.auto.ret_trans.len() as u64,
+            nonterminals: self.vpg.nonterminal_count() as u64,
+            rules: self.vpg.rule_count() as u64,
+            token_pairs: self.tokenizer.pairs().len() as u64,
+            mode: match self.mode {
+                TokenDiscovery::Characters => "characters".to_string(),
+                TokenDiscovery::Tokens => "tokens".to_string(),
+            },
+            artifact_version: crate::ARTIFACT_VERSION,
+            artifact_hash: format!("{:016x}", self.artifact_fingerprint()),
+        }
     }
 
     /// A read-only view of the dense transition tables, for external audits
@@ -1412,6 +1480,43 @@ mod tests {
         // compile() also works straight off the pipeline result.
         let again = result.compile().unwrap();
         assert_eq!(again.automaton_states(), compiled.automaton_states());
+    }
+
+    #[test]
+    fn stats_card_matches_tables_and_fingerprint() {
+        let g = figure1_grammar();
+        let compiled = CompiledGrammar::from_vpg(&g).unwrap();
+        let stats = compiled.stats();
+        let view = compiled.table_view();
+        assert_eq!(stats.automaton_states, view.state_count() as u64);
+        assert_eq!(stats.stack_symbols, view.stack_symbol_count() as u64);
+        assert_eq!(stats.plain_table_cells, view.plain_table().len() as u64);
+        assert_eq!(stats.call_table_cells, view.call_table().len() as u64);
+        assert_eq!(stats.ret_table_cells, view.ret_table().len() as u64);
+        assert_eq!(stats.plain_table_cells, stats.automaton_states * stats.plain_chars);
+        assert_eq!(
+            stats.ret_table_cells,
+            stats.automaton_states * stats.stack_symbols * stats.ret_chars
+        );
+        assert_eq!(stats.nonterminals, g.nonterminal_count() as u64);
+        assert_eq!(stats.rules, g.rule_count() as u64);
+        assert_eq!(stats.mode, "characters");
+        assert_eq!(stats.artifact_version, crate::ARTIFACT_VERSION);
+        assert_eq!(stats.artifact_hash, format!("{:016x}", compiled.artifact_fingerprint()));
+        assert_eq!(stats.artifact_hash.len(), 16);
+        // The fingerprint is stable across serialization round trips and
+        // across clones, and distinguishes different grammars.
+        let reloaded = CompiledGrammar::from_json(&compiled.to_json()).unwrap();
+        assert_eq!(reloaded.stats(), stats);
+        let other = {
+            let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+            let mut b = VpgBuilder::new(tagging);
+            let s = b.nonterminal("S");
+            b.match_rule(s, '(', s, ')', s);
+            b.empty_rule(s);
+            CompiledGrammar::from_vpg(&b.build(s).unwrap()).unwrap()
+        };
+        assert_ne!(other.stats().artifact_hash, stats.artifact_hash);
     }
 
     #[test]

@@ -62,10 +62,12 @@ pub mod serve;
 pub mod tree;
 
 pub use artifact::{ArtifactError, ARTIFACT_VERSION, MAX_MATCHER_STATES};
-pub use compiled::{CompileError, CompileLearned, CompileOptions, CompiledGrammar, TableView};
+pub use compiled::{
+    CompileError, CompileLearned, CompileOptions, CompiledGrammar, GrammarStats, TableView,
+};
 pub use error::{ParseError, ParseErrorKind};
 pub use learned::LearnedParser;
 pub use recognizer::VpgParser;
 pub use sampler::GrammarSampler;
-pub use serve::Session;
+pub use serve::{Session, SessionState};
 pub use tree::{NestPath, NestSummary, ParseStep, ParseTree};

@@ -8,6 +8,11 @@
 //!   stack (whose buffer is reused across [`Session::reset`]) and a 4-byte
 //!   UTF-8 carry buffer, so long-lived serving loops allocate nothing per
 //!   input after warm-up.
+//! * [`SessionState`] is the owned, `'static` form of the same machine for
+//!   callers that cannot hold a borrow of the grammar across await points or
+//!   registry swaps (the `vstar-serve` daemon pins each connection's state to
+//!   an `Arc`-held artifact). Every method takes the grammar explicitly; a
+//!   state must always be driven with the grammar that created it.
 //! * [`CompiledGrammar::parse_batch`] / [`CompiledGrammar::recognize_batch`]
 //!   shard a batch across scoped threads. `CompiledGrammar` is `Send + Sync`,
 //!   so the shards share one artifact without cloning or locking.
@@ -18,47 +23,35 @@ use crate::compiled::CompiledGrammar;
 use crate::error::ParseError;
 use crate::tree::ParseTree;
 
-/// An incremental, resumable recognizer over one [`CompiledGrammar`].
+/// The owned state of one incremental recognition: automaton state, stack,
+/// UTF-8 carry buffer and step count — everything a [`Session`] holds except
+/// the grammar borrow.
 ///
-/// Sessions run at the *word* level (the grammar's own alphabet): for a
-/// character-mode grammar that is the raw input; for a token-mode grammar it
-/// is the converted word (see [`CompiledGrammar::converted_word`]), since
-/// tokenization needs lookahead that contradicts byte-at-a-time streaming.
-///
-/// # Example
-///
-/// ```
-/// use vstar_parser::CompiledGrammar;
-/// use vstar_vpl::grammar::figure1_grammar;
-///
-/// let compiled = CompiledGrammar::from_vpg(&figure1_grammar()).unwrap();
-/// let mut session = compiled.session();
-/// session.push_str("agcd");
-/// session.push_str("cdhbcd");
-/// assert!(session.finish());
-/// session.reset();
-/// session.push_bytes(b"ag");
-/// assert!(!session.finish()); // the call is still open
-/// ```
+/// Every method takes the [`CompiledGrammar`] explicitly. The state is only
+/// meaningful with the grammar that created it ([`SessionState::new`] /
+/// [`SessionState::reset`]); driving it with a different grammar yields
+/// nonsense verdicts (states are indices into that grammar's tables), though
+/// never memory unsafety. Long-lived daemons therefore pin each state to the
+/// exact artifact version it started with, even across hot reloads.
 #[derive(Clone, Debug)]
-pub struct Session<'c> {
-    grammar: &'c CompiledGrammar,
+pub struct SessionState {
     state: u32,
     stack: Vec<u32>,
     dead: bool,
     /// Bytes of an incomplete UTF-8 sequence spanning a `push_bytes` boundary.
     carry: [u8; 4],
     carry_len: u8,
-    /// Automaton steps taken since the last [`Session::reset`] (one plain
-    /// integer add per character — kept unconditionally, it is cheaper than
-    /// the branch that would gate it).
+    /// Automaton steps taken since the last [`SessionState::reset`] (one
+    /// plain integer add per character — kept unconditionally, it is cheaper
+    /// than the branch that would gate it).
     steps: u64,
 }
 
-impl<'c> Session<'c> {
-    fn new(grammar: &'c CompiledGrammar) -> Self {
-        Session {
-            grammar,
+impl SessionState {
+    /// A fresh state positioned at `grammar`'s word-level start.
+    #[must_use]
+    pub fn new(grammar: &CompiledGrammar) -> Self {
+        SessionState {
             state: grammar.word_start(),
             stack: Vec::new(),
             dead: false,
@@ -69,22 +62,22 @@ impl<'c> Session<'c> {
     }
 
     /// Feeds one decoded character to the automaton.
-    fn step_char(&mut self, ch: char) {
+    fn step_char(&mut self, grammar: &CompiledGrammar, ch: char) {
         if !self.dead {
             self.steps += 1;
-            if !self.grammar.word_step(&mut self.state, &mut self.stack, ch) {
+            if !grammar.word_step(&mut self.state, &mut self.stack, ch) {
                 self.dead = true;
             }
         }
     }
 
     /// Feeds a chunk of UTF-8 bytes. Chunks may split multi-byte characters
-    /// anywhere; invalid UTF-8 marks the session dead (it will never accept).
+    /// anywhere; invalid UTF-8 marks the state dead (it will never accept).
     ///
     /// Telemetry is attributed per call (`serve.bytes_pushed`), never per
     /// byte — with no collector installed the cost is one relaxed atomic
     /// load.
-    pub fn push_bytes(&mut self, bytes: &[u8]) {
+    pub fn push_bytes(&mut self, grammar: &CompiledGrammar, bytes: &[u8]) {
         vstar_telemetry::counter("serve.bytes_pushed", bytes.len() as u64);
         let mut rest = bytes;
         if self.dead {
@@ -109,7 +102,7 @@ impl<'c> Session<'c> {
                     Ok(s) => {
                         let ch = s.chars().next().expect("one complete character");
                         self.carry_len = 0;
-                        self.step_char(ch);
+                        self.step_char(grammar, ch);
                         if self.dead {
                             return;
                         }
@@ -125,7 +118,7 @@ impl<'c> Session<'c> {
         match std::str::from_utf8(rest) {
             Ok(s) => {
                 for ch in s.chars() {
-                    self.step_char(ch);
+                    self.step_char(grammar, ch);
                     if self.dead {
                         return;
                     }
@@ -135,7 +128,7 @@ impl<'c> Session<'c> {
                 let valid = e.valid_up_to();
                 let s = std::str::from_utf8(&rest[..valid]).expect("validated prefix");
                 for ch in s.chars() {
-                    self.step_char(ch);
+                    self.step_char(grammar, ch);
                     if self.dead {
                         return;
                     }
@@ -155,30 +148,37 @@ impl<'c> Session<'c> {
     }
 
     /// Feeds a chunk of characters.
-    pub fn push_str(&mut self, s: &str) {
-        self.push_bytes(s.as_bytes());
+    pub fn push_str(&mut self, grammar: &CompiledGrammar, s: &str) {
+        self.push_bytes(grammar, s.as_bytes());
     }
 
-    /// Whether the fed prefix can still extend to a member (a dead session
+    /// Whether the fed prefix can still extend to a member (a dead state
     /// never accepts, whatever is pushed next).
     #[must_use]
     pub fn is_alive(&self) -> bool {
         !self.dead
     }
 
+    /// Automaton steps taken since the last reset (one per fed character
+    /// while alive).
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
     /// The verdict for everything pushed so far: `true` iff the fed input is
-    /// a complete word of the grammar. Does not consume the session — more
+    /// a complete word of the grammar. Does not consume the state — more
     /// input may be pushed afterwards.
     ///
     /// With a telemetry collector installed, each call counts one finished
     /// word (`serve.words_finished` / `serve.words_accepted`) and records the
-    /// session's step count in the `serve.steps_per_parse` histogram.
+    /// step count in the `serve.steps_per_parse` histogram.
     #[must_use]
-    pub fn finish(&self) -> bool {
+    pub fn finish(&self, grammar: &CompiledGrammar) -> bool {
         let accepted = !self.dead
             && self.carry_len == 0
             && self.stack.is_empty()
-            && self.grammar.word_accepting(self.state);
+            && grammar.word_accepting(self.state);
         if vstar_telemetry::enabled() {
             vstar_telemetry::counter("serve.words_finished", 1);
             if accepted {
@@ -190,13 +190,78 @@ impl<'c> Session<'c> {
     }
 
     /// Rewinds to the empty input, keeping the stack buffer (so a reused
-    /// session allocates nothing per input once warmed up).
-    pub fn reset(&mut self) {
-        self.state = self.grammar.word_start();
+    /// state allocates nothing per input once warmed up).
+    pub fn reset(&mut self, grammar: &CompiledGrammar) {
+        self.state = grammar.word_start();
         self.stack.clear();
         self.dead = false;
         self.carry_len = 0;
         self.steps = 0;
+    }
+}
+
+/// An incremental, resumable recognizer over one [`CompiledGrammar`]: a
+/// [`SessionState`] bundled with the grammar borrow that drives it.
+///
+/// Sessions run at the *word* level (the grammar's own alphabet): for a
+/// character-mode grammar that is the raw input; for a token-mode grammar it
+/// is the converted word (see [`CompiledGrammar::converted_word`]), since
+/// tokenization needs lookahead that contradicts byte-at-a-time streaming.
+///
+/// # Example
+///
+/// ```
+/// use vstar_parser::CompiledGrammar;
+/// use vstar_vpl::grammar::figure1_grammar;
+///
+/// let compiled = CompiledGrammar::from_vpg(&figure1_grammar()).unwrap();
+/// let mut session = compiled.session();
+/// session.push_str("agcd");
+/// session.push_str("cdhbcd");
+/// assert!(session.finish());
+/// session.reset();
+/// session.push_bytes(b"ag");
+/// assert!(!session.finish()); // the call is still open
+/// ```
+#[derive(Clone, Debug)]
+pub struct Session<'c> {
+    grammar: &'c CompiledGrammar,
+    state: SessionState,
+}
+
+impl<'c> Session<'c> {
+    fn new(grammar: &'c CompiledGrammar) -> Self {
+        Session { grammar, state: SessionState::new(grammar) }
+    }
+
+    /// Feeds a chunk of UTF-8 bytes (see [`SessionState::push_bytes`]).
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        self.state.push_bytes(self.grammar, bytes);
+    }
+
+    /// Feeds a chunk of characters.
+    pub fn push_str(&mut self, s: &str) {
+        self.state.push_str(self.grammar, s);
+    }
+
+    /// Whether the fed prefix can still extend to a member (a dead session
+    /// never accepts, whatever is pushed next).
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.state.is_alive()
+    }
+
+    /// The verdict for everything pushed so far (see
+    /// [`SessionState::finish`]).
+    #[must_use]
+    pub fn finish(&self) -> bool {
+        self.state.finish(self.grammar)
+    }
+
+    /// Rewinds to the empty input, keeping the stack buffer (so a reused
+    /// session allocates nothing per input once warmed up).
+    pub fn reset(&mut self) {
+        self.state.reset(self.grammar);
     }
 }
 
@@ -278,6 +343,29 @@ mod tests {
             }
             assert_eq!(session.finish(), compiled.recognize_word(&w), "mismatch on {w:?}");
         }
+    }
+
+    #[test]
+    fn owned_state_matches_borrowing_session() {
+        let g = figure1_grammar();
+        let compiled = CompiledGrammar::from_vpg(&g).unwrap();
+        let terminals: Vec<char> = g.terminals().into_iter().collect();
+        let mut state = SessionState::new(&compiled);
+        for w in vstar_vpl::words::all_strings(&terminals, 4) {
+            state.reset(&compiled);
+            state.push_str(&compiled, &w);
+            assert_eq!(state.finish(&compiled), compiled.recognize_word(&w), "mismatch on {w:?}");
+            if state.is_alive() {
+                // One automaton step per character while alive.
+                assert_eq!(state.steps(), w.chars().count() as u64);
+            }
+        }
+        // The owned state carries no grammar borrow: it outlives scopes a
+        // Session cannot, and keeps its verdict when moved.
+        state.reset(&compiled);
+        state.push_str(&compiled, "agcdcdhbcd");
+        let moved: SessionState = { state };
+        assert!(moved.finish(&compiled));
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! End-to-end daemon tests over real sockets: concurrent multi-grammar
+//! serving, hot reload with pinned streaming sessions, admin endpoints, and
+//! the UTF-8 carry guarantee driven through the framed protocol.
+
+use std::sync::Arc;
+
+use vstar_parser::CompiledGrammar;
+use vstar_serve::{AccessLog, Client, ClientError, Daemon, GrammarRegistry};
+use vstar_telemetry::MetricsRegistry;
+use vstar_vpl::grammar::figure1_grammar;
+use vstar_vpl::{Tagging, VpgBuilder};
+
+fn dyck() -> CompiledGrammar {
+    let tagging = Tagging::from_pairs([('(', ')')]).unwrap();
+    let mut b = VpgBuilder::new(tagging);
+    let s = b.nonterminal("S");
+    b.match_rule(s, '(', s, ')', s);
+    b.empty_rule(s);
+    b.linear_rule(s, 'x', s);
+    CompiledGrammar::from_vpg(&b.build(s).unwrap()).unwrap()
+}
+
+/// A grammar whose word alphabet contains 3-byte UTF-8 characters (the
+/// private-use markers token mode uses): derives exactly `⊳τ*⊲` shapes.
+fn multibyte() -> (CompiledGrammar, char, char) {
+    let call = vstar::tokenizer::call_marker(0);
+    let ret = vstar::tokenizer::return_marker(0);
+    let tagging = Tagging::from_pairs([(call, ret)]).unwrap();
+    let mut b = VpgBuilder::new(tagging);
+    let s = b.nonterminal("S");
+    let e = b.nonterminal("E");
+    b.match_rule(s, call, e, ret, e);
+    b.linear_rule(e, 'τ', e);
+    b.empty_rule(e);
+    (CompiledGrammar::from_vpg(&b.build(s).unwrap()).unwrap(), call, ret)
+}
+
+fn start_daemon() -> (Daemon, Arc<GrammarRegistry>, Arc<MetricsRegistry>, AccessLog) {
+    let registry = Arc::new(GrammarRegistry::new());
+    registry.publish("fig1", CompiledGrammar::from_vpg(&figure1_grammar()).unwrap());
+    registry.publish("dyck", dyck());
+    let metrics = Arc::new(MetricsRegistry::new());
+    let (access_log, _) = AccessLog::in_memory();
+    let daemon = Daemon::start(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        Arc::clone(&metrics),
+        access_log.clone(),
+    )
+    .unwrap();
+    (daemon, registry, metrics, access_log)
+}
+
+#[test]
+fn concurrent_connections_serve_multiple_grammars_with_exact_attribution() {
+    let (daemon, _registry, metrics, access_log) = start_daemon();
+    let addr = daemon.addr();
+
+    let cases: [(&str, &str, bool); 4] = [
+        ("fig1", "agcdcdhbcd", true),
+        ("fig1", "cdx", false),
+        ("dyck", "(x(x))x", true),
+        ("dyck", ")(", false),
+    ];
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let cases = &cases;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr, &format!("t{t}")).unwrap();
+                for &(grammar, input, expect) in cases {
+                    // One-shot path.
+                    assert_eq!(client.recognize(grammar, input).unwrap(), expect);
+                    // Streaming path, re-beginning per input.
+                    client.begin(grammar).unwrap();
+                    for chunk in input.as_bytes().chunks(3) {
+                        client.data(chunk).unwrap();
+                    }
+                    assert_eq!(client.end().unwrap(), expect, "{grammar} {input:?}");
+                }
+            });
+        }
+    });
+
+    // Attribution is exact: 4 threads × 4 cases × 2 paths = 32 requests,
+    // partitioned 8-per-(grammar, connection) cell, and the per-connection
+    // rows sum to the grammar rows sum to the grand totals.
+    let snap = metrics.snapshot();
+    assert_eq!(snap.totals.requests, 32);
+    assert_eq!(snap.totals.accepted, 16);
+    assert_eq!(snap.totals.rejected, 16);
+    assert_eq!(snap.totals.errors, 0);
+    assert_eq!(snap.connections.len(), 8, "2 grammars × 4 labelled connections");
+    for row in &snap.connections {
+        assert_eq!(row.counts.requests, 4, "{row:?}");
+    }
+    let mut by_connection = vstar_telemetry::Counts::default();
+    for row in &snap.connections {
+        by_connection.absorb(&row.counts);
+    }
+    let mut by_grammar = vstar_telemetry::Counts::default();
+    for row in &snap.grammars {
+        by_grammar.absorb(&row.counts);
+    }
+    assert_eq!(by_connection, snap.totals);
+    assert_eq!(by_grammar, snap.totals);
+    // One access record per request, under the chosen labels.
+    let records = access_log.records();
+    assert_eq!(records.len(), 32);
+    assert!(records.iter().all(|r| r.kind == "access" && r.name.starts_with('t')));
+}
+
+#[test]
+fn hot_reload_pins_open_sessions_and_audits_the_swap() {
+    let (daemon, registry, _metrics, access_log) = start_daemon();
+    let addr = daemon.addr();
+
+    let mut streamer = Client::connect(addr, "streamer").unwrap();
+    let ok = streamer.begin("fig1").unwrap();
+    assert!(ok.starts_with("ok v=1 "), "{ok}");
+    streamer.data(b"agcd").unwrap();
+
+    // Mid-stream, hot-reload "fig1" to a *different* language.
+    let mut admin = Client::connect(addr, "admin").unwrap();
+    let reply = admin.publish("fig1", &dyck().to_json()).unwrap();
+    assert!(reply.starts_with("ok v=2 "), "{reply}");
+
+    // The open session still runs the pinned v1 automaton...
+    streamer.data(b"cdhbcd").unwrap();
+    assert!(streamer.end().unwrap(), "pinned session must finish on v1");
+    // ...while a fresh begin and one-shot queries see v2.
+    let ok = streamer.begin("fig1").unwrap();
+    assert!(ok.starts_with("ok v=2 "), "{ok}");
+    streamer.data(b"(x)").unwrap();
+    assert!(streamer.end().unwrap());
+    assert!(admin.recognize("fig1", "(x)").unwrap());
+    assert!(!admin.recognize("fig1", "agcdcdhbcd").unwrap());
+
+    // The audit trail shows the swap with both fingerprints.
+    let audit = registry.audit();
+    assert_eq!(audit.len(), 3, "two seed publishes + one reload");
+    let swap = &audit[2];
+    assert_eq!(swap.grammar, "fig1");
+    assert_eq!(swap.version, 2);
+    assert!(swap.old_hash.is_some());
+    assert_ne!(swap.old_hash, Some(swap.new_hash));
+    // The reload is mirrored into the access log's journal schema.
+    let reloads: Vec<_> = access_log.records().into_iter().filter(|r| r.kind == "reload").collect();
+    assert_eq!(reloads.len(), 1);
+    assert_eq!(reloads[0].path, "fig1");
+    assert_eq!(reloads[0].fields.get("version"), Some(&2));
+    assert_eq!(reloads[0].fields.get("new_hash"), Some(&swap.new_hash));
+}
+
+#[test]
+fn admin_endpoints_expose_health_metrics_and_grammar_cards() {
+    let (daemon, registry, _metrics, _log) = start_daemon();
+    let mut client = Client::connect(daemon.addr(), "admin").unwrap();
+
+    let health = client.admin("/healthz").unwrap();
+    assert_eq!(health, "ok generation=2 grammars=2");
+
+    client.recognize("fig1", "cd").unwrap();
+    client.recognize("dyck", "bogus!").unwrap();
+    let metrics_text = client.admin("/metrics").unwrap();
+    assert!(metrics_text.contains("# TYPE vstar_requests_total counter"));
+    assert!(metrics_text.contains("vstar_requests_total{grammar=\"fig1\",connection=\"admin\"} 1"));
+    assert!(metrics_text
+        .contains("vstar_requests_rejected_total{grammar=\"dyck\",connection=\"admin\"} 1"));
+    assert!(metrics_text.contains("vstar_request_latency_microseconds_count{grammar=\"fig1\"} 1"));
+
+    let grammars = client.admin("/grammars").unwrap();
+    let doc = serde_json::from_str(&grammars).unwrap();
+    let cards = doc.as_array().unwrap();
+    assert_eq!(cards.len(), 2);
+    let fig1 = cards.iter().find(|c| c.get("name").unwrap().as_str() == Some("fig1")).unwrap();
+    let entry = registry.get("fig1").unwrap();
+    assert_eq!(fig1.get("version").unwrap().as_u64(), Some(1));
+    assert_eq!(
+        fig1.get("artifact_hash").unwrap().as_str(),
+        Some(format!("{:016x}", entry.hash).as_str())
+    );
+    let stats = fig1.get("stats").unwrap();
+    assert_eq!(
+        stats.get("automaton_states").unwrap().as_u64(),
+        Some(entry.grammar.stats().automaton_states)
+    );
+    assert_eq!(stats.get("mode").unwrap().as_str(), Some("characters"));
+
+    // Unknown endpoints and grammars are server errors, not hangs.
+    match client.admin("/nope") {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("unknown-endpoint"), "{msg}"),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    match client.recognize("missing", "x") {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("unknown-grammar"), "{msg}"),
+        other => panic!("expected server error, got {other:?}"),
+    }
+}
+
+/// The ISSUE's UTF-8 satellite: stream a word containing 3-byte characters
+/// through the daemon, split at *every* byte position (including
+/// mid-codepoint), and require the verdict to match whole-word recognition.
+#[test]
+fn chunk_boundaries_mid_codepoint_never_change_verdicts() {
+    let (grammar, call, ret) = multibyte();
+    let registry = Arc::new(GrammarRegistry::new());
+    registry.publish("mb", grammar);
+    let metrics = Arc::new(MetricsRegistry::new());
+    let (access_log, _) = AccessLog::in_memory();
+    let daemon =
+        Daemon::start("127.0.0.1:0", Arc::clone(&registry), Arc::clone(&metrics), access_log)
+            .unwrap();
+
+    let member = format!("{call}τ{ret}");
+    let non_member = format!("{call}τ{ret}{ret}");
+    let entry = registry.get("mb").unwrap();
+
+    let mut client = Client::connect(daemon.addr(), "splitter").unwrap();
+    client.begin("mb").unwrap();
+    let mut requests = 0u64;
+    for (input, expect) in [(&member, true), (&non_member, false)] {
+        let bytes = input.as_bytes();
+        assert_eq!(entry.grammar.recognize_word(input), expect);
+        // Every single split point: [..i] then [i..].
+        for i in 0..=bytes.len() {
+            client.data(&bytes[..i]).unwrap();
+            client.data(&bytes[i..]).unwrap();
+            assert_eq!(client.end().unwrap(), expect, "split at byte {i} of {input:?}");
+            requests += 1;
+        }
+        // And one byte at a time.
+        for b in bytes {
+            client.data(std::slice::from_ref(b)).unwrap();
+        }
+        assert_eq!(client.end().unwrap(), expect, "byte-at-a-time {input:?}");
+        requests += 1;
+    }
+    // A dangling partial codepoint at end-of-input must reject, not panic.
+    client.data(&member.as_bytes()[..member.len() - 1]).unwrap();
+    assert!(!client.end().unwrap());
+    requests += 1;
+
+    let snap = metrics.snapshot();
+    assert_eq!(snap.totals.requests, requests);
+    assert_eq!(snap.totals.errors, 0);
+}
+
+#[test]
+fn protocol_errors_are_counted_and_survivable() {
+    let (daemon, _registry, metrics, _log) = start_daemon();
+    let mut client = Client::connect(daemon.addr(), "errs").unwrap();
+
+    // End without a session.
+    match client.end() {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("no-session"), "{msg}"),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    // Unknown grammar on begin.
+    match client.begin("ghost") {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("unknown-grammar"), "{msg}"),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    // Late hello (after the first request) and bad opcodes, driven over a
+    // raw stream with the public protocol helpers.
+    {
+        let mut raw = std::net::TcpStream::connect(daemon.addr()).unwrap();
+        let query = vstar_serve::encode_named(vstar_serve::op::QUERY, "fig1", b"cd");
+        vstar_serve::write_frame(&mut raw, &query).unwrap();
+        let reply = vstar_serve::read_frame(&mut raw).unwrap().unwrap();
+        assert_eq!(reply, b"+accept");
+        let mut hello = vec![vstar_serve::op::HELLO];
+        hello.extend_from_slice(b"late");
+        vstar_serve::write_frame(&mut raw, &hello).unwrap();
+        let reply = vstar_serve::read_frame(&mut raw).unwrap().unwrap();
+        assert!(reply.starts_with(b"-late-hello"), "{reply:?}");
+        vstar_serve::write_frame(&mut raw, &[0xff]).unwrap();
+        let reply = vstar_serve::read_frame(&mut raw).unwrap().unwrap();
+        assert!(reply.starts_with(b"-bad-opcode"), "{reply:?}");
+    }
+    // The connection that errored still serves.
+    assert!(client.recognize("fig1", "cd").unwrap());
+    let snap = metrics.snapshot();
+    assert!(snap.totals.errors >= 3, "{:?}", snap.totals);
+    assert!(snap.connections.iter().any(|r| r.grammar == "_protocol" && r.counts.errors > 0));
+}

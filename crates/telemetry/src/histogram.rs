@@ -35,6 +35,63 @@ pub struct BucketRow {
     pub count: u64,
 }
 
+/// Quantile digest of a histogram: the p50/p90/p99 estimates plus the exact
+/// max, for one-line human-readable summaries.
+///
+/// Quantiles are bucket-resolution estimates (the upper bound of the bucket
+/// holding the rank-⌈qN⌉ observation, clamped to the exact `max`), so they are
+/// as deterministic as the histogram itself: same observations, same summary.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct QuantileSummary {
+    /// Number of observations the summary digests.
+    pub count: u64,
+    /// Median estimate (bucket upper bound).
+    pub p50: u64,
+    /// 90th-percentile estimate (bucket upper bound).
+    pub p90: u64,
+    /// 99th-percentile estimate (bucket upper bound).
+    pub p99: u64,
+    /// Exact largest observation (0 when empty).
+    pub max: u64,
+}
+
+impl QuantileSummary {
+    /// Digests `count`/`max` plus ascending non-empty `rows` (the
+    /// [`Histogram::rows`] shape) into a summary. Usable on any snapshot that
+    /// kept only the bucket rows, e.g. a serialized
+    /// [`crate::NamedHistogram`].
+    #[must_use]
+    pub fn from_rows(count: u64, max: u64, rows: &[BucketRow]) -> Self {
+        QuantileSummary {
+            count,
+            p50: quantile_from_rows(rows, count, max, 0.50),
+            p90: quantile_from_rows(rows, count, max, 0.90),
+            p99: quantile_from_rows(rows, count, max, 0.99),
+            max,
+        }
+    }
+}
+
+/// The q-quantile estimate over ascending bucket rows: the upper bound of the
+/// bucket containing the rank-⌈q·count⌉ observation, clamped to `max`.
+fn quantile_from_rows(rows: &[BucketRow], count: u64, max: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cumulative = 0u64;
+    for row in rows {
+        cumulative += row.count;
+        if cumulative >= rank {
+            // A non-empty bucket holds some observation ≤ max, so lo ≤ max and
+            // the clamp below stays inside the bucket's range.
+            return row.hi.min(max);
+        }
+    }
+    max
+}
+
 impl Histogram {
     /// An empty histogram.
     #[must_use]
@@ -127,6 +184,21 @@ impl Histogram {
         self.max
     }
 
+    /// The q-quantile estimate (`0.0 ≤ q ≤ 1.0`): the upper bound of the
+    /// bucket containing the rank-⌈q·count⌉ observation, clamped to the exact
+    /// [`Histogram::max`]. Returns 0 on an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_from_rows(&self.rows(), self.count, self.max, q)
+    }
+
+    /// The p50/p90/p99 + max digest of this histogram (see
+    /// [`QuantileSummary`]).
+    #[must_use]
+    pub fn summary(&self) -> QuantileSummary {
+        QuantileSummary::from_rows(self.count, self.max, &self.rows())
+    }
+
     /// The non-empty buckets in ascending value order.
     #[must_use]
     pub fn rows(&self) -> Vec<BucketRow> {
@@ -211,6 +283,62 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert!(h.rows().is_empty());
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds_clamped_to_max() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Rank 50 lands in bucket [32, 63]; ranks 90 and 99 in [64, 127],
+        // whose upper bound clamps to the exact max.
+        assert_eq!(h.quantile(0.50), 63);
+        assert_eq!(h.quantile(0.90), 100);
+        assert_eq!(h.quantile(0.99), 100);
+        assert_eq!(h.quantile(0.0), 1, "rank clamps up to the first observation");
+        assert_eq!(h.quantile(1.0), 100);
+        let s = h.summary();
+        assert_eq!(s, QuantileSummary { count: 100, p50: 63, p90: 100, p99: 100, max: 100 });
+        // The rows-based digest agrees with the histogram's own.
+        assert_eq!(QuantileSummary::from_rows(h.count(), h.max(), &h.rows()), s);
+    }
+
+    #[test]
+    fn quantiles_of_skewed_and_tiny_histograms() {
+        let empty = Histogram::new();
+        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.summary(), QuantileSummary::default());
+
+        let mut one = Histogram::new();
+        one.record(7);
+        assert_eq!(one.summary(), QuantileSummary { count: 1, p50: 7, p90: 7, p99: 7, max: 7 });
+
+        // 99 zeros and one huge outlier: p50/p90 stay 0, p99 lands exactly on
+        // the rank-99 observation (still 0), max shows the outlier.
+        let mut skewed = Histogram::new();
+        for _ in 0..99 {
+            skewed.record(0);
+        }
+        skewed.record(1_000_000);
+        assert_eq!(skewed.quantile(0.50), 0);
+        assert_eq!(skewed.quantile(0.99), 0);
+        assert_eq!(skewed.quantile(1.0), 1_000_000);
+        assert_eq!(skewed.max(), 1_000_000);
+    }
+
+    #[test]
+    fn quantiles_are_deterministic_across_insertion_orders() {
+        let values = [3u64, 900, 17, 17, 0, 255, 256, 44, 8, 8];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for &v in &values {
+            a.record(v);
+        }
+        for &v in values.iter().rev() {
+            b.record(v);
+        }
+        assert_eq!(a.summary(), b.summary());
     }
 
     #[test]

@@ -40,9 +40,14 @@
 #![warn(missing_docs)]
 
 mod histogram;
+mod metrics;
 mod report;
 
-pub use histogram::{BucketRow, Histogram};
+pub use histogram::{BucketRow, Histogram, QuantileSummary};
+pub use metrics::{
+    ConnectionMetrics, Counts, GrammarMetrics, LatencyRow, MetricsRegistry, MetricsShard,
+    MetricsSnapshot,
+};
 pub use report::{
     DeterministicFacts, JournalEvent, NamedHistogram, SpanFacts, SpanTiming, TelemetryReport,
     Timings,

@@ -1,0 +1,548 @@
+//! Sharded process-wide serving metrics with Prometheus text exposition.
+//!
+//! The thread-local collector ([`crate::install`]) is built for single-thread
+//! pipeline runs; a serving daemon needs the opposite shape: many connection
+//! threads recording concurrently into one process-wide registry. A
+//! [`MetricsRegistry`] hands every (grammar × connection) pair its own
+//! [`MetricsShard`] — relaxed atomic counters plus per-shard histogram
+//! mutexes — so the request hot path touches only its own shard and never a
+//! global lock. Aggregation happens at snapshot time: [`MetricsRegistry::snapshot`]
+//! folds the shards into per-connection rows, per-grammar rows and grand
+//! totals, sorted by key so the result is deterministic whatever the accept
+//! order was.
+//!
+//! The split follows the repository's determinism convention: everything in a
+//! [`MetricsSnapshot`] (request/byte/verdict counters, request-size histogram
+//! buckets) is a pure function of the served inputs and safe to commit and
+//! diff; wall-clock latencies stay out of it and are reported separately
+//! ([`MetricsRegistry::latencies`], [`MetricsRegistry::render_prometheus`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::Serialize;
+
+use crate::histogram::{BucketRow, Histogram, QuantileSummary};
+
+/// Monotonic request/byte/verdict counters, summable across shards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct Counts {
+    /// Requests that received a verdict.
+    pub requests: u64,
+    /// Input payload bytes across those requests.
+    pub bytes: u64,
+    /// Requests whose verdict was *accept*.
+    pub accepted: u64,
+    /// Requests whose verdict was *reject*.
+    pub rejected: u64,
+    /// Protocol or lookup errors attributed to this key.
+    pub errors: u64,
+}
+
+impl Counts {
+    /// Adds `other` into `self` field-wise.
+    pub fn absorb(&mut self, other: &Counts) {
+        self.requests += other.requests;
+        self.bytes += other.bytes;
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        self.errors += other.errors;
+    }
+}
+
+/// The per-(grammar × connection) recording cell of a [`MetricsRegistry`].
+///
+/// The request path is lock-free on counters (relaxed atomics — totals are
+/// read only at snapshot time, ordering does not matter) and takes only this
+/// shard's own histogram mutexes, which no other connection contends on.
+#[derive(Debug)]
+pub struct MetricsShard {
+    grammar: String,
+    connection: String,
+    requests: AtomicU64,
+    bytes: AtomicU64,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    errors: AtomicU64,
+    /// Deterministic: request payload sizes.
+    request_bytes: Mutex<Histogram>,
+    /// Wall-clock: per-request latency in microseconds (never committed).
+    latency_us: Mutex<Histogram>,
+}
+
+impl MetricsShard {
+    fn new(grammar: &str, connection: &str) -> Self {
+        MetricsShard {
+            grammar: grammar.to_string(),
+            connection: connection.to_string(),
+            requests: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            request_bytes: Mutex::new(Histogram::new()),
+            latency_us: Mutex::new(Histogram::new()),
+        }
+    }
+
+    /// The grammar name this shard is keyed by.
+    #[must_use]
+    pub fn grammar(&self) -> &str {
+        &self.grammar
+    }
+
+    /// The connection label this shard is keyed by.
+    #[must_use]
+    pub fn connection(&self) -> &str {
+        &self.connection
+    }
+
+    /// Records one finished request: payload size, verdict, wall-clock
+    /// latency in microseconds.
+    pub fn record_request(&self, bytes: u64, accepted: bool, wall_us: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        if accepted {
+            self.accepted.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        self.request_bytes.lock().expect("no panics under this lock").record(bytes);
+        self.latency_us.lock().expect("no panics under this lock").record(wall_us);
+    }
+
+    /// Records one error attributed to this shard's key.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn counts(&self) -> Counts {
+        Counts {
+            requests: self.requests.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One (grammar × connection) row of a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct ConnectionMetrics {
+    /// Grammar name.
+    pub grammar: String,
+    /// Connection label (client-chosen via the protocol's hello).
+    pub connection: String,
+    /// The row's counters.
+    pub counts: Counts,
+}
+
+/// One per-grammar aggregate row of a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct GrammarMetrics {
+    /// Grammar name.
+    pub grammar: String,
+    /// Counters summed over every connection of this grammar.
+    pub counts: Counts,
+    /// Request-size histogram buckets (deterministic under fixed input).
+    pub request_bytes: Vec<BucketRow>,
+}
+
+/// A deterministic aggregate view of a [`MetricsRegistry`]: per-connection
+/// rows, per-grammar rows and grand totals, each sorted by key. Contains no
+/// wall-clock data; under fixed served input it is byte-identical across
+/// runs, whatever order connections were accepted in.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct MetricsSnapshot {
+    /// Per-(grammar, connection) rows, sorted by that key. Same-key shards
+    /// from reconnections are merged.
+    pub connections: Vec<ConnectionMetrics>,
+    /// Per-grammar aggregates, sorted by grammar.
+    pub grammars: Vec<GrammarMetrics>,
+    /// Grand totals over every shard.
+    pub totals: Counts,
+}
+
+/// One per-(grammar × connection) latency digest (wall-clock; reported only,
+/// never part of the determinism convention).
+#[derive(Clone, Debug, Serialize)]
+pub struct LatencyRow {
+    /// Grammar name.
+    pub grammar: String,
+    /// Connection label.
+    pub connection: String,
+    /// p50/p90/p99 + max of per-request latency in microseconds.
+    pub latency_us: QuantileSummary,
+}
+
+/// The process-wide metrics plane of a serving daemon.
+///
+/// Shards are handed out by [`MetricsRegistry::shard`] (typically once per
+/// session bind, never per request); recording goes through the shard, so
+/// the registry's own mutex is touched only at shard creation and snapshot
+/// time.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    shards: Mutex<Vec<Arc<MetricsShard>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The shard keyed `(grammar, connection)`, creating it on first use.
+    /// Subsequent calls with the same key return the same shard.
+    #[must_use]
+    pub fn shard(&self, grammar: &str, connection: &str) -> Arc<MetricsShard> {
+        let mut shards = self.shards.lock().expect("no panics under this lock");
+        if let Some(existing) =
+            shards.iter().find(|s| s.grammar == grammar && s.connection == connection)
+        {
+            return Arc::clone(existing);
+        }
+        let shard = Arc::new(MetricsShard::new(grammar, connection));
+        shards.push(Arc::clone(&shard));
+        shard
+    }
+
+    /// Number of distinct (grammar, connection) shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.lock().expect("no panics under this lock").len()
+    }
+
+    fn shards(&self) -> Vec<Arc<MetricsShard>> {
+        self.shards.lock().expect("no panics under this lock").clone()
+    }
+
+    /// Aggregates every shard into the deterministic snapshot shape. The
+    /// registry lock is held only to clone the shard list; in-flight requests
+    /// on other threads keep recording while the fold runs.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut shards = self.shards();
+        shards.sort_by(|a, b| (a.grammar(), a.connection()).cmp(&(b.grammar(), b.connection())));
+
+        let mut connections: Vec<ConnectionMetrics> = Vec::new();
+        let mut grammars: Vec<(String, Counts, Histogram)> = Vec::new();
+        let mut totals = Counts::default();
+        for shard in &shards {
+            let counts = shard.counts();
+            totals.absorb(&counts);
+            match connections.last_mut() {
+                Some(row)
+                    if row.grammar == shard.grammar() && row.connection == shard.connection() =>
+                {
+                    row.counts.absorb(&counts);
+                }
+                _ => {
+                    connections.push(ConnectionMetrics {
+                        grammar: shard.grammar().to_string(),
+                        connection: shard.connection().to_string(),
+                        counts,
+                    });
+                }
+            }
+            let sizes = shard.request_bytes.lock().expect("no panics under this lock").clone();
+            match grammars.last_mut() {
+                Some((name, agg, hist)) if name.as_str() == shard.grammar() => {
+                    agg.absorb(&counts);
+                    hist.merge(&sizes);
+                }
+                _ => {
+                    grammars.push((shard.grammar().to_string(), counts, sizes));
+                }
+            }
+        }
+        MetricsSnapshot {
+            connections,
+            grammars: grammars
+                .into_iter()
+                .map(|(grammar, counts, hist)| GrammarMetrics {
+                    grammar,
+                    counts,
+                    request_bytes: hist.rows(),
+                })
+                .collect(),
+            totals,
+        }
+    }
+
+    /// Per-shard wall-clock latency digests, sorted by key (reported only —
+    /// never committed or diffed).
+    #[must_use]
+    pub fn latencies(&self) -> Vec<LatencyRow> {
+        let mut shards = self.shards();
+        shards.sort_by(|a, b| (a.grammar(), a.connection()).cmp(&(b.grammar(), b.connection())));
+        shards
+            .iter()
+            .map(|s| LatencyRow {
+                grammar: s.grammar().to_string(),
+                connection: s.connection().to_string(),
+                latency_us: s.latency_us.lock().expect("no panics under this lock").summary(),
+            })
+            .collect()
+    }
+
+    /// Renders the whole registry in the Prometheus text exposition format:
+    /// per-(grammar, connection) counters, per-grammar cumulative request-size
+    /// and latency histograms with `_sum`/`_count` series. Series are sorted
+    /// by label, so under fixed input only the latency series vary.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let snapshot = self.snapshot();
+        let mut out = String::new();
+
+        let mut counter = |name: &str, help: &str, value: &dyn Fn(&Counts) -> u64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+            for row in &snapshot.connections {
+                out.push_str(&format!(
+                    "{name}{{grammar=\"{}\",connection=\"{}\"}} {}\n",
+                    escape_label(&row.grammar),
+                    escape_label(&row.connection),
+                    value(&row.counts),
+                ));
+            }
+        };
+        counter("vstar_requests_total", "Requests served, by grammar and connection.", &|c| {
+            c.requests
+        });
+        counter("vstar_request_bytes_total", "Request payload bytes served.", &|c| c.bytes);
+        counter("vstar_requests_accepted_total", "Requests with an accept verdict.", &|c| {
+            c.accepted
+        });
+        counter("vstar_requests_rejected_total", "Requests with a reject verdict.", &|c| {
+            c.rejected
+        });
+        counter("vstar_errors_total", "Protocol and lookup errors.", &|c| c.errors);
+
+        // Per-grammar request-size histogram (deterministic buckets).
+        out.push_str(
+            "# HELP vstar_request_size_bytes Request payload size distribution.\n\
+             # TYPE vstar_request_size_bytes histogram\n",
+        );
+        for row in &snapshot.grammars {
+            let label = escape_label(&row.grammar);
+            let mut cumulative = 0u64;
+            for bucket in &row.request_bytes {
+                cumulative += bucket.count;
+                out.push_str(&format!(
+                    "vstar_request_size_bytes_bucket{{grammar=\"{label}\",le=\"{}\"}} \
+                     {cumulative}\n",
+                    bucket.hi,
+                ));
+            }
+            out.push_str(&format!(
+                "vstar_request_size_bytes_bucket{{grammar=\"{label}\",le=\"+Inf\"}} {}\n",
+                row.counts.requests,
+            ));
+            out.push_str(&format!(
+                "vstar_request_size_bytes_sum{{grammar=\"{label}\"}} {}\n",
+                row.counts.bytes,
+            ));
+            out.push_str(&format!(
+                "vstar_request_size_bytes_count{{grammar=\"{label}\"}} {}\n",
+                row.counts.requests,
+            ));
+        }
+
+        // Per-grammar latency histogram (wall-clock; the whole point of the
+        // endpoint, but excluded from any determinism gate).
+        let mut latency_per_grammar: Vec<(String, Histogram)> = Vec::new();
+        for shard in {
+            let mut shards = self.shards();
+            shards.sort_by(|a, b| a.grammar().cmp(b.grammar()));
+            shards
+        } {
+            let hist = shard.latency_us.lock().expect("no panics under this lock").clone();
+            match latency_per_grammar.last_mut() {
+                Some((name, agg)) if name.as_str() == shard.grammar() => agg.merge(&hist),
+                _ => latency_per_grammar.push((shard.grammar().to_string(), hist)),
+            }
+        }
+        out.push_str(
+            "# HELP vstar_request_latency_microseconds Request wall-clock latency.\n\
+             # TYPE vstar_request_latency_microseconds histogram\n",
+        );
+        for (grammar, hist) in &latency_per_grammar {
+            let label = escape_label(grammar);
+            let mut cumulative = 0u64;
+            for bucket in hist.rows() {
+                cumulative += bucket.count;
+                out.push_str(&format!(
+                    "vstar_request_latency_microseconds_bucket{{grammar=\"{label}\",\
+                     le=\"{}\"}} {cumulative}\n",
+                    bucket.hi,
+                ));
+            }
+            out.push_str(&format!(
+                "vstar_request_latency_microseconds_bucket{{grammar=\"{label}\",le=\"+Inf\"}} {}\n",
+                hist.count(),
+            ));
+            out.push_str(&format!(
+                "vstar_request_latency_microseconds_sum{{grammar=\"{label}\"}} {}\n",
+                hist.sum(),
+            ));
+            out.push_str(&format!(
+                "vstar_request_latency_microseconds_count{{grammar=\"{label}\"}} {}\n",
+                hist.count(),
+            ));
+        }
+        out
+    }
+}
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_are_keyed_and_reused() {
+        let registry = MetricsRegistry::new();
+        let a = registry.shard("json", "client-0");
+        let b = registry.shard("json", "client-0");
+        let c = registry.shard("json", "client-1");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(registry.shard_count(), 2);
+        assert_eq!(a.grammar(), "json");
+        assert_eq!(c.connection(), "client-1");
+    }
+
+    #[test]
+    fn snapshot_partitions_exactly_into_connections_and_grammars() {
+        let registry = MetricsRegistry::new();
+        registry.shard("json", "c0").record_request(10, true, 100);
+        registry.shard("json", "c0").record_request(20, false, 100);
+        registry.shard("json", "c1").record_request(30, true, 100);
+        registry.shard("xml", "c0").record_request(5, true, 100);
+        registry.shard("xml", "c0").record_error();
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.connections.len(), 3);
+        assert_eq!(snap.grammars.len(), 2);
+        // Sorted by (grammar, connection).
+        let keys: Vec<(&str, &str)> =
+            snap.connections.iter().map(|r| (r.grammar.as_str(), r.connection.as_str())).collect();
+        assert_eq!(keys, [("json", "c0"), ("json", "c1"), ("xml", "c0")]);
+        // Per-connection rows sum to per-grammar rows sum to totals.
+        let mut from_connections = Counts::default();
+        for row in &snap.connections {
+            from_connections.absorb(&row.counts);
+        }
+        let mut from_grammars = Counts::default();
+        for row in &snap.grammars {
+            from_grammars.absorb(&row.counts);
+        }
+        assert_eq!(from_connections, snap.totals);
+        assert_eq!(from_grammars, snap.totals);
+        assert_eq!(
+            snap.totals,
+            Counts { requests: 4, bytes: 65, accepted: 3, rejected: 1, errors: 1 }
+        );
+        // The per-grammar histogram folds every connection's sizes.
+        let json = &snap.grammars[0];
+        assert_eq!(json.grammar, "json");
+        assert_eq!(json.request_bytes.iter().map(|b| b.count).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let registry = Arc::new(MetricsRegistry::new());
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let registry = Arc::clone(&registry);
+                scope.spawn(move || {
+                    let shard = registry.shard("g", &format!("c{t}"));
+                    for i in 0..1000u64 {
+                        shard.record_request(i % 7, i % 3 == 0, 1);
+                    }
+                });
+            }
+        });
+        let snap = registry.snapshot();
+        assert_eq!(snap.totals.requests, 8000);
+        assert_eq!(snap.totals.accepted + snap.totals.rejected, 8000);
+        assert_eq!(snap.grammars[0].request_bytes.iter().map(|b| b.count).sum::<u64>(), 8000);
+    }
+
+    #[test]
+    fn snapshot_merges_reconnected_same_key_shards() {
+        let registry = MetricsRegistry::new();
+        // Two *distinct* shard objects under one key cannot happen through
+        // `shard()`, but reconnections re-request the key; the merged row
+        // must carry both sessions' counts.
+        registry.shard("g", "c").record_request(1, true, 1);
+        registry.shard("g", "c").record_request(2, false, 1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.connections.len(), 1);
+        assert_eq!(snap.connections[0].counts.requests, 2);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_sorted_and_escaped() {
+        let registry = MetricsRegistry::new();
+        registry.shard("json", "na\"ive\\conn").record_request(10, true, 50);
+        registry.shard("json", "a").record_request(2, false, 50);
+        let text = registry.render_prometheus();
+        assert!(text.contains("# TYPE vstar_requests_total counter"));
+        assert!(text.contains("vstar_requests_total{grammar=\"json\",connection=\"a\"} 1"));
+        assert!(text.contains("connection=\"na\\\"ive\\\\conn\""));
+        assert!(text.contains("vstar_request_size_bytes_sum{grammar=\"json\"} 12"));
+        assert!(text.contains("vstar_request_size_bytes_bucket{grammar=\"json\",le=\"+Inf\"} 2"));
+        assert!(text.contains("vstar_request_latency_microseconds_count{grammar=\"json\"} 2"));
+        // Sorted: connection "a" appears before the escaped one.
+        let a = text.find("connection=\"a\"").unwrap();
+        let b = text.find("na\\\"ive").unwrap();
+        assert!(a < b);
+        // Cumulative buckets are nondecreasing.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("vstar_request_size_bytes_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn latency_rows_digest_per_shard() {
+        let registry = MetricsRegistry::new();
+        let shard = registry.shard("g", "c");
+        for us in [10u64, 20, 30, 40] {
+            shard.record_request(1, true, us);
+        }
+        let rows = registry.latencies();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].latency_us.count, 4);
+        assert_eq!(rows[0].latency_us.max, 40);
+        assert!(rows[0].latency_us.p50 >= 10);
+    }
+
+    #[test]
+    fn serialized_snapshot_has_no_wall_clock_fields() {
+        let registry = MetricsRegistry::new();
+        registry.shard("g", "c").record_request(3, true, 999);
+        let json = serde_json::to_string(&registry.snapshot()).unwrap();
+        assert!(!json.contains("latency"), "snapshot must stay wall-clock-free: {json}");
+        assert!(json.contains("\"requests\":1"), "one request recorded: {json}");
+        assert!(json.contains("\"bytes\":3"), "three payload bytes recorded: {json}");
+    }
+}

@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 
 use serde::Serialize;
 
-use crate::histogram::BucketRow;
+use crate::histogram::{BucketRow, QuantileSummary};
 
 /// One entry of the deterministic event journal.
 ///
@@ -51,6 +51,15 @@ pub struct NamedHistogram {
     pub max: u64,
     /// The non-empty power-of-two buckets in ascending order.
     pub buckets: Vec<BucketRow>,
+}
+
+impl NamedHistogram {
+    /// The p50/p90/p99 + max digest of this snapshot, reconstructed from its
+    /// bucket rows (see [`QuantileSummary::from_rows`]).
+    #[must_use]
+    pub fn summary(&self) -> QuantileSummary {
+        QuantileSummary::from_rows(self.count, self.max, &self.buckets)
+    }
 }
 
 /// The deterministic facts of one span: entry count, attributed counters and
