@@ -23,6 +23,9 @@
 //!   cell ranges, orphan interned item-sets, compiled stack-symbol liveness,
 //!   tokenizer decision ambiguity, led by an always-on artifact stats card
 //!   (`CMP000`–`CMP006`).
+//! * [`analyze_passive`] — corpus-learned artifacts: construction stats card
+//!   (always emitted), training-consistency audit, conversion-loss
+//!   accounting, finite-state degeneration (`PSV000`–`PSV004`).
 //!
 //! Every pass reports through the same [`AnalysisReport`] /
 //! [`Diagnostic`] / [`Severity`] model, so gating is uniform:
@@ -46,6 +49,7 @@
 pub mod compiled_lints;
 pub mod congruence;
 pub mod learned;
+pub mod passive;
 pub mod report;
 pub mod vpa_lints;
 pub mod vpg_lints;
@@ -53,12 +57,14 @@ pub mod vpg_lints;
 pub use compiled_lints::analyze_compiled;
 pub use congruence::{analyze_congruence, congruence_summary, CongruenceSummary};
 pub use learned::analyze_learned;
+pub use passive::analyze_passive;
 pub use report::{AnalysisReport, Diagnostic, Severity};
 pub use vpa_lints::analyze_vpa;
 pub use vpg_lints::analyze_vpg;
 
 use vstar::{LearnedLanguage, VStarResult};
 use vstar_parser::CompiledGrammar;
+use vstar_passive::PassiveResult;
 use vstar_vpl::{Vpa, Vpg};
 
 /// Uniform `analyze()` entry point over every artifact layer.
@@ -97,5 +103,11 @@ impl Analyze for VStarResult {
 impl Analyze for CompiledGrammar {
     fn analyze(&self) -> AnalysisReport {
         analyze_compiled(self)
+    }
+}
+
+impl Analyze for PassiveResult {
+    fn analyze(&self) -> AnalysisReport {
+        analyze_passive(self, None)
     }
 }

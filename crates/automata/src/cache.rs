@@ -90,6 +90,16 @@ impl QueryCache {
         v
     }
 
+    /// Records a known answer without consulting any oracle and without
+    /// counting a query: a later [`QueryCache::query`] for `input` is a hit.
+    /// An already-cached answer is left untouched (the first recorded answer
+    /// wins, matching the policy of `query`).
+    pub fn preload(&mut self, input: &str, answer: bool) {
+        if !self.cache.contains_key(input) {
+            self.cache.insert(input.to_owned(), answer);
+        }
+    }
+
     /// Number of unique (cache-missing) membership queries so far.
     #[must_use]
     pub fn unique_queries(&self) -> usize {
@@ -171,6 +181,20 @@ mod tests {
         let _ = cache.query("x", |_| false);
         assert_eq!(cache.unique_queries(), 1);
         assert!(!cache.query("x", |_| true), "cached answer wins after reset");
+    }
+
+    #[test]
+    fn preload_makes_later_queries_hits_and_first_answer_wins() {
+        let mut cache = QueryCache::new();
+        cache.preload("w", true);
+        assert_eq!(cache.unique_queries(), 0, "preloading is not a query");
+        assert!(cache.query("w", |_| panic!("preloaded answer must win")));
+        assert_eq!(cache.unique_queries(), 0);
+        assert_eq!(cache.hits(), 1);
+        // An already-answered string is not overwritten.
+        let _ = cache.query("x", |_| false);
+        cache.preload("x", true);
+        assert!(!cache.query("x", |_| true));
     }
 
     #[test]

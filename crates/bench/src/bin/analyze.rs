@@ -5,7 +5,11 @@
 //! then runs the full `vstar-analyze` lint stack over everything the pipeline
 //! produced: the learned language (grammar + automaton + congruence report),
 //! the compiled serving artifact, and the refinement log's rule-liveness
-//! trajectory. No oracle query is spent on analysis — every pass is static.
+//! trajectory. Each grammar also gets a corpus-only passive construction
+//! (`vstar_passive::learn_passive` over a deterministic generated corpus) so
+//! the passive lint pass and its `PSV000` stats card are exercised on real
+//! artifacts. No oracle query is spent on analysis — every pass is static,
+//! and passive learning itself never consults an oracle.
 //!
 //! Usage:
 //!
@@ -25,21 +29,28 @@
 //! `--check` turns the run into the CI analysis gate: the process exits
 //! nonzero when any refined grammar lints at warn-or-worse severity, when a
 //! report is missing the always-emitted summary lints (which would mean a
-//! pass silently did not run), or when the analyzer fails the blindness
+//! pass silently did not run), when a passive report is missing its `PSV000`
+//! stats card or lints at error severity (warn-level findings are expected on
+//! partial passive automata), or when the analyzer fails the blindness
 //! self-check — a surgically broken variant of a refined grammar must light
 //! up the named diagnostic codes (`VPG003`, `LRN001`), otherwise "lint-clean"
 //! is indistinguishable from "looked at nothing".
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use serde::Serialize;
 
 use vstar::refine::{RefineConfig, RuleLiveness};
-use vstar_analyze::{congruence_summary, AnalysisReport, Analyze, CongruenceSummary, Severity};
+use vstar_analyze::{
+    analyze_passive, congruence_summary, AnalysisReport, Analyze, CongruenceSummary, Severity,
+};
 use vstar_bench::cli::Args;
 use vstar_bench::{learn_refined_language, REFINE_MIN_ITERATIONS};
 use vstar_fuzz::surgery::with_crossed_returns;
 use vstar_fuzz::FuzzConfig;
 use vstar_oracles::{language_by_name, table1_languages};
 use vstar_parser::CompileLearned;
+use vstar_passive::{learn_passive, PassiveConfig};
 
 /// File the machine-readable report is written to (current directory).
 const JSON_REPORT_PATH: &str = "BENCH_analyze.json";
@@ -52,6 +63,12 @@ const DEFAULT_REFINE_ITERATIONS: usize = REFINE_MIN_ITERATIONS;
 const DEFAULT_MAX_CAMPAIGNS: usize = 40;
 /// Sample budget of the in-loop campaigns.
 const DEFAULT_BUDGET: usize = 24;
+/// Corpus size of the per-grammar passive construction the passive lint pass
+/// runs over.
+const PASSIVE_CORPUS_SIZE: usize = 120;
+/// Sentence-size budget of the passive corpus (matches the `passive`
+/// binary's generation budget).
+const PASSIVE_CORPUS_BUDGET: usize = 18;
 
 const USAGE: &str = "analyze [grammar ...] [--seed N] [--refine-iterations N] \
                      [--max-campaigns N] [--budget N] [--check] [--json]";
@@ -86,6 +103,11 @@ struct GrammarAnalyzeReport {
     /// tokenizer-ambiguity lints.
     compiled: AnalysisReport,
     compiled_counts: SeverityCounts,
+    /// Passive-construction report: stats card, training-consistency audit,
+    /// conversion-loss accounting (over a corpus-only construction, not the
+    /// refined artifact).
+    passive: AnalysisReport,
+    passive_counts: SeverityCounts,
     /// State/stack-symbol merge headroom of the learned automaton.
     congruence: CongruenceSummary,
     /// Rule liveness of the first refinement hypothesis.
@@ -159,11 +181,16 @@ fn main() {
         let compiled_artifact = refined.result.compile().expect("refined Table-1 grammars compile");
         let compiled = compiled_artifact.analyze();
         let congruence = congruence_summary(refined.learned.vpa());
+        let mut corpus_rng = StdRng::seed_from_u64(seed);
+        let corpus =
+            lang.generate_corpus(&mut corpus_rng, PASSIVE_CORPUS_BUDGET, PASSIVE_CORPUS_SIZE);
+        let passive = analyze_passive(&learn_passive(&corpus, &PassiveConfig::default()), None);
         eprintln!(
             "analyzed {name}: {} learned finding(s), {} compiled finding(s), \
-             {}/{} states mergeable",
+             {} passive finding(s), {}/{} states mergeable",
             learned.diagnostics.len(),
             compiled.diagnostics.len(),
+            passive.diagnostics.len(),
             congruence.mergeable_states,
             congruence.states,
         );
@@ -179,6 +206,8 @@ fn main() {
             learned,
             compiled_counts: SeverityCounts::of(&compiled),
             compiled,
+            passive_counts: SeverityCounts::of(&passive),
+            passive,
             congruence,
             pre_liveness: refined.log.pre_liveness,
             post_liveness: refined.log.post_liveness,
@@ -187,13 +216,15 @@ fn main() {
 
     println!("Static analysis of refined learned grammars (seed {seed})");
     println!();
-    println!("grammar\tlearned(i/w/e)\tcompiled(i/w/e)\tstates\tmergeable\tlive rules");
+    println!(
+        "grammar\tlearned(i/w/e)\tcompiled(i/w/e)\tpassive(i/w/e)\tstates\tmergeable\tlive rules"
+    );
     for g in &grammars {
         let live = g
             .post_liveness
             .map_or_else(|| "-".to_string(), |l| format!("{}/{}", l.live_rules, l.rules));
         println!(
-            "{}\t{}/{}/{}\t{}/{}/{}\t{}\t{}\t{}",
+            "{}\t{}/{}/{}\t{}/{}/{}\t{}/{}/{}\t{}\t{}\t{}",
             g.language,
             g.learned_counts.info,
             g.learned_counts.warn,
@@ -201,6 +232,9 @@ fn main() {
             g.compiled_counts.info,
             g.compiled_counts.warn,
             g.compiled_counts.error,
+            g.passive_counts.info,
+            g.passive_counts.warn,
+            g.passive_counts.error,
             g.congruence.states,
             g.congruence.mergeable_states,
             live,
@@ -246,6 +280,27 @@ fn main() {
                     g.learned.codes(),
                 );
             }
+            // The passive pass has its own vacuity guard: the stats card is
+            // emitted unconditionally, and a corpus-built construction must
+            // never carry error-severity findings (training consistency and
+            // nonempty language hold by construction). Warn-level findings
+            // are expected — partial passive automata legitimately carry
+            // unproductive grammar structure.
+            if !g.passive.has("PSV000") {
+                failed = true;
+                eprintln!(
+                    "FAIL {}: passive report is missing the PSV000 stats card \
+                     (have {:?}) — the passive analysis pass did not run",
+                    g.language,
+                    g.passive.codes(),
+                );
+            }
+            if !g.passive.is_clean(Severity::Error) {
+                failed = true;
+                for d in g.passive.at_least(Severity::Error) {
+                    eprintln!("FAIL {}: passive artifact lints at {d}", g.language);
+                }
+            }
         }
         match &self_check {
             Some((name, report)) if report.has("VPG003") && report.has("LRN001") => {
@@ -273,6 +328,9 @@ fn main() {
         if failed {
             std::process::exit(1);
         }
-        println!("check passed: all refined grammars analyze clean at warn severity");
+        println!(
+            "check passed: refined grammars analyze clean at warn severity, \
+             passive constructions carded and error-free"
+        );
     }
 }

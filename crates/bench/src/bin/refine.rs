@@ -32,7 +32,10 @@ use serde::Serialize;
 
 use vstar::refine::{RefineConfig, RefineLog};
 use vstar_bench::cli::Args;
-use vstar_bench::{learn_learned_language, learn_refined_language, REFINE_MIN_ITERATIONS};
+use vstar_bench::{
+    default_eval_config, learn_learned_language, learn_refined_language, repair_learned_language,
+    REFINE_MIN_ITERATIONS,
+};
 use vstar_eval::DifferentialCounts;
 use vstar_fuzz::{CampaignReport, FuzzCampaign, FuzzConfig};
 use vstar_oracles::{language_by_name, table1_languages, CountedLanguage, CountingOracle};
@@ -85,6 +88,21 @@ impl CampaignSummary {
     }
 }
 
+/// The corpus-driven re-inference repair pass over the refined grammar
+/// (`vstar_passive::repair_with_corpus` via the shared bench helper).
+#[derive(Serialize)]
+struct RepairSummary {
+    /// Whether the repair corpus witnessed a gap and a repair ran.
+    applied: bool,
+    rejected_members: usize,
+    ill_matched: usize,
+    tokenizer_changed: bool,
+    /// Evaluation recall of the refined grammar, before the repair.
+    recall_refined: f64,
+    /// Evaluation recall after the repair (same value when nothing ran).
+    recall_repaired: f64,
+}
+
 /// Pre/post refinement trajectory of one grammar.
 #[derive(Serialize)]
 struct GrammarRefineReport {
@@ -92,6 +110,7 @@ struct GrammarRefineReport {
     pre: CampaignSummary,
     refine: RefineLog,
     post: CampaignSummary,
+    repair: RepairSummary,
     states_before: usize,
     states_after: usize,
     rules_before: usize,
@@ -183,6 +202,36 @@ fn main() {
         let refined = learn_refined_language(&counted, &loop_config, &refine_config);
         let post = FuzzCampaign::new(&refined.learned, &counted, gate_config.clone()).run();
         drop(telemetry);
+        // Corpus-driven re-inference over the refined grammar: fuzz evidence
+        // mutates outward from the seeds, a sampled corpus probes the oracle's
+        // own distribution — each catches gaps the other misses. Runs against
+        // the raw oracle so the telemetry snapshots above stay comparable.
+        eprintln!("repairing {name}: diffing against the repair corpus …");
+        let run = repair_learned_language(lang.as_ref(), &refined.result, &default_eval_config());
+        let repair = match &run.repaired {
+            Some(r) => RepairSummary {
+                applied: true,
+                rejected_members: r.report.rejected_members,
+                ill_matched: r.report.ill_matched,
+                tokenizer_changed: r.report.tokenizer_changed,
+                recall_refined: run.recall_before,
+                recall_repaired: run.recall_after,
+            },
+            None => RepairSummary {
+                applied: false,
+                rejected_members: 0,
+                ill_matched: 0,
+                tokenizer_changed: false,
+                recall_refined: run.recall_before,
+                recall_repaired: run.recall_after,
+            },
+        };
+        eprintln!(
+            "repaired {name}: recall {:.3} → {:.3} ({})",
+            repair.recall_refined,
+            repair.recall_repaired,
+            if repair.applied { "repair applied" } else { "nothing to repair" }
+        );
         eprintln!(
             "refined {name}: {} campaign(s), {} counterexample(s) replayed, post divergences {}",
             refined.log.campaigns_run,
@@ -194,6 +243,7 @@ fn main() {
             pre: CampaignSummary::of(&pre),
             refine: refined.log,
             post: CampaignSummary::of(&post),
+            repair,
             states_before: base.vpa().state_count(),
             states_after: refined.learned.vpa().state_count(),
             rules_before: base.vpg().rule_count(),
@@ -203,10 +253,10 @@ fn main() {
 
     println!("Counterexample-guided refinement of learned grammars (seed {seed})");
     println!();
-    println!("grammar\tpreFP\tpreFN\tcampaigns\tCEs\tpostFP\tpostFN\tstates\trules");
+    println!("grammar\tpreFP\tpreFN\tcampaigns\tCEs\tpostFP\tpostFN\tstates\trules\trecall");
     for g in &grammars {
         println!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}→{}\t{}→{}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}→{}\t{}→{}\t{:.3}→{:.3}",
             g.language,
             g.pre.counts.false_positive,
             g.pre.counts.false_negative,
@@ -218,6 +268,8 @@ fn main() {
             g.states_after,
             g.rules_before,
             g.rules_after,
+            g.repair.recall_refined,
+            g.repair.recall_repaired,
         );
     }
 
@@ -282,6 +334,23 @@ fn main() {
                     g.language
                 );
             }
+            // The recall gate: the corpus-driven repair must never regress,
+            // and the known JSON evaluation-recall gap must end closed.
+            if g.repair.recall_repaired < g.repair.recall_refined {
+                failed = true;
+                eprintln!(
+                    "FAIL {}: repair regressed evaluation recall {:.3} → {:.3}",
+                    g.language, g.repair.recall_refined, g.repair.recall_repaired,
+                );
+            }
+            if g.language == "json" && g.repair.recall_repaired < 1.0 {
+                failed = true;
+                eprintln!(
+                    "FAIL json: evaluation recall after corpus-driven repair is {:.3}, \
+                     expected 1.0",
+                    g.repair.recall_repaired,
+                );
+            }
             if tracked_config
                 && KNOWN_GAPPED.contains(&g.language.as_str())
                 && g.pre.counts.divergences() == 0
@@ -297,6 +366,8 @@ fn main() {
         if failed {
             std::process::exit(1);
         }
-        println!("check passed: all post-refinement campaigns are divergence-free");
+        println!(
+            "check passed: post-refinement campaigns divergence-free, repair recall gate holds"
+        );
     }
 }

@@ -160,6 +160,82 @@ pub fn learn_refined_language(
     RefinedLearning { learned: result.as_learned_language(), result, log }
 }
 
+/// Seed of the deterministic repair corpus the corpus-driven re-inference
+/// step diffs a hypothesis against. Deliberately disjoint from the
+/// evaluation-dataset seed (`0xEA11_5EED`) so the recall gate never trains on
+/// its own test set.
+pub const REPAIR_CORPUS_SEED: u64 = 0x9A55_1FE5;
+/// Size of the repair corpus.
+pub const REPAIR_CORPUS_SIZE: usize = 300;
+
+/// The deterministic positive corpus used by [`repair_learned_language`].
+#[must_use]
+pub fn repair_corpus(lang: &dyn vstar_oracles::Language, budget: usize) -> Vec<String> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(REPAIR_CORPUS_SEED);
+    lang.generate_corpus(&mut rng, budget, REPAIR_CORPUS_SIZE)
+}
+
+/// What a corpus-driven repair pass produced: the recall trajectory on the
+/// standard evaluation dataset plus the re-inference outcome.
+pub struct RepairedRun {
+    /// Repaired learning + diagnosis; `None` when the base result already
+    /// accepted the whole repair corpus and nothing needed repairing.
+    pub repaired: Option<vstar_passive::RepairedLearning>,
+    /// Recall of the base result on the evaluation dataset.
+    pub recall_before: f64,
+    /// Recall after the repair (equals `recall_before` when no repair ran).
+    pub recall_after: f64,
+}
+
+/// Diffs `base` against the deterministic repair corpus
+/// ([`repair_corpus`]) and, when the corpus witnesses a gap, re-learns under
+/// a corpus-re-inferred tokenizer with the corpus as refinement evidence
+/// (`vstar_passive::repair_with_corpus`). Recall is measured before and
+/// after on the standard evaluation dataset via the compiled serving
+/// artifact, exactly like `measure_vstar_accuracy`.
+///
+/// # Panics
+///
+/// Panics when the repaired run fails or a learned grammar does not compile.
+#[must_use]
+pub fn repair_learned_language(
+    lang: &dyn vstar_oracles::Language,
+    base: &vstar::VStarResult,
+    eval: &EvalConfig,
+) -> RepairedRun {
+    use vstar_parser::CompileLearned;
+    let corpus = repair_corpus(lang, eval.generation_budget);
+    let recall_corpus = vstar_eval::recall_dataset(lang, eval);
+    let compiled = base.compile().expect("base grammar compiles for serving");
+    let recall_before = vstar_eval::recall(|s| compiled.recognize(s), &recall_corpus);
+
+    let oracle = |s: &str| lang.accepts(s);
+    let mat = vstar::Mat::new(&oracle);
+    let config = vstar_passive::ReinferConfig {
+        vstar: eval.vstar.clone(),
+        ..vstar_passive::ReinferConfig::default()
+    };
+    let repaired = vstar_passive::repair_with_corpus(
+        &mat,
+        &lang.alphabet(),
+        &lang.seeds(),
+        base,
+        &corpus,
+        &config,
+    )
+    .expect("corpus-driven repair succeeds on the bundled grammars");
+    let recall_after = match &repaired {
+        Some(run) => {
+            let compiled = run.result.compile().expect("repaired grammar compiles for serving");
+            vstar_eval::recall(|s| compiled.recognize(s), &recall_corpus)
+        }
+        None => recall_before,
+    };
+    RepairedRun { repaired, recall_before, recall_after }
+}
+
 /// The in-loop campaign iteration floor used by the refined `fuzz`/`refine`
 /// binaries: refinement keeps iterating until full campaigns of at least this
 /// many iterations run divergence-free, so any shorter (or equal, same-seed)

@@ -55,6 +55,16 @@ impl<'a> Mat<'a> {
         self.state.borrow().hits()
     }
 
+    /// Seeds the cache with a known answer without invoking the oracle and
+    /// without counting a query. Corpus-driven learners use this to declare
+    /// their training samples members up front: a positive corpus *is* a bag
+    /// of answered membership queries, and hybrid learning should not pay
+    /// oracle invocations to re-confirm its own training data. An
+    /// already-cached answer is left untouched.
+    pub fn assume(&self, s: &str, value: bool) {
+        self.state.borrow_mut().preload(s, value);
+    }
+
     /// Clears the cache and the counters.
     pub fn reset(&self) {
         self.state.borrow_mut().reset();
@@ -114,6 +124,25 @@ mod tests {
         assert!(mat.member("a"));
         assert_eq!(mat.unique_queries(), 4);
         assert_eq!(mat.total_queries(), sequence.len() + 1);
+    }
+
+    #[test]
+    fn assume_answers_without_querying_the_oracle() {
+        let raw_calls = std::cell::Cell::new(0usize);
+        let oracle = |_: &str| {
+            raw_calls.set(raw_calls.get() + 1);
+            false
+        };
+        let mat = Mat::new(&oracle);
+        mat.assume("corpus word", true);
+        assert!(mat.member("corpus word"), "the assumed answer wins");
+        assert_eq!(raw_calls.get(), 0, "the oracle never runs for assumed strings");
+        assert_eq!(mat.unique_queries(), 0);
+        assert_eq!(mat.cache_hits(), 1);
+        // A genuinely queried string keeps its oracle answer over a later assume.
+        assert!(!mat.member("other"));
+        mat.assume("other", true);
+        assert!(!mat.member("other"));
     }
 
     #[test]

@@ -17,7 +17,9 @@ use crate::equivalence::{
 use crate::error::VStarError;
 use crate::mat::Mat;
 use crate::refine::{EvidenceEquivalence, EvidenceSource, RefineConfig, RefineLog};
-use crate::sevpa_learner::{Hypothesis, SevpaLearner, SevpaLearnerConfig, TaggedAlphabet};
+use crate::sevpa_learner::{
+    Hypothesis, ObservationSeed, SevpaLearner, SevpaLearnerConfig, TaggedAlphabet,
+};
 use crate::tag_infer::{tag_infer, TagInferConfig};
 use crate::token_infer::{token_infer, TokenInferConfig};
 use crate::tokenizer::{strip_markers, PartialTokenizer};
@@ -47,6 +49,16 @@ pub struct VStarConfig {
     pub learner: SevpaLearnerConfig,
     /// Test-string pool options (simulated equivalence queries).
     pub test_pool: TestPoolConfig,
+    /// Optional warm-start seed for the k-SEVPA observation structure:
+    /// corpus-mined access words and test contexts (see `vstar-passive`)
+    /// installed before the first closure pass, behind the learner's
+    /// separability guard.
+    pub hypothesis_seed: Option<ObservationSeed>,
+    /// Optional pre-inferred tokenizer. When set (token mode only),
+    /// structure inference is skipped and this tokenizer is used as-is — the
+    /// hook corpus-driven token re-inference uses to re-learn a language
+    /// under a repaired tokenizer.
+    pub tokenizer_override: Option<PartialTokenizer>,
 }
 
 /// Query and size statistics of a learning run (the measurements reported in the
@@ -354,10 +366,12 @@ impl VStar {
                 (tokenizer, alpha, Some(tagging))
             }
             TokenDiscovery::Tokens => {
-                let tokenizer = token_infer(mat, seeds, alphabet, &self.config.token_config)
-                    .ok_or(VStarError::NoCompatibleTagging {
-                        max_k: self.config.token_config.max_k,
-                    })?;
+                let tokenizer = match &self.config.tokenizer_override {
+                    Some(tokenizer) => tokenizer.clone(),
+                    None => token_infer(mat, seeds, alphabet, &self.config.token_config).ok_or(
+                        VStarError::NoCompatibleTagging { max_k: self.config.token_config.max_k },
+                    )?,
+                };
                 let alpha = TaggedAlphabet::new(tokenizer.marker_tagging(), alphabet.to_vec());
                 (tokenizer, alpha, None)
             }
@@ -388,6 +402,9 @@ impl VStar {
         };
         let mut learner =
             SevpaLearner::new(&membership, tagged_alphabet, self.config.learner.clone());
+        if let Some(seed) = &self.config.hypothesis_seed {
+            learner.seed_observations(seed);
+        }
         let mode = self.config.token_discovery;
         let hypothesis: Hypothesis = learner.learn(|hyp| {
             let cx = EquivalenceContext {
@@ -622,6 +639,50 @@ mod tests {
         let learned = result.as_learned_language();
         assert_eq!(learned.convert(&mat, "agcdhb"), "agcdhb");
         assert_eq!(learned.mode(), TokenDiscovery::Characters);
+    }
+
+    #[test]
+    fn tokenizer_override_skips_structure_inference() {
+        use crate::tokenizer::{TokenMatcher, TokenPair};
+        let oracle = dyck;
+        let mat = Mat::new(&oracle);
+        // A hand-built tokenizer: no token-inference queries are spent.
+        let mut tokenizer = PartialTokenizer::new();
+        tokenizer.push_pair(TokenPair {
+            call: TokenMatcher::Literal("(".into()),
+            ret: TokenMatcher::Literal(")".into()),
+        });
+        let config = VStarConfig { tokenizer_override: Some(tokenizer), ..VStarConfig::default() };
+        let result = VStar::new(config)
+            .learn(&mat, &['(', ')', 'x'], &["(x)".to_string(), "()".to_string()])
+            .expect("learning succeeds");
+        assert_eq!(result.stats.queries_token_inference, 0, "structure inference was skipped");
+        assert_eq!(result.stats.token_pairs, 1);
+        for w in vstar_vpl::words::all_strings(&['(', ')', 'x'], 5) {
+            assert_eq!(dyck(&w), result.accepts(&mat, &w), "mismatch on {w:?}");
+        }
+    }
+
+    #[test]
+    fn hypothesis_seed_is_installed_before_learning() {
+        use crate::sevpa_learner::{ModuleSeed, ObservationSeed};
+        let oracle = dyck;
+        let mat = Mat::new(&oracle);
+        // Seed module 0 with corpus-style access words; the separability
+        // guard keeps the structure sound, and learning still converges.
+        let seed = ObservationSeed {
+            modules: vec![ModuleSeed {
+                access: vec!["x".into(), "xx".into()],
+                tests: vec![(String::new(), String::new())],
+            }],
+        };
+        let config = VStarConfig { hypothesis_seed: Some(seed), ..VStarConfig::default() };
+        let result = VStar::new(config)
+            .learn(&mat, &['(', ')', 'x'], &["(x)".to_string(), "()".to_string()])
+            .expect("learning succeeds");
+        for w in vstar_vpl::words::all_strings(&['(', ')', 'x'], 5) {
+            assert_eq!(dyck(&w), result.accepts(&mat, &w), "mismatch on {w:?}");
+        }
     }
 
     #[test]

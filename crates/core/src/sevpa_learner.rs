@@ -94,6 +94,48 @@ struct Module {
     tests: Vec<Test>,
 }
 
+/// Seed material for one module of the observation structure: access words and
+/// test contexts mined outside the active loop (e.g. from a sample corpus by
+/// `vstar-passive`).
+#[derive(Clone, Debug, Default)]
+pub struct ModuleSeed {
+    /// Candidate access words (module-local well-matched words over the
+    /// tagged alphabet).
+    pub access: Vec<String>,
+    /// Candidate test contexts `(prefix, suffix)`; the test of an access word
+    /// `q` is the membership of `prefix · q · suffix`.
+    pub tests: Vec<(String, String)>,
+}
+
+/// A warm-start seed for the whole observation structure, one entry per module
+/// (index 0 is the base module, index `i ≥ 1` belongs to the `i`-th call
+/// pair). Entries beyond the learner's module count are ignored.
+#[derive(Clone, Debug, Default)]
+pub struct ObservationSeed {
+    /// Per-module seed material.
+    pub modules: Vec<ModuleSeed>,
+}
+
+impl ObservationSeed {
+    /// Returns `true` when the seed carries no access words and no tests.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.modules.iter().all(|m| m.access.is_empty() && m.tests.is_empty())
+    }
+
+    /// Total number of candidate access words across modules.
+    #[must_use]
+    pub fn access_words(&self) -> usize {
+        self.modules.iter().map(|m| m.access.len()).sum()
+    }
+
+    /// Total number of candidate test contexts across modules.
+    #[must_use]
+    pub fn tests(&self) -> usize {
+        self.modules.iter().map(|m| m.tests.len()).sum()
+    }
+}
+
 /// A hypothesis VPA together with the learner metadata needed to analyse
 /// counterexamples (module and access word of each state, contents of each stack
 /// symbol).
@@ -568,6 +610,50 @@ impl<'a> SevpaLearner<'a> {
         );
     }
 
+    /// Warm-starts the observation structure from corpus-mined material
+    /// (hybrid passive/active learning). Tests are installed first; each
+    /// candidate access word is then admitted only when no existing access
+    /// word of its module is equivalent under the module's tests — the same
+    /// separability guard `close` applies to one-step
+    /// extensions, so a seeded structure is indistinguishable from one the
+    /// active loop grew itself. Returns the number of access words admitted.
+    ///
+    /// Membership queries issued by the admission checks go through the
+    /// learner's membership function and are attributed to VPA learning.
+    pub fn seed_observations(&mut self, seed: &ObservationSeed) -> usize {
+        for (module_idx, module_seed) in seed.modules.iter().enumerate() {
+            if module_idx >= self.modules.len() {
+                break;
+            }
+            for (prefix, suffix) in &module_seed.tests {
+                let test = Test { prefix: prefix.clone(), suffix: suffix.clone() };
+                if !self.modules[module_idx].tests.contains(&test) {
+                    self.modules[module_idx].tests.push(test);
+                }
+            }
+        }
+        let mut admitted = 0;
+        for (module_idx, module_seed) in seed.modules.iter().enumerate() {
+            if module_idx >= self.modules.len() {
+                break;
+            }
+            for access in &module_seed.access {
+                if self.state_count() >= self.config.max_states {
+                    return admitted;
+                }
+                if self.modules[module_idx].access.contains(access) {
+                    continue;
+                }
+                if self.find_equivalent(module_idx, access).is_none() {
+                    self.modules[module_idx].access.push(access.clone());
+                    admitted += 1;
+                }
+            }
+        }
+        vstar_telemetry::counter("learner.seeded_access_words", admitted as u64);
+        admitted
+    }
+
     /// Convenience: learn with equivalence simulated over a fixed pool of test
     /// strings (over the tagged alphabet). Returns the first disagreeing test
     /// string each round.
@@ -801,6 +887,62 @@ mod tests {
         assert!(hyp.vpa.accepts("agcdcdhbcd"));
         assert!(hyp.vpa.accepts("agaghbhbcd"));
         assert!(!hyp.vpa.accepts("agcd"));
+    }
+
+    #[test]
+    fn seed_observations_admits_only_inequivalent_access_words() {
+        let member: &dyn Fn(&str) -> bool = &dyck;
+        let alphabet = dyck_alphabet();
+        let mut learner =
+            SevpaLearner::new(member, alphabet.clone(), SevpaLearnerConfig::default());
+        let seed = ObservationSeed {
+            modules: vec![
+                ModuleSeed {
+                    access: vec!["x".into(), "(x)".into()],
+                    tests: vec![(String::new(), String::new())],
+                },
+                ModuleSeed { access: vec!["x".into()], tests: Vec::new() },
+            ],
+        };
+        assert!(!seed.is_empty());
+        assert_eq!(seed.access_words(), 3);
+        assert_eq!(seed.tests(), 1);
+        // Dyck needs one state per module: every candidate is equivalent to ε,
+        // so the separability guard rejects them all — and seeding twice is
+        // idempotent.
+        assert_eq!(learner.seed_observations(&seed), 0);
+        assert_eq!(learner.seed_observations(&seed), 0);
+        let hyp = learner
+            .learn(|hyp| exhaustive_disagreement(&dyck, hyp, &alphabet, 6))
+            .expect("learning succeeds");
+        assert!(exhaustive_disagreement(&dyck, &hyp, &alphabet, 7).is_none());
+    }
+
+    #[test]
+    fn seed_observations_warm_starts_learning() {
+        // { (^k x )^k }: "x" is a genuine second module-0 state, so the seed
+        // is admitted and the warm-started run still converges exactly.
+        fn lang(s: &str) -> bool {
+            let chars: Vec<char> = s.chars().collect();
+            let opens = chars.iter().take_while(|&&c| c == '(').count();
+            if chars.get(opens) != Some(&'x') {
+                return false;
+            }
+            let closes = &chars[opens + 1..];
+            closes.len() == opens && closes.iter().all(|&c| c == ')')
+        }
+        let member: &dyn Fn(&str) -> bool = &lang;
+        let alphabet = dyck_alphabet();
+        let mut learner =
+            SevpaLearner::new(member, alphabet.clone(), SevpaLearnerConfig::default());
+        let seed = ObservationSeed {
+            modules: vec![ModuleSeed { access: vec!["x".into()], tests: Vec::new() }],
+        };
+        assert_eq!(learner.seed_observations(&seed), 1);
+        let hyp = learner
+            .learn(|hyp| exhaustive_disagreement(&lang, hyp, &alphabet, 7))
+            .expect("learning succeeds");
+        assert!(exhaustive_disagreement(&lang, &hyp, &alphabet, 8).is_none());
     }
 
     #[test]

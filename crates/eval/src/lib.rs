@@ -18,5 +18,6 @@ pub mod runner;
 pub use metrics::{f1_score, precision, recall, Accuracy, DifferentialCounts};
 pub use report::{Table1Report, ToolRow};
 pub use runner::{
-    evaluate_arvada, evaluate_glade, evaluate_vstar, measure_vstar_accuracy, EvalConfig,
+    evaluate_arvada, evaluate_glade, evaluate_vstar, measure_vstar_accuracy, recall_dataset,
+    EvalConfig,
 };

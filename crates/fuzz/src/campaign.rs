@@ -137,7 +137,7 @@ impl Default for FuzzConfig {
 }
 
 /// One distinct (post-minimization) divergence found by a campaign.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct DivergenceCase {
     /// Divergence class label ([`CaseClass::label`]).
     pub class: String,
@@ -172,7 +172,7 @@ impl DivergenceCase {
 }
 
 /// The machine-readable outcome of one campaign.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct CampaignReport {
     /// Oracle language name.
     pub language: String,

@@ -20,7 +20,10 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::campaign::CampaignReport;
+use serde::Value;
+use vstar_eval::DifferentialCounts;
+
+use crate::campaign::{CampaignReport, DivergenceCase};
 
 /// Writes `report` under `root`, replacing any previous corpus for the same
 /// language. Returns the language directory.
@@ -51,11 +54,94 @@ pub fn write_corpus(root: &Path, report: &CampaignReport) -> io::Result<PathBuf>
     Ok(dir)
 }
 
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn field<'v>(v: &'v Value, key: &str, ctx: &str) -> io::Result<&'v Value> {
+    v.get(key).ok_or_else(|| bad(format!("missing field {key:?} in {ctx}")))
+}
+
+fn usize_field(v: &Value, key: &str, ctx: &str) -> io::Result<usize> {
+    let val = field(v, key, ctx)?;
+    let n = val.as_u64().ok_or_else(|| bad(format!("field {key:?} in {ctx} is not an integer")))?;
+    usize::try_from(n).map_err(|_| bad(format!("field {key:?} in {ctx} overflows usize")))
+}
+
+fn str_field(v: &Value, key: &str, ctx: &str) -> io::Result<String> {
+    field(v, key, ctx)?
+        .as_str()
+        .map(ToOwned::to_owned)
+        .ok_or_else(|| bad(format!("field {key:?} in {ctx} is not a string")))
+}
+
+fn f64_field(v: &Value, key: &str, ctx: &str) -> io::Result<f64> {
+    field(v, key, ctx)?
+        .as_f64()
+        .ok_or_else(|| bad(format!("field {key:?} in {ctx} is not a number")))
+}
+
+/// Reads one language's corpus directory (as produced by [`write_corpus`])
+/// back into a [`CampaignReport`]: the inverse of the writer on its image,
+/// so passive learners and tests can consume fuzz-produced corpora.
+///
+/// `dir` is the language directory (`<root>/<language>`, the path
+/// [`write_corpus`] returns). `summary.json` is authoritative for every
+/// field including the divergence witnesses; the per-case `.txt` files exist
+/// for humans and external tools.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and reports malformed or incomplete
+/// summaries as [`io::ErrorKind::InvalidData`].
+pub fn read_corpus(dir: &Path) -> io::Result<CampaignReport> {
+    let path = dir.join("summary.json");
+    let text = fs::read_to_string(&path)?;
+    let value = serde_json::from_str(&text)
+        .map_err(|e| bad(format!("{}: not valid JSON: {e:?}", path.display())))?;
+    let ctx = "summary";
+    let counts_value = field(&value, "counts", ctx)?;
+    let counts = DifferentialCounts {
+        agree_accept: usize_field(counts_value, "agree_accept", "counts")?,
+        agree_reject: usize_field(counts_value, "agree_reject", "counts")?,
+        false_positive: usize_field(counts_value, "false_positive", "counts")?,
+        false_negative: usize_field(counts_value, "false_negative", "counts")?,
+    };
+    let divergences_value = field(&value, "divergences", ctx)?
+        .as_array()
+        .ok_or_else(|| bad("field \"divergences\" in summary is not an array".into()))?;
+    let mut divergences = Vec::with_capacity(divergences_value.len());
+    for (i, case) in divergences_value.iter().enumerate() {
+        let case_ctx = format!("divergences[{i}]");
+        divergences.push(DivergenceCase {
+            class: str_field(case, "class", &case_ctx)?,
+            mutation: str_field(case, "mutation", &case_ctx)?,
+            iteration: usize_field(case, "iteration", &case_ctx)?,
+            raw: str_field(case, "raw", &case_ctx)?,
+            minimized: str_field(case, "minimized", &case_ctx)?,
+            occurrences: usize_field(case, "occurrences", &case_ctx)?,
+        });
+    }
+    Ok(CampaignReport {
+        language: str_field(&value, "language", ctx)?,
+        seed: field(&value, "seed", ctx)?
+            .as_u64()
+            .ok_or_else(|| bad("field \"seed\" in summary is not an integer".into()))?,
+        iterations: usize_field(&value, "iterations", ctx)?,
+        counts,
+        precision_estimate: f64_field(&value, "precision_estimate", ctx)?,
+        recall_estimate: f64_field(&value, "recall_estimate", ctx)?,
+        rules_covered: usize_field(&value, "rules_covered", ctx)?,
+        rules_total: usize_field(&value, "rules_total", ctx)?,
+        corpus_trees: usize_field(&value, "corpus_trees", ctx)?,
+        divergences,
+        divergences_beyond_cap: usize_field(&value, "divergences_beyond_cap", ctx)?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::campaign::DivergenceCase;
-    use vstar_eval::DifferentialCounts;
 
     fn report_with_one_case() -> CampaignReport {
         CampaignReport {
@@ -103,6 +189,33 @@ mod tests {
         smaller.divergences.clear();
         write_corpus(&root, &smaller).unwrap();
         assert!(!dir.join("divergences/case-0000.txt").exists());
+
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn read_corpus_inverts_write_corpus() {
+        let root =
+            std::env::temp_dir().join(format!("vstar-fuzz-read-corpus-{}", std::process::id()));
+        let mut report = report_with_one_case();
+        // Exercise the full field surface, including non-ASCII witnesses and
+        // a second case.
+        report.divergences.push(DivergenceCase {
+            class: "false-negative".into(),
+            mutation: "perturb-chars".into(),
+            iteration: 7,
+            raw: "{\"k\":\"⊳ü\\n\"}".into(),
+            minimized: "{\"k\":\"⊳\"}".into(),
+            occurrences: 3,
+        });
+        let dir = write_corpus(&root, &report).unwrap();
+        let read = read_corpus(&dir).unwrap();
+        assert_eq!(read, report, "read ∘ write must be the identity");
+
+        // The reader rejects a malformed summary instead of guessing.
+        fs::write(dir.join("summary.json"), "{\"language\": \"testlang\"}").unwrap();
+        let err = read_corpus(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
 
         fs::remove_dir_all(&root).unwrap();
     }

@@ -1,0 +1,147 @@
+//! Oracle-free conversion of raw corpus words into marker-tagged words.
+//!
+//! Mirrors `PartialTokenizer::convert` (paper §5.1, `conv_τ`): the call
+//! marker `U+E000+j` is inserted *before* a structural occurrence of pair
+//! `j`'s call character and the return marker `U+E800+j` *after* a structural
+//! occurrence of its return character, so passively converted words
+//! interoperate with `strip_markers`, marker taggings and the grammar
+//! sampler exactly like actively converted ones.
+//!
+//! Without an oracle, "structural" is decided by strict LIFO matching: a
+//! return occurrence is structural only when the innermost open occurrence
+//! belongs to the *same* pair; anything left unmatched (a `}` inside a JSON
+//! string literal, an unclosed bracket) is demoted to a plain character.
+//! Demotion guarantees the converted word is well matched under the marker
+//! tagging, at the price of occasionally mis-structuring noisy words — the
+//! corpus-level tolerance already accepted by [`crate::structure`].
+
+use std::collections::BTreeMap;
+
+use vstar::tokenizer::{call_marker, return_marker};
+use vstar_vpl::Tagging;
+
+/// A conversion together with how many bracket-character occurrences had to
+/// be demoted to plain.
+#[derive(Clone, Debug)]
+pub struct Conversion {
+    /// The marker-tagged word.
+    pub converted: String,
+    /// Call/return character occurrences left LIFO-unmatched and demoted.
+    pub demoted: usize,
+}
+
+/// The marker tagging under which passively converted words are well matched:
+/// pair `j` of `pairs` becomes the marker pair `(U+E000+j, U+E800+j)`.
+///
+/// # Panics
+///
+/// Panics if `pairs` is large enough for marker code points to collide
+/// (> 2048 pairs), which no corpus-driven inference produces.
+#[must_use]
+pub fn marker_tagging(pairs: &[(char, char)]) -> Tagging {
+    Tagging::from_pairs((0..pairs.len()).map(|j| (call_marker(j), return_marker(j))))
+        .expect("marker pairs are distinct")
+}
+
+/// Converts `word` under the inferred character `pairs`, inserting markers
+/// around LIFO-matched occurrences and demoting the rest.
+#[must_use]
+pub fn passive_convert(pairs: &[(char, char)], word: &str) -> Conversion {
+    let call_idx: BTreeMap<char, usize> =
+        pairs.iter().enumerate().map(|(j, &(c, _))| (c, j)).collect();
+    let ret_idx: BTreeMap<char, usize> =
+        pairs.iter().enumerate().map(|(j, &(_, r))| (r, j)).collect();
+
+    let chars: Vec<char> = word.chars().collect();
+    // role[i] = Some((pair, is_call)) when occurrence i is structural.
+    let mut role: Vec<Option<(usize, bool)>> = vec![None; chars.len()];
+    let mut stack: Vec<(usize, usize)> = Vec::new(); // (pair, position)
+    let mut candidates = 0usize;
+    for (pos, &c) in chars.iter().enumerate() {
+        if let Some(&j) = call_idx.get(&c) {
+            candidates += 1;
+            stack.push((j, pos));
+        } else if let Some(&j) = ret_idx.get(&c) {
+            candidates += 1;
+            // Strict LIFO: only the innermost open occurrence can match; a
+            // mismatched innermost pair demotes this return, not the call
+            // (the call may still close later).
+            if let Some(&(top_pair, top_pos)) = stack.last() {
+                if top_pair == j {
+                    stack.pop();
+                    role[top_pos] = Some((j, true));
+                    role[pos] = Some((j, false));
+                }
+            }
+        }
+    }
+
+    let matched = role.iter().filter(|r| r.is_some()).count();
+    let mut converted = String::with_capacity(word.len() + matched);
+    for (pos, &c) in chars.iter().enumerate() {
+        match role[pos] {
+            Some((j, true)) => {
+                converted.push(call_marker(j));
+                converted.push(c);
+            }
+            Some((j, false)) => {
+                converted.push(c);
+                converted.push(return_marker(j));
+            }
+            None => converted.push(c),
+        }
+    }
+    Conversion { converted, demoted: candidates - matched }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstar::tokenizer::strip_markers;
+
+    const PAIRS: &[(char, char)] = &[('(', ')'), ('[', ']')];
+
+    #[test]
+    fn matched_occurrences_get_markers_in_tokenizer_order() {
+        let conv = passive_convert(PAIRS, "(a[b])");
+        let c0 = call_marker(0);
+        let r0 = return_marker(0);
+        let c1 = call_marker(1);
+        let r1 = return_marker(1);
+        assert_eq!(conv.converted, format!("{c0}(a{c1}[b]{r1}){r0}"));
+        assert_eq!(conv.demoted, 0);
+        assert!(marker_tagging(PAIRS).is_well_matched(&conv.converted));
+        assert_eq!(strip_markers(&conv.converted), "(a[b])");
+    }
+
+    #[test]
+    fn unmatched_occurrences_are_demoted() {
+        // The ')' closes nothing; the '[' never closes; '(' then closes fine.
+        let conv = passive_convert(PAIRS, ")a[(x)");
+        assert_eq!(conv.demoted, 2);
+        assert!(marker_tagging(PAIRS).is_well_matched(&conv.converted));
+        assert_eq!(strip_markers(&conv.converted), ")a[(x)");
+    }
+
+    #[test]
+    fn interleaved_pairs_follow_strict_lifo() {
+        // "[(])": ']' arrives while '(' is innermost → ']' demoted; ')' then
+        // matches '(', and '[' stays open → demoted.
+        let conv = passive_convert(PAIRS, "[(])");
+        assert_eq!(conv.demoted, 2);
+        assert!(marker_tagging(PAIRS).is_well_matched(&conv.converted));
+    }
+
+    #[test]
+    fn conversion_is_always_well_matched() {
+        for word in ["", "((((", "))))", "([)]", "a(b[c)d]e", "(()"] {
+            let conv = passive_convert(PAIRS, word);
+            assert!(
+                marker_tagging(PAIRS).is_well_matched(&conv.converted),
+                "word {word:?} converted to {:?}",
+                conv.converted
+            );
+            assert_eq!(strip_markers(&conv.converted), word);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Hybrid learning: passive construction first, active refinement second.
+//!
+//! The passive learner ([`crate::learner`]) is cheap but approximate; the
+//! active pipeline (`VStar::learn_refined`) is exact on its test pool but
+//! pays for every membership query. The hybrid path spends the corpus twice
+//! to make the active run cheaper:
+//!
+//! 1. Every corpus word is preloaded into the [`Mat`] as a known member
+//!    ([`Mat::assume`]) — a positive corpus *is* a bag of already-answered
+//!    membership queries, so the corpus-evidence refinement loop never pays
+//!    for them again.
+//! 2. The passive automaton's merged classes and mined contexts are distilled
+//!    into an [`ObservationSeed`](vstar::ObservationSeed), so the k-SEVPA
+//!    learner starts from corpus-shaped distinctions instead of discovering
+//!    them one counterexample at a time.
+//!
+//! The oracle is still the authority: seeding is filtered by the learner's
+//! separability guard and refinement replays any divergence between the
+//! hypothesis and the corpus, so warm starts change the query bill, not the
+//! learned language.
+
+use vstar::refine::CorpusEvidence;
+use vstar::token_infer::token_infer;
+use vstar::{Mat, RefineConfig, RefineLog, VStar, VStarConfig, VStarError, VStarResult};
+
+use crate::learner::{learn_from_converted, PassiveLearnerConfig, PassiveStats};
+
+/// Tuning knobs for [`learn_hybrid`].
+#[derive(Clone, Debug)]
+pub struct HybridConfig {
+    /// Base pipeline configuration (token-inference knobs, learner caps, …).
+    pub vstar: VStarConfig,
+    /// Refinement-loop configuration for the corpus-evidence rounds.
+    pub refine: RefineConfig,
+    /// Passive-construction knobs.
+    pub passive: PassiveLearnerConfig,
+    /// Per-module cap on seeded access words.
+    pub access_cap: usize,
+    /// Per-module cap on seeded test contexts.
+    pub test_cap: usize,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            vstar: VStarConfig::default(),
+            refine: RefineConfig::default(),
+            passive: PassiveLearnerConfig::default(),
+            access_cap: 2,
+            test_cap: 1,
+        }
+    }
+}
+
+/// What a hybrid run produced, with enough bookkeeping to audit the warm
+/// start.
+#[derive(Clone, Debug)]
+pub struct HybridOutcome {
+    /// The actively refined result (same type as a cold `learn_refined`).
+    pub result: VStarResult,
+    /// The refinement loop's log.
+    pub log: RefineLog,
+    /// Statistics of the passive construction that seeded the run.
+    pub passive_stats: PassiveStats,
+    /// Access words offered to the learner (before its separability guard).
+    pub seeded_access_words: usize,
+    /// Test contexts offered to the learner.
+    pub seeded_tests: usize,
+}
+
+/// Learns `mat`'s language with a corpus-warmed active run.
+///
+/// The corpus must consist of members of the target language (they are
+/// preloaded as positive answers); `seeds` and `alphabet` are the usual
+/// active-learning inputs. Corpus words whose conversion under the inferred
+/// tokenizer is not well matched are skipped by the passive stage — the
+/// refinement loop still sees them through [`CorpusEvidence`].
+///
+/// # Errors
+///
+/// Propagates pipeline errors ([`VStarError`]) from token inference and the
+/// active run.
+pub fn learn_hybrid(
+    mat: &Mat<'_>,
+    alphabet: &[char],
+    seeds: &[String],
+    corpus: &[String],
+    config: &HybridConfig,
+) -> Result<HybridOutcome, VStarError> {
+    for word in corpus {
+        mat.assume(word, true);
+    }
+
+    let tokenizer = token_infer(mat, seeds, alphabet, &config.vstar.token_config)
+        .ok_or(VStarError::NoCompatibleTagging { max_k: config.vstar.token_config.max_k })?;
+    let tagging = tokenizer.marker_tagging();
+    let converted: Vec<String> = corpus.iter().map(|w| tokenizer.convert(mat, w)).collect();
+    let passive = learn_from_converted(&converted, &tagging, &config.passive);
+    let seed = passive.observation_seed(config.access_cap, config.test_cap);
+    let seeded_access_words = seed.access_words();
+    let seeded_tests = seed.tests();
+
+    let vstar_config = VStarConfig {
+        tokenizer_override: Some(tokenizer),
+        hypothesis_seed: Some(seed),
+        ..config.vstar.clone()
+    };
+    let mut evidence = CorpusEvidence::new(corpus.to_vec());
+    let (result, log) = VStar::new(vstar_config).learn_refined(
+        mat,
+        alphabet,
+        seeds,
+        &mut evidence,
+        config.refine.clone(),
+    )?;
+    Ok(HybridOutcome {
+        result,
+        log,
+        passive_stats: passive.stats,
+        seeded_access_words,
+        seeded_tests,
+    })
+}

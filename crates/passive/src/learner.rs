@@ -1,0 +1,433 @@
+//! Passive k-SEVPA construction from converted corpus words.
+//!
+//! Given marker-tagged words (from [`crate::convert`] or an active
+//! tokenizer's `conv_τ`), this builds a deterministic partial VPA whose runs
+//! are exactly the corpus-witnessed behaviours, then generalises by a
+//! *windowed suffix congruence*: two module-local prefixes are merged when
+//! they end in the same `merge_window` shape items, where a shape item is a
+//! plain character collapsed to its class (letters → `a`, digits → `0`,
+//! punctuation kept verbatim) and a complete call…return segment collapsed to
+//! its pair index. The state space is the quotient, transitions are the
+//! witnessed steps, and accepting states are the classes of complete corpus
+//! words.
+//!
+//! Two properties fall out of this construction *by construction*, and the
+//! proptests in `tests/` lean on both:
+//!
+//! * **Training consistency** — every well-matched training word's own run
+//!   walks witnessed transitions into an accepting class, so the hypothesis
+//!   never rejects a training sample, regardless of how aggressively the
+//!   window merges.
+//! * **Monotonicity** — the key function is corpus-independent, so witness
+//!   sets and accepting sets only grow as the corpus grows: `C₁ ⊆ C₂`
+//!   implies `L(passive(C₁)) ⊆ L(passive(C₂))`.
+//!
+//! The same structure doubles as the warm start for hybrid learning: the
+//! shortest exact local word of each merged class and the call/return
+//! contexts mined while parsing become an
+//! [`ObservationSeed`] for the active learner.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::Serialize;
+use vstar::{ModuleSeed, ObservationSeed};
+use vstar_vpl::{vpa_to_vpg, Kind, StackSymId, Tagging, Vpa, VpaBuilder, Vpg};
+
+/// Tuning knobs for [`learn_from_converted`].
+#[derive(Clone, Debug)]
+pub struct PassiveLearnerConfig {
+    /// How many trailing shape items identify a state. Smaller windows merge
+    /// harder (higher recall, lower precision); `0` collapses each module to
+    /// a single state.
+    pub merge_window: usize,
+}
+
+impl Default for PassiveLearnerConfig {
+    fn default() -> Self {
+        PassiveLearnerConfig { merge_window: 2 }
+    }
+}
+
+/// Run statistics of a passive construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct PassiveStats {
+    /// Words offered to the learner.
+    pub corpus_size: usize,
+    /// Offered words skipped because they were not well matched under the
+    /// tagging (never happens for [`crate::convert`] output).
+    pub skipped_ill_matched: usize,
+    /// States of the unmerged prefix tree (distinct module-local prefixes).
+    pub tree_states: usize,
+    /// States after the windowed suffix merge.
+    pub merged_states: usize,
+    /// Distinct plain characters witnessed.
+    pub plain_alphabet: usize,
+    /// Training words accepted by the merged automaton (equals
+    /// `corpus_size - skipped_ill_matched` by the consistency property).
+    pub train_accepted: usize,
+}
+
+/// One element of a module-local shape: a plain character class, or a
+/// complete nested segment collapsed to its pair index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Item {
+    Plain(char),
+    Nest(usize),
+}
+
+type Window = Vec<Item>;
+/// Merged state identity: `(module, trailing shape window)`.
+type Key = (usize, Window);
+
+/// The fixed, corpus-independent character class map. Keeping it independent
+/// of the corpus is what makes the learned language monotone in the corpus.
+fn canon(c: char) -> char {
+    if c.is_ascii_alphabetic() {
+        'a'
+    } else if c.is_ascii_digit() {
+        '0'
+    } else {
+        c
+    }
+}
+
+fn push_window(window: &Window, item: Item, k: usize) -> Window {
+    let mut w = window.clone();
+    w.push(item);
+    while w.len() > k {
+        w.remove(0);
+    }
+    w
+}
+
+/// An in-flight module activation while parsing one corpus word.
+struct Frame {
+    key: Key,
+    text: String,
+    caller_key: Key,
+    pair: usize,
+    /// Global prefix up to and including the call symbol — the `u` of a
+    /// mined test context `(u, v)`.
+    prefix: String,
+}
+
+/// The result of a passive construction: the merged automaton, its grammar,
+/// and the evidence needed to warm-start an active learner.
+#[derive(Clone, Debug)]
+pub struct PassiveAutomaton {
+    /// The merged, deterministic, partial VPA over the input tagging.
+    pub vpa: Vpa,
+    /// The well-matched VPG extracted from [`Self::vpa`].
+    pub vpg: Vpg,
+    /// Construction statistics.
+    pub stats: PassiveStats,
+    /// Per module: the shortest exact local word of each merged class.
+    module_access: Vec<Vec<String>>,
+    /// Per module: test contexts `(u, v)` mined from the corpus.
+    module_contexts: Vec<Vec<(String, String)>>,
+}
+
+impl PassiveAutomaton {
+    /// Whether the merged automaton accepts a converted (marker-tagged) word.
+    #[must_use]
+    pub fn accepts(&self, converted: &str) -> bool {
+        self.vpa.accepts(converted)
+    }
+
+    /// Distils the construction into seed evidence for
+    /// [`SevpaLearner::seed_observations`](vstar::SevpaLearner::seed_observations):
+    /// per module, up to `test_cap` shortest mined contexts and up to
+    /// `access_cap` shortest non-empty class representatives.
+    #[must_use]
+    pub fn observation_seed(&self, access_cap: usize, test_cap: usize) -> ObservationSeed {
+        let modules = self
+            .module_access
+            .iter()
+            .zip(&self.module_contexts)
+            .map(|(access, contexts)| ModuleSeed {
+                access: access.iter().filter(|a| !a.is_empty()).take(access_cap).cloned().collect(),
+                tests: contexts.iter().take(test_cap).cloned().collect(),
+            })
+            .collect();
+        ObservationSeed { modules }
+    }
+}
+
+/// Builds the merged passive automaton from converted corpus words.
+///
+/// Words that are not well matched under `tagging` are skipped (and counted
+/// in [`PassiveStats::skipped_ill_matched`]); every other word is accepted by
+/// the result.
+///
+/// # Panics
+///
+/// Panics only if the VPA builder rejects the construction, which the
+/// deterministic quotient rules out.
+#[must_use]
+pub fn learn_from_converted(
+    words: &[String],
+    tagging: &Tagging,
+    config: &PassiveLearnerConfig,
+) -> PassiveAutomaton {
+    let k = config.merge_window;
+    let module_count = tagging.pair_count() + 1;
+    let entry_key: Key = (0, Vec::new());
+
+    let mut keys: BTreeSet<Key> = BTreeSet::new();
+    let mut tree: BTreeSet<(usize, String)> = BTreeSet::new();
+    let mut reps: BTreeMap<Key, String> = BTreeMap::new();
+    let mut plain_alpha: BTreeSet<char> = BTreeSet::new();
+    let mut plain_wit: BTreeSet<(Key, char)> = BTreeSet::new();
+    let mut call_wit: BTreeSet<(Key, usize)> = BTreeSet::new();
+    let mut ret_wit: BTreeSet<(Key, usize, Key)> = BTreeSet::new();
+    let mut accepting: BTreeSet<Key> = BTreeSet::new();
+    let mut contexts: Vec<BTreeSet<(String, String)>> = vec![BTreeSet::new(); module_count];
+    contexts[0].insert((String::new(), String::new()));
+
+    let register = |keys: &mut BTreeSet<Key>,
+                    tree: &mut BTreeSet<(usize, String)>,
+                    reps: &mut BTreeMap<Key, String>,
+                    frame: &Frame| {
+        keys.insert(frame.key.clone());
+        tree.insert((frame.key.0, frame.text.clone()));
+        let best = reps.entry(frame.key.clone()).or_insert_with(|| frame.text.clone());
+        if frame.text.len() < best.len() || (frame.text.len() == best.len() && frame.text < *best) {
+            best.clone_from(&frame.text);
+        }
+    };
+
+    keys.insert(entry_key.clone());
+    reps.entry(entry_key.clone()).or_default();
+    tree.insert((0, String::new()));
+
+    let mut skipped = 0usize;
+    for word in words {
+        if !tagging.is_well_matched(word) {
+            skipped += 1;
+            continue;
+        }
+        let mut stack: Vec<Frame> = Vec::new();
+        let mut cur = Frame {
+            key: entry_key.clone(),
+            text: String::new(),
+            caller_key: entry_key.clone(),
+            pair: 0,
+            prefix: String::new(),
+        };
+        for (pos, c) in word.char_indices() {
+            match tagging.kind(c) {
+                Kind::Plain => {
+                    plain_alpha.insert(c);
+                    plain_wit.insert((cur.key.clone(), canon(c)));
+                    cur.key = (cur.key.0, push_window(&cur.key.1, Item::Plain(canon(c)), k));
+                    cur.text.push(c);
+                    register(&mut keys, &mut tree, &mut reps, &cur);
+                }
+                Kind::Call => {
+                    let j = tagging.call_pair_index(c).expect("call symbol has a pair");
+                    call_wit.insert((cur.key.clone(), j));
+                    let caller = cur.key.clone();
+                    stack.push(cur);
+                    cur = Frame {
+                        key: (j + 1, Vec::new()),
+                        text: String::new(),
+                        caller_key: caller,
+                        pair: j,
+                        prefix: word[..pos + c.len_utf8()].to_owned(),
+                    };
+                    register(&mut keys, &mut tree, &mut reps, &cur);
+                }
+                Kind::Return => {
+                    let j = tagging.return_pair_index(c).expect("return symbol has a pair");
+                    // Well-matchedness guarantees the innermost frame is the
+                    // matching one; this is a defensive invariant, not a path.
+                    assert_eq!(cur.pair, j, "well-matched word closes the open pair");
+                    let inner = cur;
+                    ret_wit.insert((inner.key.clone(), j, inner.caller_key.clone()));
+                    contexts[j + 1].insert((inner.prefix.clone(), word[pos..].to_owned()));
+                    cur = stack.pop().expect("well-matched word has an open frame");
+                    cur.key = (cur.key.0, push_window(&cur.key.1, Item::Nest(j), k));
+                    let (call_sym, ret_sym) = tagging.pairs()[j];
+                    cur.text.push(call_sym);
+                    cur.text.push_str(&inner.text);
+                    cur.text.push(ret_sym);
+                    register(&mut keys, &mut tree, &mut reps, &cur);
+                    if cur.key.0 == 0 {
+                        contexts[0].insert((String::new(), word[pos + c.len_utf8()..].to_owned()));
+                    }
+                }
+            }
+        }
+        accepting.insert(cur.key.clone());
+    }
+
+    // Materialize the quotient automaton from the witness sets.
+    let sorted_keys: Vec<Key> = keys.iter().cloned().collect();
+    let mut builder = VpaBuilder::new(tagging.clone());
+    let ids = builder.add_states(sorted_keys.len());
+    let id_of: BTreeMap<&Key, _> = sorted_keys.iter().zip(ids).collect();
+    let mut syms: BTreeMap<(Key, usize), StackSymId> = BTreeMap::new();
+    for (key, j) in &call_wit {
+        syms.insert((key.clone(), *j), builder.add_stack_symbol());
+    }
+    builder.set_initial(id_of[&entry_key]);
+    for key in &accepting {
+        builder.add_accepting(id_of[key]);
+    }
+    for (key, class) in &plain_wit {
+        let to = (key.0, push_window(&key.1, Item::Plain(*class), k));
+        for &c in &plain_alpha {
+            if canon(c) == *class {
+                builder.plain(id_of[key], c, id_of[&to]).expect("quotient is deterministic");
+            }
+        }
+    }
+    for (key, j) in &call_wit {
+        let (call_sym, _) = tagging.pairs()[*j];
+        let entry = (*j + 1, Vec::new());
+        builder
+            .call(id_of[key], call_sym, id_of[&entry], syms[&(key.clone(), *j)])
+            .expect("quotient is deterministic");
+    }
+    for (inner, j, caller) in &ret_wit {
+        let (_, ret_sym) = tagging.pairs()[*j];
+        let to = (caller.0, push_window(&caller.1, Item::Nest(*j), k));
+        builder
+            .ret(id_of[inner], ret_sym, syms[&(caller.clone(), *j)], id_of[&to])
+            .expect("quotient is deterministic");
+    }
+    let vpa = builder.build().expect("passive automaton builds");
+    let vpg = vpa_to_vpg(&vpa);
+
+    let train_accepted = words.iter().filter(|w| vpa.accepts(w)).count();
+    let stats = PassiveStats {
+        corpus_size: words.len(),
+        skipped_ill_matched: skipped,
+        tree_states: tree.len(),
+        merged_states: sorted_keys.len(),
+        plain_alphabet: plain_alpha.len(),
+        train_accepted,
+    };
+
+    let mut module_access: Vec<Vec<String>> = vec![Vec::new(); module_count];
+    for ((module, _), text) in reps {
+        module_access[module].push(text);
+    }
+    for access in &mut module_access {
+        access.sort_by(|a, b| a.len().cmp(&b.len()).then(a.cmp(b)));
+        access.dedup();
+    }
+    let module_contexts: Vec<Vec<(String, String)>> = contexts
+        .into_iter()
+        .map(|set| {
+            let mut v: Vec<(String, String)> = set.into_iter().collect();
+            v.sort_by(|a, b| (a.0.len() + a.1.len()).cmp(&(b.0.len() + b.1.len())).then(a.cmp(b)));
+            v
+        })
+        .collect();
+
+    PassiveAutomaton { vpa, vpg, stats, module_access, module_contexts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::{marker_tagging, passive_convert};
+
+    const PAIRS: &[(char, char)] = &[('(', ')')];
+
+    fn converted(words: &[&str]) -> (Vec<String>, Tagging) {
+        let conv = words.iter().map(|w| passive_convert(PAIRS, w).converted).collect();
+        (conv, marker_tagging(PAIRS))
+    }
+
+    #[test]
+    fn accepts_every_training_word_and_generalises_by_class() {
+        let (words, tagging) = converted(&["(a)", "(ab)", "((a)b)", "a"]);
+        let auto = learn_from_converted(&words, &tagging, &PassiveLearnerConfig::default());
+        for w in &words {
+            assert!(auto.accepts(w), "training word {w:?} rejected");
+        }
+        assert_eq!(auto.stats.train_accepted, words.len());
+        assert_eq!(auto.stats.skipped_ill_matched, 0);
+        // Letter classes generalise: 'z' behaves like 'a'… but only over the
+        // witnessed alphabet, so an unseen character is still rejected.
+        let same_shape = passive_convert(PAIRS, "(b)").converted;
+        assert!(auto.accepts(&same_shape));
+        let digits = passive_convert(PAIRS, "(1)").converted;
+        assert!(!auto.accepts(&digits), "digit class was never witnessed");
+    }
+
+    #[test]
+    fn partiality_rejects_unwitnessed_shapes() {
+        let (words, tagging) = converted(&["(a)", "(aa)"]);
+        let auto = learn_from_converted(&words, &tagging, &PassiveLearnerConfig::default());
+        // No word ever nested, so nesting is not in the language.
+        let nested = passive_convert(PAIRS, "((a))").converted;
+        assert!(!auto.accepts(&nested));
+        // ε was never a complete word.
+        assert!(!auto.accepts(""));
+    }
+
+    #[test]
+    fn language_is_monotone_in_the_corpus() {
+        let all = ["(a)", "((a)a)", "(aa)", "((aa)(a))", "(((a)))"];
+        let (converted_all, tagging) = converted(&all);
+        let probes: Vec<String> = ["(a)", "((a))", "(((a)))", "((a)(a))", "(aaa)", "a"]
+            .iter()
+            .map(|w| passive_convert(&[('(', ')')], w).converted)
+            .collect();
+        let mut prev: Vec<bool> = vec![false; probes.len()];
+        for n in 1..=all.len() {
+            let auto = learn_from_converted(
+                &converted_all[..n],
+                &tagging,
+                &PassiveLearnerConfig::default(),
+            );
+            let now: Vec<bool> = probes.iter().map(|p| auto.accepts(p)).collect();
+            for (i, (&before, &after)) in prev.iter().zip(&now).enumerate() {
+                assert!(!before || after, "probe {i} left the language at corpus size {n}");
+            }
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn merge_window_zero_collapses_each_module() {
+        let (words, tagging) = converted(&["(a)", "((ab)b)"]);
+        let auto =
+            learn_from_converted(&words, &tagging, &PassiveLearnerConfig { merge_window: 0 });
+        // One class per module: module 0 and module 1.
+        assert_eq!(auto.stats.merged_states, 2);
+        for w in &words {
+            assert!(auto.accepts(w));
+        }
+    }
+
+    #[test]
+    fn observation_seed_mines_access_words_and_contexts() {
+        let (words, tagging) = converted(&["(a)", "((a)b)"]);
+        let auto = learn_from_converted(&words, &tagging, &PassiveLearnerConfig::default());
+        let seed = auto.observation_seed(4, 2);
+        assert_eq!(seed.modules.len(), 2);
+        assert!(!seed.is_empty());
+        // Module 1 access words are local words of the parenthesized module
+        // (the original bracket characters stay in them as plain text).
+        assert!(seed.modules[1].access.iter().any(|a| a == "(a)"), "{:?}", seed.modules[1].access);
+        // Module 1 contexts embed the call marker prefix and return suffix.
+        let (u, v) = &seed.modules[1].tests[0];
+        assert!(u.ends_with('\u{e000}'), "{u:?}");
+        assert!(v.starts_with('\u{e800}'), "{v:?}");
+        // Module 0 always carries the trivial context.
+        assert!(seed.modules[0].tests.contains(&(String::new(), String::new())));
+    }
+
+    #[test]
+    fn ill_matched_words_are_skipped_not_fatal() {
+        let tagging = marker_tagging(PAIRS);
+        let words = vec!["\u{e000}(a".to_owned(), passive_convert(PAIRS, "(a)").converted];
+        let auto = learn_from_converted(&words, &tagging, &PassiveLearnerConfig::default());
+        assert_eq!(auto.stats.skipped_ill_matched, 1);
+        assert_eq!(auto.stats.train_accepted, 1);
+    }
+}
